@@ -1,0 +1,19 @@
+"""A-ADAPT — the conclusion's conjecture: fully adaptive LP vs SEM."""
+
+from repro.experiments import run_adaptive
+
+
+def test_adaptive(bench_table):
+    result = bench_table(
+        run_adaptive,
+        ns=(15, 30),
+        m=6,
+        n_trials=8,
+        seed=16,
+    )
+    for row in result.rows:
+        sem_ratio, adapt_ratio = row[4], row[5]
+        # The conjecture's candidate should at least track SEM.
+        assert adapt_ratio <= sem_ratio * 1.4, (
+            f"adaptive ratio {adapt_ratio:.2f} far above SEM {sem_ratio:.2f}"
+        )

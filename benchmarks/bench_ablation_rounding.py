@@ -1,0 +1,18 @@
+"""A-ROUND — ablation: the Lemma 2 rounding constant."""
+
+from repro.experiments import run_rounding_ablation
+
+
+def test_rounding_ablation(bench_table):
+    result = bench_table(
+        run_rounding_ablation,
+        scales=(2, 3, 6, 9),
+        n_instances=10,
+        n=30,
+        m=6,
+        seed=14,
+    )
+    for row in result.rows:
+        scale, _, ok, bad = row[0], row[1], row[2], row[3]
+        if scale >= 6:
+            assert bad == 0, f"scale {scale} produced infeasible roundings"

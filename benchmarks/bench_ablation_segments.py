@@ -1,0 +1,20 @@
+"""A-SEG — ablation: SUU-C long-job segmentation and random delays."""
+
+from repro.experiments import run_segments_ablation
+
+
+def test_segments_ablation(bench_table):
+    result = bench_table(
+        run_segments_ablation,
+        n=24,
+        m=4,
+        n_chains=5,
+        n_trials=8,
+        seed=9,
+    )
+    ratios = {row[0]: row[2] for row in result.rows}
+    # On heavy-tailed chains, disabling segmentation serializes machines
+    # behind enormous blocks; the paper variant must win clearly.
+    assert ratios["segments on (paper)"] < ratios["segments off"], (
+        f"segmentation failed to help: {ratios}"
+    )

@@ -1,0 +1,23 @@
+"""E-COMP — the competitive claim behind Theorem 4, on fixed thresholds."""
+
+from repro.experiments import run_competitive
+
+
+def test_competitive(bench_table):
+    result = bench_table(
+        run_competitive,
+        n=20,
+        m=6,
+        profiles=("random", "point-1", "point-8", "point-16"),
+        n_trials=5,
+        seed=15,
+    )
+    rows = {row[0]: row for row in result.rows}
+    # OBL must degrade sharply from small to large thresholds; SEM's
+    # competitive ratio must grow far more slowly.
+    sem_growth = rows["point-16"][2] / max(rows["point-1"][2], 1e-9)
+    obl_growth = rows["point-16"][3] / max(rows["point-1"][3], 1e-9)
+    assert obl_growth > sem_growth, (
+        f"OBL (x{obl_growth:.2f}) should degrade faster than SEM "
+        f"(x{sem_growth:.2f}) as thresholds grow"
+    )

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are conventional pytest-benchmark timings (multiple rounds) for the
+pieces everything else is built from: the LP1 solve+round pipeline, the
+Dinic max-flow, the simulation engine's step loop, and the exact
+oblivious-repeat sampler.  They exist to catch performance regressions, not
+to reproduce paper artifacts.
+"""
+
+import numpy as np
+
+from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.core.lp1 import solve_lp1
+from repro.core.rounding import round_assignment
+from repro.core.suu_i_obl import build_obl_schedule
+from repro.flow import MaxFlowNetwork
+from repro.instance import independent_instance
+from repro.sim import run_policy, sample_oblivious_repeat_makespans
+
+
+def test_lp1_solve_and_round(benchmark):
+    inst = independent_instance(60, 12, "specialist", rng=0)
+
+    def pipeline():
+        rel = solve_lp1(inst, target=0.5)
+        return round_assignment(rel)
+
+    rounded = benchmark(pipeline)
+    assert rounded.load >= 1
+
+
+def test_dinic_grid(benchmark):
+    rng = np.random.default_rng(1)
+    n = 120
+    edges = [
+        (int(rng.integers(0, n)), int(rng.integers(0, n)), int(rng.integers(1, 30)))
+        for _ in range(1200)
+    ]
+
+    def flow():
+        net = MaxFlowNetwork(n)
+        for u, v, c in edges:
+            if u != v:
+                net.add_edge(u, v, c)
+        return net.max_flow(0, n - 1)
+
+    value = benchmark(flow)
+    assert value >= 0
+
+
+def test_engine_steps(benchmark):
+    inst = independent_instance(40, 8, "uniform", rng=2)
+
+    def run():
+        return run_policy(inst, GreedyLRPolicy(), rng=3, max_steps=100_000).makespan
+
+    makespan = benchmark(run)
+    assert makespan >= 1
+
+
+def test_exact_sampler(benchmark):
+    inst = independent_instance(80, 10, "specialist", rng=4)
+    schedule = build_obl_schedule(inst)
+
+    def sample():
+        return sample_oblivious_repeat_makespans(inst, schedule, 500, rng=5).mean
+
+    mean = benchmark(sample)
+    assert mean >= 1

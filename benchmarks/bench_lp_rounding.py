@@ -1,0 +1,18 @@
+"""E-LP1 — Lemmas 1-2: LP rounding blow-up and feasibility margins."""
+
+from repro.experiments import run_lp_rounding
+
+
+def test_lp_rounding(bench_table):
+    result = bench_table(
+        run_lp_rounding,
+        sizes=((20, 5), (40, 10)),
+        models=("uniform", "specialist", "powerlaw"),
+        seed=5,
+    )
+    for row in result.rows:
+        model, n, m, t_star, load, blowup, margin = row
+        assert blowup <= 6.0 + 1.0 / max(t_star, 1e-9) + 1e-6, (
+            f"load blow-up {blowup} exceeds ceil(6 t*)/t* on {model} n={n}"
+        )
+        assert margin >= 1.0 - 1e-6, f"mass margin {margin} < 1 on {model} n={n}"

@@ -1,0 +1,18 @@
+"""E-OPT — exact optimum on tiny instances: LB tightness, true ratios."""
+
+from repro.experiments import run_opt_tiny
+
+
+def test_opt_tiny(bench_table):
+    result = bench_table(
+        run_opt_tiny,
+        configs=(("independent", 5, 2), ("chains", 5, 2)),
+        n_trials=250,
+        seed=13,
+    )
+    for row in result.rows:
+        opt_over_lb = row[5]
+        assert opt_over_lb >= 1.0 - 1e-6, "lower bound exceeded the DP optimum"
+        true_ratio_paper, true_ratio_greedy = row[6], row[7]
+        assert true_ratio_paper >= 1.0 - 0.05  # MC noise guard
+        assert true_ratio_greedy >= 1.0 - 0.05

@@ -1,0 +1,22 @@
+"""T1 — the paper's Table 1, empirically (bench-sized)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(bench_table):
+    result = bench_table(
+        run_table1,
+        sizes=((16, 4), (32, 8)),
+        n_trials=8,
+        seed=2008,
+    )
+    # Reproduction shape: on chains and forests the paper's algorithm must
+    # not lose to the LR-style comparator on average.
+    by_class = {}
+    for row in result.rows:
+        by_class.setdefault(row[0], []).append(row[6])  # improvement col
+    for cls in ("chains", "forests"):
+        improvements = by_class[cls]
+        assert sum(improvements) / len(improvements) > 0.85, (
+            f"{cls}: paper algorithm lost badly: {improvements}"
+        )

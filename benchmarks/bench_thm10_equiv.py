@@ -1,0 +1,16 @@
+"""E-EQUIV — Theorem 10: SUU and SUU* makespan distributions agree."""
+
+from repro.experiments import run_equivalence
+
+
+def test_equivalence(bench_table):
+    result = bench_table(
+        run_equivalence,
+        n=16,
+        m=5,
+        n_trials=250,
+        seed=11,
+    )
+    for row in result.rows:
+        pvalue = row[4]
+        assert pvalue > 1e-4, f"KS rejects SUU = SUU* on {row[0]} (p={pvalue:.2e})"

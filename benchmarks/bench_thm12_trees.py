@@ -1,0 +1,15 @@
+"""E-TREE — Theorem 12: forests via chain-block decomposition."""
+
+from repro.experiments import run_trees
+
+
+def test_trees(bench_table):
+    result = bench_table(
+        run_trees,
+        sizes=((20, 5), (40, 8)),
+        n_trials=6,
+        seed=10,
+    )
+    for row in result.rows:
+        blocks, bound = row[3], row[4]
+        assert blocks <= bound, f"{blocks} blocks exceeds log bound {bound}"

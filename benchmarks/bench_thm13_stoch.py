@@ -1,0 +1,18 @@
+"""E-STOCH — Theorem 13: STC-I for exponential job lengths."""
+
+from repro.experiments import run_stochastic
+
+
+def test_stochastic(bench_table):
+    result = bench_table(
+        run_stochastic,
+        sizes=((10, 4), (20, 6)),
+        n_trials=8,
+        seed=12,
+    )
+    for row in result.rows:
+        serial_ratio, stc_ratio = row[4], row[6]
+        assert stc_ratio <= serial_ratio * 1.1, (
+            f"STC-I ({stc_ratio:.2f}) lost to serial-fastest ({serial_ratio:.2f})"
+        )
+        assert stc_ratio >= 1.0 - 1e-6  # sound lower bound

@@ -1,0 +1,17 @@
+"""E-OBL — Theorem 3: oblivious repeat scaling (bench-sized)."""
+
+from repro.experiments import run_obl_scaling
+
+
+def test_obl_scaling(bench_table):
+    result = bench_table(
+        run_obl_scaling,
+        ns=(10, 20, 40, 80),
+        m=8,
+        n_trials=150,
+        n_instances=2,
+        seed=3,
+    )
+    ratios = [row[4] for row in result.rows]
+    # Shape: the O(log n) algorithm's ratio must grow with n overall.
+    assert ratios[-1] > ratios[0], f"OBL ratio failed to grow: {ratios}"

@@ -1,0 +1,22 @@
+"""E-SEM — Theorem 4: semioblivious rounds vs O(log n) baselines."""
+
+from repro.experiments import run_sem_scaling
+
+
+def test_sem_scaling(bench_table):
+    result = bench_table(
+        run_sem_scaling,
+        ns=(10, 20, 40),
+        m=8,
+        n_trials=10,
+        n_trials_obl=100,
+        n_instances=2,
+        seed=4,
+    )
+    # Shape: SEM's ratio curve must grow more slowly than OBL's.
+    first, last = result.rows[0], result.rows[-1]
+    obl_growth = last[4] / max(first[4], 1e-9)
+    sem_growth = last[5] / max(first[5], 1e-9)
+    assert sem_growth <= obl_growth * 1.5, (
+        f"SEM grew faster than OBL (sem x{sem_growth:.2f}, obl x{obl_growth:.2f})"
+    )

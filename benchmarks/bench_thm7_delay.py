@@ -1,0 +1,20 @@
+"""E-DELAY — Theorem 7: random delays collapse pseudoschedule congestion."""
+
+from repro.experiments import run_delay
+
+
+def test_delay(bench_table):
+    result = bench_table(
+        run_delay,
+        configs=((40, 4, 10), (80, 4, 20), (160, 4, 40)),
+        n_seeds=8,
+        seed=8,
+    )
+    for row in result.rows:
+        no_delay, delayed = row[3], row[4]
+        assert delayed <= no_delay + 1e-9, (
+            f"delays increased congestion: {delayed} > {no_delay}"
+        )
+    # At the largest size the reduction must be strict.
+    big = result.rows[-1]
+    assert big[4] < big[3], f"no congestion reduction at scale: {big}"

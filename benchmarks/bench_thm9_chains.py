@@ -1,0 +1,18 @@
+"""E-CHAIN — Theorem 9: SUU-C on disjoint chains."""
+
+from repro.experiments import run_chains
+
+
+def test_chains(bench_table):
+    result = bench_table(
+        run_chains,
+        sizes=((20, 5), (40, 8)),
+        n_trials=8,
+        seed=7,
+    )
+    for row in result.rows:
+        serial_ratio, suuc_ratio = row[4], row[6]
+        # SUU-C must beat the serial O(n) floor (with slack for MC noise).
+        assert suuc_ratio <= serial_ratio * 1.25, (
+            f"SUU-C ({suuc_ratio:.2f}) lost to serial ({serial_ratio:.2f})"
+        )

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""MapReduce on unreliable workers (the paper's second motivation).
+
+The dependency graph of a MapReduce computation is a complete bipartite
+DAG — every reducer waits on every mapper — which the paper notes is
+"equivalent to two phases of independent jobs".  This example schedules a
+map phase of 16 tasks and a reduce phase of 8 tasks on 6 unreliable
+workers using :class:`repro.LayeredPolicy` (level-by-level SUU-I-SEM), and
+shows the phase barrier in the simulated execution.
+
+Run:  python examples/mapreduce_phases.py
+"""
+
+import repro
+
+SEED = 11
+
+
+def main() -> None:
+    # Map phase (16 tasks) -> complete bipartite edges -> reduce phase (8).
+    inst = repro.layered_instance([16, 8], 6, "specialist", rng=SEED)
+    print(f"instance: {inst}  (edges: {inst.graph.n_edges})")
+
+    policy = repro.LayeredPolicy()
+    result = repro.run_policy(inst, policy, rng=SEED + 1)
+
+    mappers = range(16)
+    reducers = range(16, 24)
+    map_done = max(result.completion_times[j] for j in mappers)
+    red_start = min(result.completion_times[j] for j in reducers)
+    print(f"makespan: {result.makespan} steps")
+    print(f"last mapper finished at t={map_done}")
+    print(f"first reducer finished at t={red_start} (> {map_done}: phase barrier)")
+    print(f"SEM rounds per completed level: {policy.stats['rounds_per_level']}")
+
+    # Expected makespan vs a per-phase lower bound: the sum of the two
+    # phases' independent-jobs bounds is itself a valid lower bound here,
+    # because every reducer waits for every mapper.
+    stats = repro.estimate_expected_makespan(
+        inst, repro.LayeredPolicy, n_trials=40, rng=SEED + 2
+    )
+    map_inst = repro.SUUInstance(inst.q[:, :16])
+    red_inst = repro.SUUInstance(inst.q[:, 16:])
+    phase_bound = max(
+        repro.lower_bound(map_inst) + repro.lower_bound(red_inst),
+        repro.lower_bound(inst),
+    )
+    print(f"\nE[T] = {stats.mean:.2f}, phase-sum lower bound = {phase_bound:.2f}")
+    print(f"=> measured ratio <= {stats.mean / phase_bound:.2f}")
+
+
+if __name__ == "__main__":
+    main()

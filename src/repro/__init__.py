@@ -1,0 +1,202 @@
+"""repro — Multiprocessor Scheduling Under Uncertainty (SPAA 2008).
+
+A from-scratch reproduction of Crutchfield, Dzunic, Fineman, Karger, and
+Scott, *Improved Approximations for Multiprocessor Scheduling Under
+Uncertainty* (SPAA 2008, arXiv:0802.2418): the SUU problem model and
+simulator, the paper's LP-based approximation algorithms (SUU-I-OBL,
+SUU-I-SEM, SUU-C, SUU-T), the stochastic-scheduling variants of
+Appendix C (STC-I), the Lin–Rajaraman baseline, and the measurement
+harness that reproduces the paper's Table 1 empirically.
+
+Quick start::
+
+    import repro
+
+    inst = repro.independent_instance(50, 10, "specialist", rng=0)
+    stats = repro.estimate_expected_makespan(inst, repro.SUUISemPolicy, 50, rng=1)
+    print(stats.mean, "vs lower bound", repro.lower_bound(inst))
+"""
+
+from repro.analysis import (
+    RatioMeasurement,
+    critical_path_lower_bound,
+    format_markdown_table,
+    format_table,
+    lower_bound,
+    lp1_lower_bound,
+    lp2_lower_bound,
+    measure_ratio,
+    single_job_lower_bound,
+)
+from repro.baselines import (
+    BestMachinePolicy,
+    GreedyLRPolicy,
+    RandomAssignmentPolicy,
+    RoundRobinPolicy,
+    SerialAllMachinesPolicy,
+    exact_policy_expected_makespan,
+    optimal_chains_expected_makespan,
+    optimal_expected_makespan,
+)
+from repro.core import (
+    LayeredPolicy,
+    LP1Relaxation,
+    LP2Relaxation,
+    PAPER_SCALE,
+    SUUCPolicy,
+    SUUIAdaptiveLPPolicy,
+    SUUIOblPolicy,
+    SUUISemPolicy,
+    SUUTPolicy,
+    build_obl_schedule,
+    paper_round_count,
+    round_assignment,
+    round_lp2,
+    solve_lp1,
+    solve_lp2,
+)
+from repro.core.stoch import (
+    estimate_stochastic,
+    serial_fastest_trial,
+    static_mean_trial,
+    stc_i_trial,
+    stochastic_round_count,
+)
+from repro.errors import (
+    DecompositionError,
+    InfeasibleLPError,
+    InvalidInstanceError,
+    ReproError,
+    RoundingError,
+    ScheduleViolationError,
+    SimulationHorizonError,
+)
+from repro.instance import (
+    PrecedenceClass,
+    PrecedenceGraph,
+    StochasticInstance,
+    SUUInstance,
+    chain_instance,
+    decompose_forest,
+    extract_chains,
+    failure_matrix,
+    forest_instance,
+    independent_instance,
+    layered_instance,
+    load_instance,
+    random_dag_instance,
+    save_instance,
+    stochastic_instance,
+    tree_instance,
+)
+from repro.schedule import (
+    IDLE,
+    FiniteObliviousSchedule,
+    IntegralAssignment,
+    Policy,
+    RepeatingObliviousPolicy,
+    SimulationState,
+    congestion_profile,
+    draw_delays,
+)
+from repro.sim import (
+    ExecutionTrace,
+    MakespanStats,
+    SimResult,
+    TracingPolicy,
+    compare_policies,
+    estimate_expected_makespan,
+    render_gantt,
+    run_policy,
+    sample_oblivious_repeat_makespans,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Instances
+    "SUUInstance",
+    "PrecedenceGraph",
+    "PrecedenceClass",
+    "StochasticInstance",
+    "independent_instance",
+    "chain_instance",
+    "tree_instance",
+    "forest_instance",
+    "layered_instance",
+    "random_dag_instance",
+    "stochastic_instance",
+    "failure_matrix",
+    "extract_chains",
+    "decompose_forest",
+    "save_instance",
+    "load_instance",
+    # Core algorithms
+    "SUUIOblPolicy",
+    "SUUISemPolicy",
+    "SUUCPolicy",
+    "SUUTPolicy",
+    "LayeredPolicy",
+    "SUUIAdaptiveLPPolicy",
+    "solve_lp1",
+    "solve_lp2",
+    "round_assignment",
+    "round_lp2",
+    "build_obl_schedule",
+    "paper_round_count",
+    "PAPER_SCALE",
+    "LP1Relaxation",
+    "LP2Relaxation",
+    # Stochastic (Appendix C)
+    "stc_i_trial",
+    "serial_fastest_trial",
+    "static_mean_trial",
+    "estimate_stochastic",
+    "stochastic_round_count",
+    # Baselines
+    "GreedyLRPolicy",
+    "SerialAllMachinesPolicy",
+    "RoundRobinPolicy",
+    "BestMachinePolicy",
+    "RandomAssignmentPolicy",
+    "optimal_expected_makespan",
+    "optimal_chains_expected_makespan",
+    "exact_policy_expected_makespan",
+    # Simulation
+    "run_policy",
+    "estimate_expected_makespan",
+    "compare_policies",
+    "sample_oblivious_repeat_makespans",
+    "SimResult",
+    "MakespanStats",
+    "TracingPolicy",
+    "ExecutionTrace",
+    "render_gantt",
+    "Policy",
+    "SimulationState",
+    "IDLE",
+    "FiniteObliviousSchedule",
+    "RepeatingObliviousPolicy",
+    "IntegralAssignment",
+    "congestion_profile",
+    "draw_delays",
+    # Analysis
+    "lower_bound",
+    "lp1_lower_bound",
+    "lp2_lower_bound",
+    "single_job_lower_bound",
+    "critical_path_lower_bound",
+    "measure_ratio",
+    "RatioMeasurement",
+    "format_table",
+    "format_markdown_table",
+    # Errors
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleLPError",
+    "RoundingError",
+    "ScheduleViolationError",
+    "SimulationHorizonError",
+    "DecompositionError",
+]

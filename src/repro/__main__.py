@@ -1,0 +1,172 @@
+"""Command-line interface: generate, run, and inspect SUU instances.
+
+Usage::
+
+    python -m repro generate --shape chains --jobs 20 --machines 5 \\
+        --model specialist --seed 3 --out inst.json
+    python -m repro run inst.json --policy suu-c --trials 30 --seed 7
+    python -m repro gantt inst.json --policy sem --seed 1
+    python -m repro bound inst.json
+
+Policies: ``obl``, ``sem``, ``adapt``, ``suu-c``, ``suu-t``, ``layered``,
+``greedy``, ``serial``, ``round-robin``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.bounds import lower_bound
+from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.baselines.naive import RoundRobinPolicy, SerialAllMachinesPolicy
+from repro.core.adaptive import SUUIAdaptiveLPPolicy
+from repro.core.layered import LayeredPolicy
+from repro.core.suu_c import SUUCPolicy
+from repro.core.suu_i_obl import SUUIOblPolicy
+from repro.core.suu_i_sem import SUUISemPolicy
+from repro.core.suu_t import SUUTPolicy
+from repro.instance import (
+    chain_instance,
+    forest_instance,
+    independent_instance,
+    layered_instance,
+    load_instance,
+    save_instance,
+    tree_instance,
+)
+from repro.sim.engine import run_policy
+from repro.sim.montecarlo import estimate_expected_makespan
+from repro.sim.trace import TracingPolicy, render_gantt
+
+POLICIES = {
+    "obl": SUUIOblPolicy,
+    "sem": SUUISemPolicy,
+    "adapt": SUUIAdaptiveLPPolicy,
+    "suu-c": SUUCPolicy,
+    "suu-t": SUUTPolicy,
+    "layered": LayeredPolicy,
+    "greedy": GreedyLRPolicy,
+    "serial": SerialAllMachinesPolicy,
+    "round-robin": RoundRobinPolicy,
+}
+
+
+def _cmd_generate(args) -> int:
+    if args.shape == "independent":
+        inst = independent_instance(args.jobs, args.machines, args.model, rng=args.seed)
+    elif args.shape == "chains":
+        inst = chain_instance(
+            args.jobs, args.machines, max(1, args.jobs // 6), args.model, rng=args.seed
+        )
+    elif args.shape == "tree":
+        inst = tree_instance(args.jobs, args.machines, "out", args.model, rng=args.seed)
+    elif args.shape == "forest":
+        inst = forest_instance(
+            args.jobs, args.machines, max(1, args.jobs // 10), "mixed", args.model,
+            rng=args.seed,
+        )
+    elif args.shape == "layered":
+        half = max(1, args.jobs // 2)
+        inst = layered_instance(
+            [half, args.jobs - half or 1], args.machines, args.model, rng=args.seed
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.shape)
+    save_instance(inst, args.out)
+    print(f"wrote {inst} to {args.out}")
+    return 0
+
+
+def _default_policy_for(inst) -> str:
+    cls = inst.precedence_class.value
+    return {
+        "independent": "sem",
+        "chains": "suu-c",
+        "out_forest": "suu-t",
+        "in_forest": "suu-t",
+        "mixed_forest": "suu-t",
+        "general": "layered",
+    }[cls]
+
+
+def _cmd_run(args) -> int:
+    inst = load_instance(args.instance)
+    name = args.policy or _default_policy_for(inst)
+    factory = POLICIES[name]
+    stats = estimate_expected_makespan(
+        inst, factory, args.trials, rng=args.seed, max_steps=args.max_steps
+    )
+    bound = lower_bound(inst)
+    lo, hi = stats.ci95
+    print(f"instance: {inst}")
+    print(f"policy:   {name}")
+    print(f"E[T] = {stats.mean:.3f} steps   95% CI [{lo:.3f}, {hi:.3f}] "
+          f"({args.trials} trials)")
+    print(f"lower bound = {bound:.3f}   measured ratio <= {stats.mean / bound:.3f}")
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    inst = load_instance(args.instance)
+    name = args.policy or _default_policy_for(inst)
+    traced = TracingPolicy(POLICIES[name]())
+    result = run_policy(inst, traced, rng=args.seed, max_steps=args.max_steps)
+    print(f"{inst}  policy={name}  makespan={result.makespan}")
+    print(render_gantt(traced.trace, max_width=args.width,
+                       completion_times=result.completion_times))
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    inst = load_instance(args.instance)
+    print(f"instance: {inst}")
+    print(f"lower bound on E[T_OPT]: {lower_bound(inst):.4f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Multiprocessor scheduling under uncertainty (SPAA 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a random instance")
+    g.add_argument("--shape", choices=["independent", "chains", "tree", "forest", "layered"],
+                   default="independent")
+    g.add_argument("--jobs", type=int, default=20)
+    g.add_argument("--machines", type=int, default=5)
+    g.add_argument("--model", choices=["uniform", "powerlaw", "specialist", "related"],
+                   default="specialist")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    r = sub.add_parser("run", help="estimate a policy's expected makespan")
+    r.add_argument("instance")
+    r.add_argument("--policy", choices=sorted(POLICIES), default=None,
+                   help="default: matched to the precedence class")
+    r.add_argument("--trials", type=int, default=30)
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--max-steps", type=int, default=1_000_000)
+    r.set_defaults(func=_cmd_run)
+
+    ga = sub.add_parser("gantt", help="render one execution as ASCII")
+    ga.add_argument("instance")
+    ga.add_argument("--policy", choices=sorted(POLICIES), default=None)
+    ga.add_argument("--seed", type=int, default=0)
+    ga.add_argument("--width", type=int, default=100)
+    ga.add_argument("--max-steps", type=int, default=1_000_000)
+    ga.set_defaults(func=_cmd_gantt)
+
+    b = sub.add_parser("bound", help="print the provable lower bound")
+    b.add_argument("instance")
+    b.set_defaults(func=_cmd_bound)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

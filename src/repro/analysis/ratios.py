@@ -1,0 +1,73 @@
+"""Empirical approximation-ratio measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import lower_bound
+from repro.instance.instance import SUUInstance
+from repro.sim.engine import DEFAULT_MAX_STEPS
+from repro.sim.montecarlo import estimate_expected_makespan
+from repro.sim.results import MakespanStats
+
+__all__ = ["RatioMeasurement", "measure_ratio"]
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """A policy's measured performance on one instance.
+
+    Attributes
+    ----------
+    ratio:
+        ``mean makespan / lower bound`` — an *upper* estimate of the true
+        approximation ratio (the denominator is a lower bound on
+        ``E[T_OPT]``, not ``E[T_OPT]`` itself).
+    """
+
+    policy_name: str
+    stats: MakespanStats
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        return self.stats.mean / self.bound
+
+    @property
+    def ratio_ci95(self) -> tuple[float, float]:
+        lo, hi = self.stats.ci95
+        return (lo / self.bound, hi / self.bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RatioMeasurement({self.policy_name}: ratio={self.ratio:.3f}, "
+            f"E[T]={self.stats.mean:.2f}, LB={self.bound:.2f})"
+        )
+
+
+def measure_ratio(
+    instance: SUUInstance,
+    policy_factory,
+    n_trials: int,
+    rng=None,
+    *,
+    bound: float | None = None,
+    semantics: str = "suu",
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RatioMeasurement:
+    """Estimate a policy's approximation ratio against the lower bound.
+
+    ``bound`` may be precomputed (it is instance-only, so callers comparing
+    several policies on the same instance should share it).
+    """
+    if bound is None:
+        bound = lower_bound(instance)
+    stats = estimate_expected_makespan(
+        instance,
+        policy_factory,
+        n_trials,
+        rng,
+        semantics=semantics,
+        max_steps=max_steps,
+    )
+    return RatioMeasurement(policy_name=stats.policy_name, stats=stats, bound=bound)

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark suite prints the same rows EXPERIMENTS.md records; a tiny
+fixed-width renderer keeps that output dependency-free and diff-friendly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers, rows, *, title: str | None = None) -> str:
+    """Fixed-width text table.
+
+    ``rows`` is an iterable of sequences matching ``headers`` in length;
+    floats are rendered with three decimals.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers, rows) -> str:
+    """GitHub-flavoured markdown table (used to regenerate EXPERIMENTS.md)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for r in str_rows:
+        lines.append("| " + " | ".join(r) + " |")
+    return "\n".join(lines)

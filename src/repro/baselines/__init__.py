@@ -1,0 +1,35 @@
+"""Baselines: the prior state of the art, naive floors, and exact optima."""
+
+from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.baselines.naive import (
+    BestMachinePolicy,
+    RandomAssignmentPolicy,
+    RoundRobinPolicy,
+    SerialAllMachinesPolicy,
+)
+from repro.baselines.malewicz import (
+    ChainDPResult,
+    optimal_chains_expected_makespan,
+)
+from repro.baselines.optimal import (
+    MAX_DP_JOBS,
+    OptimalResult,
+    enumerate_remaining_sets,
+    exact_policy_expected_makespan,
+    optimal_expected_makespan,
+)
+
+__all__ = [
+    "ChainDPResult",
+    "optimal_chains_expected_makespan",
+    "GreedyLRPolicy",
+    "SerialAllMachinesPolicy",
+    "RoundRobinPolicy",
+    "BestMachinePolicy",
+    "RandomAssignmentPolicy",
+    "optimal_expected_makespan",
+    "exact_policy_expected_makespan",
+    "enumerate_remaining_sets",
+    "OptimalResult",
+    "MAX_DP_JOBS",
+]

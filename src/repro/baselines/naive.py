@@ -1,0 +1,104 @@
+"""Naive scheduling baselines.
+
+These give the sanity floor for every experiment:
+
+* :class:`SerialAllMachinesPolicy` — one eligible job at a time, all
+  machines on it.  The trivial ``O(n)``-approximation the paper uses as a
+  fallback (each job finishes in expected ``O(E[T_OPT])`` time this way,
+  but jobs are serialized).
+* :class:`RoundRobinPolicy` — machine ``i`` takes the ``(t + i)``-th
+  eligible job modulo the eligible count: full parallelism, no awareness of
+  machine quality.
+* :class:`BestMachinePolicy` — every machine independently picks the
+  eligible job it is best at (highest log mass), ties toward lower job id:
+  quality-aware but uncoordinated, so machines pile onto the same jobs.
+* :class:`RandomAssignmentPolicy` — every machine picks a uniformly random
+  eligible job each step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "SerialAllMachinesPolicy",
+    "RoundRobinPolicy",
+    "BestMachinePolicy",
+    "RandomAssignmentPolicy",
+]
+
+
+class SerialAllMachinesPolicy(Policy):
+    """All machines gang up on the first eligible job in topological order."""
+
+    name = "serial-all-machines"
+
+    def start(self, instance, rng) -> None:
+        self._topo = instance.graph.topological_order()
+        self._row = np.empty(instance.n_machines, dtype=np.int64)
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        for j in self._topo:
+            if state.remaining[j] and state.eligible[j]:
+                self._row.fill(j)
+                return self._row
+        return self._idle
+
+
+class RoundRobinPolicy(Policy):
+    """Machine ``i`` runs the ``(t + i) mod k``-th of the ``k`` eligible jobs."""
+
+    name = "round-robin"
+
+    def start(self, instance, rng) -> None:
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+        self._m = instance.n_machines
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        targets = np.nonzero(state.eligible)[0]
+        if targets.size == 0:
+            return self._idle
+        offsets = (state.t + np.arange(self._m)) % targets.size
+        return targets[offsets]
+
+
+class BestMachinePolicy(Policy):
+    """Every machine picks its personal best eligible job (no coordination)."""
+
+    name = "best-machine"
+
+    def start(self, instance, rng) -> None:
+        self._ell = instance.ell
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        targets = np.nonzero(state.eligible)[0]
+        if targets.size == 0:
+            return self._idle
+        sub = self._ell[:, targets]
+        best = np.argmax(sub, axis=1)
+        row = targets[best]
+        useless = sub[np.arange(row.size), best] <= 0.0
+        row[useless] = IDLE
+        return row
+
+
+class RandomAssignmentPolicy(Policy):
+    """Every machine picks a uniformly random eligible job each step."""
+
+    name = "random-assignment"
+
+    def start(self, instance, rng) -> None:
+        self._rng = ensure_rng(rng)
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+        self._m = instance.n_machines
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        targets = np.nonzero(state.eligible)[0]
+        if targets.size == 0:
+            return self._idle
+        return targets[self._rng.integers(0, targets.size, size=self._m)]

@@ -1,0 +1,246 @@
+"""Exact optimal expected makespan for tiny instances.
+
+SUU with the expected-makespan objective is a stochastic shortest-path
+problem over the lattice of *remaining-job sets*: sets ``S`` such that every
+uncompleted job's descendants are also uncompleted (completions respect
+precedence).  Transitions strictly shrink ``S`` except for the self-loop of
+"nothing completed this step", so the Bellman equation solves in one sweep
+over states ordered by cardinality:
+
+    E[S] = min over assignments a of eligible jobs to machines of
+           (1 + sum_{∅ != C ⊆ scheduled} P(C | a) * E[S \\ C]) / (1 - P(∅ | a))
+
+This is the regime of Malewicz's dynamic program (constant machines and
+width); it is exponential in general — we guard with explicit limits and
+use it as ground truth for approximation-ratio measurements on small
+instances (experiment E-OPT).
+
+The same sweep with a *fixed* decision rule instead of the ``min`` gives
+the exact expected makespan of any stationary policy
+(:func:`exact_policy_expected_makespan`), which the tests use to validate
+Monte Carlo estimates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.instance.instance import SUUInstance
+from repro.schedule.base import IDLE, SimulationState
+
+__all__ = [
+    "OptimalResult",
+    "optimal_expected_makespan",
+    "exact_policy_expected_makespan",
+    "enumerate_remaining_sets",
+]
+
+#: Hard cap on job count for the exact DP (2^n states).
+MAX_DP_JOBS: int = 16
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Output of the exact DP.
+
+    Attributes
+    ----------
+    value:
+        ``E[T_OPT]``.
+    policy:
+        Optimal stationary policy: maps remaining-set bitmask to the
+        optimal assignment tuple (one job id per machine).
+    n_states:
+        Number of reachable remaining-sets evaluated.
+    """
+
+    value: float
+    policy: dict[int, tuple[int, ...]]
+    n_states: int
+
+
+def enumerate_remaining_sets(instance: SUUInstance) -> list[int]:
+    """All feasible remaining-set bitmasks, sorted by popcount.
+
+    A set is feasible when the *completed* complement is closed under
+    predecessors, i.e. no uncompleted job has a completed descendant.
+    """
+    n = instance.n_jobs
+    if n > MAX_DP_JOBS:
+        raise ReproError(
+            f"exact DP supports at most {MAX_DP_JOBS} jobs, got {n}"
+        )
+    succ_mask = [0] * n
+    for u, v in instance.graph.edges:
+        succ_mask[u] |= 1 << v
+    # Transitive closure of successor masks (process in reverse topo order).
+    for u in reversed(instance.graph.topological_order()):
+        acc = succ_mask[u]
+        for v in range(n):
+            if succ_mask[u] >> v & 1:
+                acc |= succ_mask[v]
+        succ_mask[u] = acc
+    states = [
+        S
+        for S in range(1 << n)
+        if all(succ_mask[j] & S == succ_mask[j] for j in range(n) if S >> j & 1)
+    ]
+    states.sort(key=lambda S: (bin(S).count("1"), S))
+    return states
+
+
+def _eligible_jobs(instance: SUUInstance, S: int) -> list[int]:
+    n = instance.n_jobs
+    out = []
+    for j in range(n):
+        if not (S >> j & 1):
+            continue
+        if all(not (S >> p & 1) for p in instance.graph.predecessors(j)):
+            out.append(j)
+    return out
+
+
+def _action_success_probs(
+    instance: SUUInstance, eligible: list[int], max_actions: int
+):
+    """Yield deduplicated ``(assignment, jobs, probs)`` triples.
+
+    ``assignment`` maps machines to eligible jobs; actions inducing the same
+    per-job mass vector are collapsed (their transition laws coincide).
+    """
+    m = instance.n_machines
+    count = len(eligible) ** m
+    if count > max_actions:
+        raise ReproError(
+            f"{count} actions at a state exceeds max_actions={max_actions}; "
+            "shrink the instance or raise the limit"
+        )
+    seen: set[tuple] = set()
+    for assignment in itertools.product(eligible, repeat=m):
+        mass: dict[int, float] = {}
+        for i, j in enumerate(assignment):
+            mass[j] = mass.get(j, 0.0) + float(instance.ell[i, j])
+        key = tuple(sorted((j, round(v, 12)) for j, v in mass.items() if v > 0))
+        if key in seen:
+            continue
+        seen.add(key)
+        jobs = [j for j, v in mass.items() if v > 0.0]
+        probs = [float(-np.expm1(-mass[j] * np.log(2.0))) for j in jobs]
+        yield assignment, jobs, probs
+
+
+def _expected_step_value(
+    jobs: list[int], probs: list[float], S: int, values: dict[int, float]
+) -> float | None:
+    """One-step Bellman value ``(1 + sum P(C) E[S\\C]) / (1 - P(∅))``.
+
+    Returns ``None`` when ``P(∅) = 1`` (the action schedules no usable
+    mass, so it can never make progress).
+    """
+    k = len(jobs)
+    p_none = 1.0
+    for p in probs:
+        p_none *= 1.0 - p
+    if p_none >= 1.0:
+        return None
+    acc = 0.0
+    for pattern in range(1, 1 << k):
+        prob = 1.0
+        nxt = S
+        for idx in range(k):
+            if pattern >> idx & 1:
+                prob *= probs[idx]
+                nxt &= ~(1 << jobs[idx])
+            else:
+                prob *= 1.0 - probs[idx]
+        if prob > 0.0:
+            acc += prob * values[nxt]
+    return (1.0 + acc) / (1.0 - p_none)
+
+
+def optimal_expected_makespan(
+    instance: SUUInstance, max_actions: int = 250_000
+) -> OptimalResult:
+    """Solve the exact DP for ``E[T_OPT]`` and the optimal stationary policy."""
+    states = enumerate_remaining_sets(instance)
+    values: dict[int, float] = {0: 0.0}
+    policy: dict[int, tuple[int, ...]] = {}
+    for S in states:
+        if S == 0:
+            continue
+        eligible = _eligible_jobs(instance, S)
+        if not eligible:
+            raise ReproError(f"state {S:b} has no eligible job (cycle?)")
+        best = None
+        best_action = None
+        for assignment, jobs, probs in _action_success_probs(
+            instance, eligible, max_actions
+        ):
+            val = _expected_step_value(jobs, probs, S, values)
+            if val is not None and (best is None or val < best):
+                best = val
+                best_action = assignment
+        if best is None:
+            raise ReproError(
+                f"no action makes progress at state {S:b}; "
+                "instance violates the q_ij < 1 assumption"
+            )
+        values[S] = best
+        policy[S] = best_action
+    full = (1 << instance.n_jobs) - 1
+    return OptimalResult(value=values[full], policy=policy, n_states=len(states))
+
+
+def exact_policy_expected_makespan(instance: SUUInstance, policy) -> float:
+    """Exact ``E[T]`` of a stationary policy on a tiny instance.
+
+    ``policy`` is a started :class:`~repro.schedule.base.Policy` whose
+    decisions depend only on the remaining/eligible sets (its ``assign`` is
+    called with a synthetic state whose ``t`` is 0 and whose accrued mass is
+    zero; time- or mass-dependent policies would make the sweep unsound and
+    must use Monte Carlo instead).
+    """
+    n = instance.n_jobs
+    states = enumerate_remaining_sets(instance)
+    values: dict[int, float] = {0: 0.0}
+    for S in states:
+        if S == 0:
+            continue
+        remaining = np.array([(S >> j) & 1 == 1 for j in range(n)])
+        indeg = np.array(
+            [
+                sum(1 for p in instance.graph.predecessors(j) if S >> p & 1)
+                for j in range(n)
+            ]
+        )
+        eligible = remaining & (indeg == 0)
+        state = SimulationState(
+            t=0,
+            remaining=remaining,
+            eligible=eligible,
+            mass_accrued=np.zeros(n),
+        )
+        row = np.asarray(policy.assign(state))
+        mass: dict[int, float] = {}
+        for i, j in enumerate(row):
+            j = int(j)
+            if j == IDLE:
+                continue
+            if not remaining[j]:
+                continue
+            if not eligible[j]:
+                raise ReproError(f"policy assigned ineligible job {j} at {S:b}")
+            mass[j] = mass.get(j, 0.0) + float(instance.ell[i, j])
+        jobs = [j for j, v in mass.items() if v > 0.0]
+        probs = [float(-np.expm1(-mass[j] * np.log(2.0))) for j in jobs]
+        val = _expected_step_value(jobs, probs, S, values)
+        if val is None:
+            raise ReproError(
+                f"policy makes no progress at state {S:b}; E[T] is infinite"
+            )
+        values[S] = val
+    return values[(1 << n) - 1]

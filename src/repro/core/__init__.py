@@ -1,0 +1,29 @@
+"""The paper's algorithms: LP formulations, roundings, and policies."""
+
+from repro.core.adaptive import SUUIAdaptiveLPPolicy
+from repro.core.layered import LayeredPolicy
+from repro.core.lp1 import LP1Relaxation, solve_lp1
+from repro.core.lp2 import LP2Relaxation, round_lp2, solve_lp2
+from repro.core.rounding import PAPER_SCALE, round_assignment
+from repro.core.suu_c import SUUCPolicy
+from repro.core.suu_i_obl import SUUIOblPolicy, build_obl_schedule
+from repro.core.suu_i_sem import SUUISemPolicy, paper_round_count
+from repro.core.suu_t import SUUTPolicy
+
+__all__ = [
+    "SUUIAdaptiveLPPolicy",
+    "LP1Relaxation",
+    "solve_lp1",
+    "LP2Relaxation",
+    "solve_lp2",
+    "round_lp2",
+    "round_assignment",
+    "PAPER_SCALE",
+    "SUUIOblPolicy",
+    "build_obl_schedule",
+    "SUUISemPolicy",
+    "paper_round_count",
+    "SUUCPolicy",
+    "SUUTPolicy",
+    "LayeredPolicy",
+]

@@ -1,0 +1,134 @@
+"""(LP1): the independent-jobs linear program (Section 3).
+
+For a job subset ``J'`` and log-mass target ``L``::
+
+    minimize t
+    s.t.  sum_i l'_ij x_ij >= L     for every j in J'   (mass)
+          sum_j x_ij <= t           for every machine i (load)
+          x_ij >= 0
+
+with ``l'_ij = min(l_ij, L)`` (the capping that makes the rounding's
+grouping argument work; it changes nothing for integral solutions).  The
+paper's (LP1) additionally requires integrality; we solve the relaxation
+here and round it in :mod:`repro.core.rounding` (Lemma 2).
+
+``t_LP1(J, 1/2) / 2`` is a valid lower bound on ``E[T_OPT]`` (Lemma 1's
+proof applies verbatim to the relaxation, since the optimal schedule's
+realized allocation is feasible for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.instance.instance import SUUInstance
+from repro.lp.model import LinearProgram
+from repro.util.logmass import capped_logmass
+
+__all__ = ["LP1Relaxation", "solve_lp1"]
+
+#: Entries of the capped log-mass matrix below this are treated as zero
+#: (the machine contributes nothing usable to the job).
+MASS_EPS: float = 2.0**-60
+
+
+@dataclass(frozen=True)
+class LP1Relaxation:
+    """An optimal fractional solution of (LP1).
+
+    Attributes
+    ----------
+    x:
+        Fractional assignment, shape ``(m, n)``; columns of jobs outside
+        ``jobs`` are zero.
+    t_star:
+        The optimal relaxation value ``t*`` (a load bound).
+    jobs:
+        The job subset ``J'``.
+    target:
+        The mass target ``L``.
+    ell_capped:
+        The capped matrix ``l' = min(l, L)`` used in the mass constraints.
+    """
+
+    x: np.ndarray
+    t_star: float
+    jobs: tuple[int, ...]
+    target: float
+    ell_capped: np.ndarray
+
+    def mass_per_job(self) -> np.ndarray:
+        """Capped mass each job receives: ``sum_i l'_ij x_ij``."""
+        return (self.x * self.ell_capped).sum(axis=0)
+
+
+def solve_lp1(
+    instance: SUUInstance, jobs=None, target: float = 0.5
+) -> LP1Relaxation:
+    """Solve the (LP1) relaxation for ``jobs`` (default: all) at ``target``.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If some requested job has no machine with positive log mass (such a
+        job can never meet any positive target).
+    """
+    if target <= 0:
+        raise ValueError(f"target L must be positive, got {target}")
+    n, m = instance.n_jobs, instance.n_machines
+    if jobs is None:
+        job_list = list(range(n))
+    else:
+        job_list = sorted({int(j) for j in jobs})
+        if job_list and not (0 <= job_list[0] and job_list[-1] < n):
+            raise ValueError(f"job ids out of range for {n} jobs")
+    ell_capped = capped_logmass(instance.ell, target)
+
+    if not job_list:
+        return LP1Relaxation(
+            x=np.zeros((m, n)),
+            t_star=0.0,
+            jobs=(),
+            target=float(target),
+            ell_capped=ell_capped,
+        )
+
+    lp = LinearProgram()
+    t_var = lp.add_variable(objective=1.0)
+    var_of: dict[tuple[int, int], int] = {}
+    for j in job_list:
+        usable = np.nonzero(ell_capped[:, j] > MASS_EPS)[0]
+        if usable.size == 0:
+            raise InvalidInstanceError(
+                f"job {j} has no machine with positive log mass"
+            )
+        for i in usable:
+            var_of[(int(i), j)] = lp.add_variable(objective=0.0)
+
+    for j in job_list:
+        coeffs = {
+            var: float(ell_capped[i, jj])
+            for (i, jj), var in var_of.items()
+            if jj == j
+        }
+        lp.add_ge(coeffs, float(target))
+    for i in range(m):
+        coeffs = {var: 1.0 for (ii, _), var in var_of.items() if ii == i}
+        if coeffs:
+            coeffs[t_var] = -1.0
+            lp.add_le(coeffs, 0.0)
+
+    sol = lp.solve()
+    x = np.zeros((m, n), dtype=np.float64)
+    for (i, j), var in var_of.items():
+        x[i, j] = max(0.0, sol.x[var])
+    return LP1Relaxation(
+        x=x,
+        t_star=float(sol.value),
+        jobs=tuple(job_list),
+        target=float(target),
+        ell_capped=ell_capped,
+    )

@@ -1,0 +1,150 @@
+"""(LP2): the disjoint-chains linear program (Section 4).
+
+For chains ``{C_1, ..., C_z}``::
+
+    minimize t
+    s.t.  sum_i l'_ij x_ij >= 1      for every job j          (mass)
+          sum_j x_ij <= t            for every machine i      (load)
+          sum_{j in C_k} d_j <= t    for every chain C_k      (chain length)
+          0 <= x_ij <= d_j           for every i, j
+          d_j >= 1                   for every j
+
+with ``l' = min(l, 1)``.  ``t_LP2`` lower-bounds ``2 E[T_OPT]`` (Lemma 5 /
+the U-subset argument in DESIGN.md), and the Lemma 6 rounding turns the
+fractional solution into an integral assignment whose *load* and *length*
+are both ``O(t_LP2)``: machine loads at most ``ceil(6 t*)`` and per-job
+lengths ``d̂_j <= ceil(6 d*_j)``, so each chain's total length grows by at
+most a factor 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lp1 import LP1Relaxation, MASS_EPS
+from repro.core.rounding import PAPER_SCALE, round_assignment
+from repro.errors import InvalidInstanceError
+from repro.instance.instance import SUUInstance
+from repro.lp.model import LinearProgram
+from repro.schedule.base import IntegralAssignment
+from repro.util.logmass import capped_logmass
+
+__all__ = ["LP2Relaxation", "solve_lp2", "round_lp2"]
+
+
+@dataclass(frozen=True)
+class LP2Relaxation:
+    """An optimal fractional solution of (LP2).
+
+    Attributes
+    ----------
+    x:
+        Fractional assignment, shape ``(m, n)``.
+    d:
+        Fractional job lengths ``d*_j`` (shape ``(n,)``), each >= 1.
+    t_star:
+        Optimal value (bounds both machine loads and chain lengths).
+    chains:
+        The chains the program was built for.
+    ell_capped:
+        ``l' = min(l, 1)``.
+    """
+
+    x: np.ndarray
+    d: np.ndarray
+    t_star: float
+    chains: tuple[tuple[int, ...], ...]
+    ell_capped: np.ndarray
+
+    def as_lp1(self) -> LP1Relaxation:
+        """Project onto the (LP1) shape consumed by the shared rounding."""
+        jobs = tuple(sorted(j for chain in self.chains for j in chain))
+        return LP1Relaxation(
+            x=self.x,
+            t_star=self.t_star,
+            jobs=jobs,
+            target=1.0,
+            ell_capped=self.ell_capped,
+        )
+
+
+def solve_lp2(instance: SUUInstance, chains) -> LP2Relaxation:
+    """Solve the (LP2) relaxation for the given chains.
+
+    ``chains`` must partition a subset of jobs (each an ordered job list);
+    jobs outside all chains are ignored (used by SUU-T, which calls this
+    block by block).
+    """
+    n, m = instance.n_jobs, instance.n_machines
+    chains = tuple(tuple(int(j) for j in chain) for chain in chains)
+    covered = [j for chain in chains for j in chain]
+    if len(set(covered)) != len(covered):
+        raise InvalidInstanceError("chains overlap")
+    if not covered:
+        raise InvalidInstanceError("no jobs in any chain")
+    if min(covered) < 0 or max(covered) >= n:
+        raise InvalidInstanceError("chain job ids out of range")
+
+    ell_capped = capped_logmass(instance.ell, 1.0)
+
+    lp = LinearProgram()
+    t_var = lp.add_variable(objective=1.0)
+    d_var: dict[int, int] = {j: lp.add_variable(objective=0.0, lb=1.0) for j in covered}
+    var_of: dict[tuple[int, int], int] = {}
+    for j in covered:
+        usable = np.nonzero(ell_capped[:, j] > MASS_EPS)[0]
+        if usable.size == 0:
+            raise InvalidInstanceError(f"job {j} has no machine with positive log mass")
+        for i in usable:
+            var_of[(int(i), j)] = lp.add_variable(objective=0.0)
+
+    # Mass constraints (4).
+    for j in covered:
+        coeffs = {
+            var: float(ell_capped[i, jj]) for (i, jj), var in var_of.items() if jj == j
+        }
+        lp.add_ge(coeffs, 1.0)
+    # Machine loads (5).
+    for i in range(m):
+        coeffs = {var: 1.0 for (ii, _), var in var_of.items() if ii == i}
+        if coeffs:
+            coeffs[t_var] = -1.0
+            lp.add_le(coeffs, 0.0)
+    # Chain lengths (6).
+    for chain in chains:
+        coeffs = {d_var[j]: 1.0 for j in chain}
+        coeffs[t_var] = -1.0
+        lp.add_le(coeffs, 0.0)
+    # x_ij <= d_j (7).
+    for (i, j), var in var_of.items():
+        lp.add_le({var: 1.0, d_var[j]: -1.0}, 0.0)
+
+    sol = lp.solve()
+    x = np.zeros((m, n), dtype=np.float64)
+    for (i, j), var in var_of.items():
+        x[i, j] = max(0.0, sol.x[var])
+    d = np.zeros(n, dtype=np.float64)
+    for j, var in d_var.items():
+        d[j] = max(1.0, sol.x[var])
+    return LP2Relaxation(
+        x=x, d=d, t_star=float(sol.value), chains=chains, ell_capped=ell_capped
+    )
+
+
+def round_lp2(
+    relaxation: LP2Relaxation, scale: int = PAPER_SCALE
+) -> IntegralAssignment:
+    """Lemma 6 rounding: Lemma 2's flow with per-job arc caps ``ceil(scale d*_j)``.
+
+    The returned assignment has mass >= 1 per job, load <= ``ceil(scale
+    t*)`` and lengths ``d̂_j <= ceil(scale d*_j)``, so every chain's length
+    is at most ``(scale + 1) t*``.
+    """
+    caps = np.zeros(relaxation.d.shape[0], dtype=np.int64)
+    for chain in relaxation.chains:
+        for j in chain:
+            caps[j] = int(math.ceil(scale * relaxation.d[j]))
+    return round_assignment(relaxation.as_lp1(), scale=scale, per_job_caps=caps)

@@ -1,0 +1,242 @@
+"""STC-I: stochastic scheduling with exponential job lengths (Appendix C).
+
+``R | pmtn, p_j ~ exp(lambda_j) | E[Cmax]``: job lengths are hidden
+exponential draws; only the rates are known.  STC-I mirrors SUU-I-SEM's
+structure — ``K = ceil(log log n) + 3`` oblivious rounds with *doubling*
+length guesses ``2^(k-2) / lambda_j``, each round an (optimal)
+Lawler–Labetoulle preemptive schedule for the guessed deterministic
+lengths, followed by a serial fastest-machine fallback for stragglers.
+Theorem 13: ``E[T_STC-I] = O(E[T_OPT] * log log n)``.
+
+The *restart* variant (``R | restart, p_j~stoch | E[Cmax]``) replaces each
+round's preemptive schedule with a non-preemptive LST assignment for
+``R||Cmax`` — a job must run on one machine per attempt but may restart on
+a different machine next round.
+
+Per-trial lower bound: the realized preemptive optimum ``C*(p)`` (the LL
+LP value at the realized lengths) satisfies ``E[T_OPT] >= E[C*(p)]``, which
+the harness uses as the ratio denominator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instance.generators import StochasticInstance
+from repro.sim.results import MakespanStats
+from repro.stochastic.lawler_labetoulle import decompose_timetable, solve_r_pmtn_cmax
+from repro.stochastic.lst import solve_r_cmax_lst
+from repro.stochastic.sim import execute_timetable
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "stochastic_round_count",
+    "STCITrial",
+    "stc_i_trial",
+    "serial_fastest_trial",
+    "static_mean_trial",
+    "estimate_stochastic",
+    "realized_preemptive_optimum",
+]
+
+
+def stochastic_round_count(n_jobs: int) -> int:
+    """``K = ceil(log2 log2 n) + 3`` with small-``n`` guards."""
+    if n_jobs <= 2:
+        return 3
+    return int(math.ceil(math.log2(math.log2(n_jobs)))) + 3
+
+
+@dataclass(frozen=True)
+class STCITrial:
+    """One STC-I execution.
+
+    Attributes
+    ----------
+    makespan:
+        Completion time of the last job.
+    rounds_used:
+        Number of doubling rounds started.
+    fallback:
+        Whether the serial fastest-machine fallback ran.
+    """
+
+    makespan: float
+    rounds_used: int
+    fallback: bool
+
+
+def _fallback_serial(work: np.ndarray, speeds: np.ndarray) -> float:
+    """Serial fastest-machine time for the remaining work."""
+    alive = np.nonzero(work > 0)[0]
+    if alive.size == 0:
+        return 0.0
+    best = speeds[:, alive].max(axis=0)
+    return float((work[alive] / best).sum())
+
+
+def stc_i_trial(
+    instance: StochasticInstance,
+    realized: np.ndarray,
+    *,
+    variant: str = "pmtn",
+    n_rounds: int | None = None,
+) -> STCITrial:
+    """Run one STC-I execution against realized lengths ``realized``.
+
+    ``variant="pmtn"`` uses Lawler–Labetoulle rounds (Theorem 13);
+    ``"restart"`` uses LST ``R||Cmax`` rounds.
+    """
+    if variant not in ("pmtn", "restart"):
+        raise ValueError(f"unknown variant {variant!r}")
+    speeds = instance.speeds
+    rates = instance.rates
+    n = instance.n_jobs
+    work = np.array(realized, dtype=np.float64)
+    if work.shape != (n,):
+        raise ValueError(f"realized lengths must have shape ({n},)")
+    K = n_rounds if n_rounds is not None else stochastic_round_count(n)
+
+    elapsed = 0.0
+    rounds_used = 0
+    for k in range(1, K + 1):
+        alive = np.nonzero(work > 0)[0]
+        if alive.size == 0:
+            return STCITrial(makespan=elapsed, rounds_used=rounds_used, fallback=False)
+        rounds_used = k
+        guesses = np.zeros(n, dtype=np.float64)
+        guesses[alive] = 2.0 ** (k - 2) / rates[alive]
+        if variant == "pmtn":
+            c_star, X = solve_r_pmtn_cmax(speeds, guesses)
+            timetable = decompose_timetable(X, c_star)
+        else:
+            sub_speeds = speeds[:, alive]
+            assignment, _ = solve_r_cmax_lst(sub_speeds, guesses[alive])
+            timetable = _assignment_timetable(
+                assignment, sub_speeds, guesses[alive], alive, n, speeds.shape[0]
+            )
+        outcome = execute_timetable(timetable, speeds, work)
+        work = outcome.remaining_work
+        elapsed += outcome.elapsed
+
+    if (work > 0).any():
+        elapsed += _fallback_serial(work, speeds)
+        return STCITrial(makespan=elapsed, rounds_used=rounds_used, fallback=True)
+    return STCITrial(makespan=elapsed, rounds_used=rounds_used, fallback=False)
+
+
+def _assignment_timetable(assignment, sub_speeds, sub_lengths, alive, n, m):
+    """Timetable for a one-machine-per-job assignment (sequential slots).
+
+    Encoded as global segments: at every event time some machine moves to
+    its next job, so we sweep slot boundaries and emit constant-assignment
+    segments (fine for the modest round sizes STC-I solves).
+    """
+    from repro.stochastic.lawler_labetoulle import PreemptiveTimetable
+
+    # Per machine: list of (global job, processing time).
+    queues: list[list[tuple[int, float]]] = [[] for _ in range(m)]
+    for idx, j in enumerate(alive):
+        i = int(assignment[idx])
+        v = sub_speeds[i, idx]
+        queues[i].append((int(j), float(sub_lengths[idx] / v)))
+    # Event sweep.
+    boundaries = {0.0}
+    starts: list[list[float]] = [[] for _ in range(m)]
+    for i in range(m):
+        t = 0.0
+        for _, dur in queues[i]:
+            starts[i].append(t)
+            t += dur
+            boundaries.add(t)
+    times = sorted(boundaries)
+    segments = []
+    for a, b in zip(times[:-1], times[1:]):
+        mid = 0.5 * (a + b)
+        row = [-1] * m
+        for i in range(m):
+            for (j, dur), st in zip(queues[i], starts[i]):
+                if st <= mid < st + dur:
+                    row[i] = j
+                    break
+        segments.append((b - a, tuple(row)))
+    makespan = times[-1] if times else 0.0
+    return PreemptiveTimetable(segments=tuple(segments), makespan=float(makespan))
+
+
+def serial_fastest_trial(
+    instance: StochasticInstance, realized: np.ndarray
+) -> STCITrial:
+    """Baseline: run every job, in order, on its fastest machine."""
+    work = np.asarray(realized, dtype=np.float64)
+    return STCITrial(
+        makespan=_fallback_serial(work, instance.speeds),
+        rounds_used=0,
+        fallback=True,
+    )
+
+
+def static_mean_trial(
+    instance: StochasticInstance,
+    realized: np.ndarray,
+    *,
+    max_repeats: int = 64,
+) -> STCITrial:
+    """Baseline: repeat the mean-length LL schedule (no doubling).
+
+    The analogue of SUU-I-OBL: every repetition targets lengths
+    ``1/lambda_j`` for the remaining jobs, so stragglers with realized
+    length ``c / lambda_j`` need ``~c`` repetitions — an ``O(log n)``-style
+    strategy that the doubling rounds of STC-I beat.
+    """
+    speeds = instance.speeds
+    work = np.array(realized, dtype=np.float64)
+    elapsed = 0.0
+    for _ in range(max_repeats):
+        alive = np.nonzero(work > 0)[0]
+        if alive.size == 0:
+            return STCITrial(makespan=elapsed, rounds_used=0, fallback=False)
+        guesses = np.zeros_like(work)
+        guesses[alive] = 1.0 / instance.rates[alive]
+        c_star, X = solve_r_pmtn_cmax(speeds, guesses)
+        outcome = execute_timetable(decompose_timetable(X, c_star), speeds, work)
+        work = outcome.remaining_work
+        elapsed += outcome.elapsed
+    elapsed += _fallback_serial(work, speeds)
+    return STCITrial(makespan=elapsed, rounds_used=0, fallback=True)
+
+
+def realized_preemptive_optimum(
+    instance: StochasticInstance, realized: np.ndarray
+) -> float:
+    """``C*(p)``: the preemptive optimum for the realized lengths."""
+    c_star, _ = solve_r_pmtn_cmax(instance.speeds, np.asarray(realized, float))
+    return c_star
+
+
+def estimate_stochastic(
+    instance: StochasticInstance,
+    trial_fn,
+    n_trials: int,
+    rng=None,
+) -> tuple[MakespanStats, MakespanStats]:
+    """Monte Carlo: run ``trial_fn(instance, realized)`` per trial.
+
+    Returns ``(makespans, realized_lower_bounds)`` over shared length
+    draws, so ratios can be formed pathwise.
+    """
+    rng = ensure_rng(rng)
+    samples = np.empty(n_trials, dtype=np.float64)
+    bounds = np.empty(n_trials, dtype=np.float64)
+    name = getattr(trial_fn, "__name__", "stochastic-policy")
+    for t in range(n_trials):
+        realized = instance.sample_lengths(rng)
+        samples[t] = trial_fn(instance, realized).makespan
+        bounds[t] = realized_preemptive_optimum(instance, realized)
+    return (
+        MakespanStats(samples=samples, policy_name=name),
+        MakespanStats(samples=bounds, policy_name="realized-LL-optimum"),
+    )

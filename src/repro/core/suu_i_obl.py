@@ -1,0 +1,74 @@
+"""SUU-I-OBL: the oblivious ``O(log n)``-approximation (Theorem 3).
+
+Solve (LP1) at target ``L = 1/2`` over all jobs, round (Lemma 2), lay the
+integral assignment out as a finite oblivious schedule of length
+``O(E[T_OPT])``, and repeat that schedule until every job completes.  Each
+pass gives every job log mass at least ``1/2``, hence success probability
+at least ``1 - 2**-0.5 ~ 0.29``; Chernoff plus a union bound give
+completion within ``O(log n)`` passes with high probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lp1 import solve_lp1
+from repro.core.rounding import PAPER_SCALE, round_assignment
+from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.oblivious import FiniteObliviousSchedule
+
+__all__ = ["SUUIOblPolicy", "build_obl_schedule"]
+
+
+def build_obl_schedule(
+    instance, jobs=None, target: float = 0.5, scale: int = PAPER_SCALE
+) -> FiniteObliviousSchedule:
+    """The single-pass oblivious schedule of SUU-I-OBL.
+
+    Exposed separately because SUU-I-SEM's rounds and the exact
+    oblivious-repeat sampler both reuse it.
+    """
+    relaxation = solve_lp1(instance, jobs=jobs, target=target)
+    assignment = round_assignment(relaxation, scale=scale)
+    return FiniteObliviousSchedule.from_assignment(assignment)
+
+
+class SUUIOblPolicy(Policy):
+    """Repeat the rounded LP1(J, 1/2) schedule until all jobs complete.
+
+    Parameters
+    ----------
+    target:
+        Per-pass log-mass target ``L`` (paper: 1/2).
+    scale:
+        Lemma 2 rounding scale (paper: 6).
+    jobs:
+        Optional job subset (used when embedded in other algorithms);
+        machines idle once every covered job has completed.
+    """
+
+    name = "SUU-I-OBL"
+
+    def __init__(self, target: float = 0.5, scale: int = PAPER_SCALE, jobs=None):
+        self.target = float(target)
+        self.scale = int(scale)
+        self.jobs = None if jobs is None else tuple(sorted(set(int(j) for j in jobs)))
+        self._schedule: FiniteObliviousSchedule | None = None
+        self._step = 0
+        self._idle: np.ndarray | None = None
+
+    def start(self, instance, rng) -> None:
+        self._schedule = build_obl_schedule(
+            instance, jobs=self.jobs, target=self.target, scale=self.scale
+        )
+        self._step = 0
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        if self._schedule is None:
+            raise RuntimeError("policy used before start()")
+        if self._schedule.length == 0:
+            return self._idle
+        row = self._schedule.assignment_at(self._step % self._schedule.length)
+        self._step += 1
+        return row

@@ -1,0 +1,124 @@
+"""SUU-T: directed-forest precedence via chain blocks (Appendix B, Thm 12).
+
+Decompose the forest into ``O(log n)`` blocks of vertex-disjoint chains
+(:mod:`repro.instance.decomposition`), then run SUU-C once per block,
+sequentially.  Sequential block execution is precedence-safe: every
+predecessor of a job in block ``b`` lies in an earlier block or earlier in
+the same chain, so while block ``b`` runs, chain-internal eligibility is
+exactly true eligibility.
+
+Each block is executed on a *sub-instance* (the block's jobs relabelled
+``0..k-1`` with the chain edges), and the sub-policy's assignments are
+translated back to global job ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rounding import PAPER_SCALE
+from repro.core.suu_c import SUUCPolicy
+from repro.errors import ReproError
+from repro.instance.decomposition import decompose_forest
+from repro.instance.instance import SUUInstance
+from repro.instance.precedence import PrecedenceGraph
+from repro.schedule.base import IDLE, Policy, SimulationState
+
+__all__ = ["SUUTPolicy"]
+
+
+class SUUTPolicy(Policy):
+    """Forest precedence: sequential SUU-C over heavy-path chain blocks.
+
+    Parameters are forwarded to the per-block :class:`SUUCPolicy`.
+
+    Attributes
+    ----------
+    stats:
+        ``n_blocks`` plus the per-block SUU-C stats of the last execution.
+    """
+
+    name = "SUU-T"
+
+    def __init__(self, scale: int = PAPER_SCALE, **suu_c_kwargs):
+        self.scale = int(scale)
+        self.suu_c_kwargs = dict(suu_c_kwargs)
+        self.stats: dict = {}
+        self._instance = None
+
+    def start(self, instance, rng) -> None:
+        self._instance = instance
+        self._rng = rng
+        blocks = decompose_forest(instance.graph)
+        self._blocks = blocks
+        self._block_idx = -1
+        self._sub_policy: SUUCPolicy | None = None
+        self._sub_jobs: np.ndarray | None = None
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+        self._sub_t = 0
+        self.stats = {"n_blocks": len(blocks), "blocks": []}
+
+    def _start_block(self, b: int) -> None:
+        """Build the block's sub-instance and a fresh SUU-C policy for it."""
+        block = self._blocks[b]
+        jobs = sorted(j for chain in block for j in chain)
+        index = {j: k for k, j in enumerate(jobs)}
+        edges = [
+            (index[chain[k]], index[chain[k + 1]])
+            for chain in block
+            for k in range(len(chain) - 1)
+        ]
+        sub_q = self._instance.q[:, jobs]
+        sub_inst = SUUInstance(sub_q, PrecedenceGraph(len(jobs), edges))
+        policy = SUUCPolicy(scale=self.scale, **self.suu_c_kwargs)
+        policy.start(sub_inst, self._rng.spawn(1)[0])
+        self._sub_policy = policy
+        self._sub_instance = sub_inst
+        self._sub_jobs = np.asarray(jobs, dtype=np.int64)
+        self._sub_t = 0
+        self._block_idx = b
+
+    def _sub_state(self, state: SimulationState) -> SimulationState:
+        """Project the global simulation state onto the block's jobs."""
+        jobs = self._sub_jobs
+        remaining = state.remaining[jobs]
+        indeg = self._sub_instance.graph.in_degree_array()
+        # Chain predecessors: eligible when the (unique) predecessor is done.
+        eligible = remaining.copy()
+        for u, v in self._sub_instance.graph.edges:
+            if remaining[u]:
+                eligible[v] = False
+        del indeg
+        return SimulationState(
+            t=self._sub_t,
+            remaining=remaining,
+            eligible=eligible,
+            mass_accrued=state.mass_accrued[jobs],
+        )
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        if self._instance is None:
+            raise RuntimeError("policy used before start()")
+        # Advance to the first block with uncompleted jobs.
+        while True:
+            if self._sub_policy is not None and bool(
+                state.remaining[self._sub_jobs].any()
+            ):
+                break
+            if self._sub_policy is not None:
+                self.stats["blocks"].append(dict(self._sub_policy.stats))
+            nxt = self._block_idx + 1
+            if nxt >= len(self._blocks):
+                if state.remaining.any():
+                    raise ReproError(
+                        "SUU-T exhausted all blocks with jobs remaining"
+                    )
+                return self._idle
+            self._start_block(nxt)
+
+        sub_row = self._sub_policy.assign(self._sub_state(state))
+        self._sub_t += 1
+        row = self._idle.copy()
+        active = sub_row >= 0
+        row[active] = self._sub_jobs[sub_row[active]]
+        return row

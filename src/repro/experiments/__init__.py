@@ -1,0 +1,63 @@
+"""Experiment harness: one runner per DESIGN.md experiment id.
+
+``python -m repro.experiments`` executes every experiment at its default
+(full) configuration and rewrites the measured-results section of
+EXPERIMENTS.md; the benchmark suite runs the same functions at reduced
+sizes and prints their tables.
+"""
+
+from repro.experiments.adaptive_exp import run_adaptive
+from repro.experiments.chains import run_chains, run_delay, run_segments_ablation
+from repro.experiments.common import ExperimentResult
+from repro.experiments.competitive import run_competitive
+from repro.experiments.equivalence import run_equivalence
+from repro.experiments.independent import (
+    run_lp_rounding,
+    run_obl_scaling,
+    run_rounds_ablation,
+    run_sem_scaling,
+)
+from repro.experiments.optimal_exp import run_opt_tiny
+from repro.experiments.rounding_ablation import run_rounding_ablation
+from repro.experiments.stochastic_exp import run_stochastic
+from repro.experiments.table1 import run_table1
+from repro.experiments.trees import run_trees
+
+#: Registry of every experiment runner, keyed by DESIGN.md experiment id.
+ALL_EXPERIMENTS = {
+    "T1": run_table1,
+    "E-OBL": run_obl_scaling,
+    "E-SEM": run_sem_scaling,
+    "E-LP1": run_lp_rounding,
+    "E-CHAIN": run_chains,
+    "E-DELAY": run_delay,
+    "E-TREE": run_trees,
+    "E-EQUIV": run_equivalence,
+    "E-STOCH": run_stochastic,
+    "E-OPT": run_opt_tiny,
+    "E-COMP": run_competitive,
+    "A-ROUND": run_rounding_ablation,
+    "A-ROUNDS": run_rounds_ablation,
+    "A-SEG": run_segments_ablation,
+    "A-ADAPT": run_adaptive,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "run_table1",
+    "run_competitive",
+    "run_adaptive",
+    "run_obl_scaling",
+    "run_sem_scaling",
+    "run_lp_rounding",
+    "run_chains",
+    "run_delay",
+    "run_trees",
+    "run_equivalence",
+    "run_stochastic",
+    "run_opt_tiny",
+    "run_rounding_ablation",
+    "run_rounds_ablation",
+    "run_segments_ablation",
+]

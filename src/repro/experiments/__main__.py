@@ -1,0 +1,58 @@
+"""Run every experiment and print (or save) the result tables.
+
+Usage::
+
+    python -m repro.experiments            # run all, print tables
+    python -m repro.experiments T1 E-SEM   # run a subset
+    python -m repro.experiments --markdown results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's Table 1 and per-theorem experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help=f"experiment ids to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="also write the tables as markdown to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in ids if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    blocks = []
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        result = ALL_EXPERIMENTS[exp_id]()
+        dt = time.perf_counter() - t0
+        print(result.to_text())
+        print(f"  ({dt:.1f}s)\n")
+        blocks.append(result.to_markdown())
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("\n\n".join(blocks) + "\n")
+        print(f"wrote markdown tables to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Shared plumbing for the experiment harness.
+
+Every experiment in DESIGN.md's per-experiment index is a function in this
+package returning an :class:`ExperimentResult` (headers + rows + notes).
+The benchmark suite times the *quick* configurations and prints the rows;
+``python -m repro.experiments`` runs the *full* configurations and rewrites
+the results section of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_markdown_table, format_table
+
+__all__ = ["ExperimentResult", "loglog", "safe_log2"]
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular output of one experiment."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        """Append one row (must match ``headers`` in length)."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"{self.exp_id}: row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(row))
+
+    def to_text(self) -> str:
+        """Fixed-width rendering (printed by the benchmarks)."""
+        out = format_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (embedded in EXPERIMENTS.md)."""
+        parts = [f"### {self.exp_id} — {self.title}", ""]
+        parts.append(format_markdown_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"*{n}*" for n in self.notes)
+        return "\n".join(parts)
+
+
+def safe_log2(v: float) -> float:
+    """``log2(max(v, 2))`` — the guard used in all the paper's factors."""
+    return math.log2(max(float(v), 2.0))
+
+
+def loglog(v: float) -> float:
+    """``log2 log2 v`` with the same guard."""
+    return safe_log2(safe_log2(v))

@@ -1,0 +1,139 @@
+"""E-COMP: the competitive-analysis view behind Theorem 4 (Section 3).
+
+The paper's SEM analysis is a competitive argument: fix the hidden input
+``{r_j}`` (equivalently the thresholds ``theta_j = -log2 r_j``), and
+compare the online algorithm's makespan against the *offline* optimum OFF
+that knows the thresholds.  OFF must deliver at least ``theta_j`` mass to
+each job, so ``t*_LP1`` with per-job mass targets ``theta_j`` lower-bounds
+``T_OFF(theta)``.
+
+This experiment draws threshold profiles — including adversarial
+point-mass profiles far in the exponential's tail — runs SEM (and
+baselines) on the *fixed* thresholds via the SUU* engine, and reports
+``makespan / offline LP bound``.  Theorem 4's proof predicts the SEM column
+stays bounded by ``O(K)`` uniformly over threshold profiles; an oblivious
+O(log n) algorithm degrades as thresholds grow (it keeps delivering
+round-1-sized doses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.suu_i_obl import SUUIOblPolicy
+from repro.core.suu_i_sem import SUUISemPolicy, paper_round_count
+from repro.experiments.common import ExperimentResult
+from repro.instance.generators import independent_instance
+from repro.lp.model import LinearProgram
+from repro.core.lp1 import MASS_EPS
+from repro.sim.engine import run_policy
+from repro.util.logmass import capped_logmass
+from repro.util.rng import ensure_rng
+
+__all__ = ["offline_threshold_bound", "run_competitive"]
+
+
+def offline_threshold_bound(instance, thresholds: np.ndarray) -> float:
+    """LP lower bound on any offline schedule for fixed thresholds.
+
+    Minimizes ``t`` subject to machine loads ``<= t`` and per-job capped
+    mass ``>= theta_j`` (capping each ``l_ij`` at ``theta_j`` is harmless
+    for the bound since integral schedules deliver mass stepwise and the
+    offline optimum is integral).
+    """
+    theta = np.asarray(thresholds, dtype=np.float64)
+    m, n = instance.ell.shape
+    lp = LinearProgram()
+    t_var = lp.add_variable(objective=1.0)
+    var_of = {}
+    for j in range(n):
+        cap = max(float(theta[j]), 1e-9)
+        col = capped_logmass(instance.ell[:, j], cap)
+        for i in np.nonzero(col > MASS_EPS)[0]:
+            var_of[(int(i), j)] = (lp.add_variable(objective=0.0), float(col[i]))
+    for j in range(n):
+        coeffs = {
+            var: w for (i, jj), (var, w) in var_of.items() if jj == j
+        }
+        lp.add_ge(coeffs, float(theta[j]))
+    for i in range(m):
+        coeffs = {var: 1.0 for (ii, _), (var, _) in var_of.items() if ii == i}
+        if coeffs:
+            coeffs[t_var] = -1.0
+            lp.add_le(coeffs, 0.0)
+    return float(lp.solve().value)
+
+
+def _threshold_profile(kind: str, n: int, rng) -> np.ndarray:
+    """Threshold generators: the random law and adversarial point masses."""
+    if kind == "random":
+        return rng.exponential(scale=1.0 / np.log(2.0), size=n)
+    if kind.startswith("point-"):
+        value = float(kind.split("-", 1)[1])
+        return np.full(n, value)
+    if kind == "one-heavy":
+        theta = rng.exponential(scale=1.0 / np.log(2.0), size=n)
+        theta[int(rng.integers(n))] = 24.0
+        return theta
+    raise ValueError(f"unknown threshold profile {kind!r}")
+
+
+def run_competitive(
+    *,
+    n: int = 30,
+    m: int = 8,
+    profiles=("random", "point-1", "point-8", "point-16", "one-heavy"),
+    n_trials: int = 10,
+    seed: int = 15,
+    max_steps: int = 400_000,
+) -> ExperimentResult:
+    """SEM vs OBL competitively, on fixed threshold profiles."""
+    rng = ensure_rng(seed)
+    inst = independent_instance(n, m, "specialist", rng=rng.spawn(1)[0])
+    res = ExperimentResult(
+        exp_id="E-COMP",
+        title="Section 3 competitive view: makespan / offline bound, fixed thresholds",
+        headers=[
+            "thresholds",
+            "offline LP bound",
+            "SEM competitive",
+            "OBL competitive",
+            "K",
+        ],
+    )
+    for kind in profiles:
+        sem_ratios, obl_ratios, bounds = [], [], []
+        for _ in range(n_trials):
+            theta = _threshold_profile(kind, n, rng.spawn(1)[0])
+            off = max(offline_threshold_bound(inst, theta), 1.0)
+            sem = run_policy(
+                inst,
+                SUUISemPolicy(),
+                rng.spawn(1)[0],
+                semantics="suu_star",
+                thresholds=theta,
+                max_steps=max_steps,
+            )
+            obl = run_policy(
+                inst,
+                SUUIOblPolicy(),
+                rng.spawn(1)[0],
+                semantics="suu_star",
+                thresholds=theta,
+                max_steps=max_steps,
+            )
+            bounds.append(off)
+            sem_ratios.append(sem.makespan / off)
+            obl_ratios.append(obl.makespan / off)
+        res.add(
+            kind,
+            float(np.mean(bounds)),
+            float(np.mean(sem_ratios)),
+            float(np.mean(obl_ratios)),
+            paper_round_count(n, m),
+        )
+    res.notes.append(
+        "Theorem 4's proof predicts the SEM column stays O(K) across "
+        "profiles; OBL degrades as thresholds grow (point-16 >> point-1)."
+    )
+    return res

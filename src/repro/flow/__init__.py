@@ -1,0 +1,11 @@
+"""Network-flow substrate: Dinic max-flow and Hopcroft-Karp matching."""
+
+from repro.flow.dinic import INF_CAPACITY, MaxFlowNetwork
+from repro.flow.matching import hopcroft_karp, max_bipartite_matching
+
+__all__ = [
+    "MaxFlowNetwork",
+    "INF_CAPACITY",
+    "hopcroft_karp",
+    "max_bipartite_matching",
+]

@@ -1,0 +1,118 @@
+"""Hopcroft–Karp maximum bipartite matching.
+
+Used by the Lawler–Labetoulle open-shop decomposition (every decomposition
+step extracts a matching that covers all *tight* rows and columns of the
+processing-time matrix) and by the Lenstra–Shmoys–Tardos rounding.  Runs in
+``O(E sqrt(V))``.  The augmenting DFS is iterative, so deep alternating
+paths cannot hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["hopcroft_karp", "max_bipartite_matching"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    n_left: int, n_right: int, adjacency: list[list[int]]
+) -> tuple[int, list[int], list[int]]:
+    """Maximum matching in a bipartite graph.
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Sizes of the two vertex classes.
+    adjacency:
+        ``adjacency[u]`` lists the right-vertices adjacent to left-vertex
+        ``u``.
+
+    Returns
+    -------
+    ``(size, match_left, match_right)`` where ``match_left[u]`` is the right
+    partner of ``u`` (or ``-1``) and symmetrically for ``match_right``.
+    """
+    if len(adjacency) != n_left:
+        raise ValueError(f"adjacency has {len(adjacency)} rows but n_left={n_left}")
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            if not (0 <= v < n_right):
+                raise ValueError(f"right vertex {v} (from left {u}) out of range")
+
+    match_l = [-1] * n_left
+    match_r = [-1] * n_right
+    dist = [0.0] * n_left
+
+    def bfs() -> bool:
+        dq = deque()
+        for u in range(n_left):
+            if match_l[u] == -1:
+                dist[u] = 0.0
+                dq.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while dq:
+            u = dq.popleft()
+            for v in adjacency[u]:
+                w = match_r[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    dq.append(w)
+        return found
+
+    def dfs(root: int) -> bool:
+        # Frames hold (left vertex, iterator over its neighbours); ``chosen``
+        # holds the right vertex picked when descending from each frame, so
+        # an augmenting path can be committed by unwinding both lists.
+        stack: list[tuple[int, object]] = [(root, iter(adjacency[root]))]
+        chosen: list[int] = []
+        while stack:
+            u, nbrs = stack[-1]
+            step = None
+            for v in nbrs:
+                w = match_r[v]
+                if w == -1:
+                    step = ("augment", v, -1)
+                    break
+                if dist[w] == dist[u] + 1:
+                    step = ("descend", v, w)
+                    break
+            if step is None:
+                dist[u] = _INF
+                stack.pop()
+                if chosen:
+                    chosen.pop()
+                continue
+            kind, v, w = step
+            if kind == "augment":
+                match_l[u] = v
+                match_r[v] = u
+                for (fu, _), fv in zip(reversed(stack[:-1]), reversed(chosen)):
+                    match_l[fu] = fv
+                    match_r[fv] = fu
+                return True
+            chosen.append(v)
+            stack.append((w, iter(adjacency[w])))
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(n_left):
+            if match_l[u] == -1 and dfs(u):
+                size += 1
+    return size, match_l, match_r
+
+
+def max_bipartite_matching(
+    n_left: int, n_right: int, edges
+) -> tuple[int, list[int], list[int]]:
+    """Convenience wrapper: matching from an edge list ``[(u, v), ...]``."""
+    adjacency: list[list[int]] = [[] for _ in range(n_left)]
+    for u, v in edges:
+        adjacency[int(u)].append(int(v))
+    return hopcroft_karp(n_left, n_right, adjacency)

@@ -1,0 +1,45 @@
+"""Problem instances: the SUU model, precedence DAGs, and workload generators."""
+
+from repro.instance.chains import chain_of_each_job, extract_chains
+from repro.instance.decomposition import decompose_forest
+from repro.instance.generators import (
+    StochasticInstance,
+    chain_instance,
+    failure_matrix,
+    forest_instance,
+    independent_instance,
+    layered_instance,
+    random_dag_instance,
+    stochastic_instance,
+    tree_instance,
+)
+from repro.instance.instance import SUUInstance
+from repro.instance.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.instance.precedence import PrecedenceClass, PrecedenceGraph
+
+__all__ = [
+    "SUUInstance",
+    "PrecedenceGraph",
+    "PrecedenceClass",
+    "extract_chains",
+    "chain_of_each_job",
+    "decompose_forest",
+    "failure_matrix",
+    "independent_instance",
+    "chain_instance",
+    "tree_instance",
+    "forest_instance",
+    "layered_instance",
+    "random_dag_instance",
+    "StochasticInstance",
+    "stochastic_instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+]

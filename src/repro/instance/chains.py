@@ -1,0 +1,71 @@
+"""Chain extraction for SUU-C.
+
+When the precedence graph is a collection of disjoint chains (every in- and
+out-degree at most 1), the SUU-C algorithm needs the chains as explicit
+ordered job lists.  Isolated jobs count as singleton chains.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecompositionError
+from repro.instance.precedence import PrecedenceGraph
+
+__all__ = ["extract_chains", "chain_of_each_job"]
+
+
+def extract_chains(graph: PrecedenceGraph) -> list[list[int]]:
+    """Decompose a disjoint-chains graph into ordered chains.
+
+    Returns a list of chains; each chain is a list of job ids in precedence
+    order (``chain[0]`` precedes ``chain[1]`` and so on).  Chains are sorted
+    by their head job id so the output is deterministic.
+
+    Raises
+    ------
+    DecompositionError
+        If some job has in-degree or out-degree larger than 1.
+    """
+    n = graph.n_jobs
+    for j in range(n):
+        if graph.in_degree(j) > 1 or graph.out_degree(j) > 1:
+            raise DecompositionError(
+                f"job {j} has in-degree {graph.in_degree(j)} / out-degree "
+                f"{graph.out_degree(j)}; precedence graph is not disjoint chains"
+            )
+    chains: list[list[int]] = []
+    for head in range(n):
+        if graph.in_degree(head) != 0:
+            continue
+        chain = [head]
+        cur = head
+        while graph.out_degree(cur) == 1:
+            cur = graph.successors(cur)[0]
+            chain.append(cur)
+        chains.append(chain)
+    covered = sum(len(c) for c in chains)
+    if covered != n:  # pragma: no cover - unreachable for acyclic inputs
+        raise DecompositionError("chain extraction failed to cover all jobs")
+    chains.sort(key=lambda c: c[0])
+    return chains
+
+
+def chain_of_each_job(chains: list[list[int]], n_jobs: int) -> list[int]:
+    """Map each job id to the index of its chain in ``chains``.
+
+    Raises
+    ------
+    DecompositionError
+        If the chains do not form a partition of ``0..n_jobs-1``.
+    """
+    owner = [-1] * n_jobs
+    for idx, chain in enumerate(chains):
+        for j in chain:
+            if not (0 <= j < n_jobs) or owner[j] != -1:
+                raise DecompositionError(
+                    f"chains do not partition jobs (job {j} repeated or out of range)"
+                )
+            owner[j] = idx
+    if any(o == -1 for o in owner):
+        missing = [j for j, o in enumerate(owner) if o == -1]
+        raise DecompositionError(f"chains do not cover jobs {missing}")
+    return owner

@@ -1,0 +1,178 @@
+"""Forest-to-chain-blocks decomposition (Theorem 12 substrate).
+
+The paper's tree algorithm (Appendix B) uses the technique of Kumar et al.
+[7]: decompose a directed forest into ``O(log n)`` *blocks*, each a union of
+vertex-disjoint chains, such that executing the blocks sequentially respects
+all precedence constraints.  SUU-C is then applied once per block.
+
+We realize the decomposition with heavy-path decomposition:
+
+* For an **out-tree** (edges root -> leaves, in-degree <= 1), compute
+  subtree sizes and mark, for every internal vertex, the edge to its largest
+  child as *heavy*.  Maximal heavy paths are chains running in precedence
+  order.  The *level* of a path is the number of light edges on the path
+  from the root to the path's head.  Crossing between distinct heavy paths
+  always uses a light edge, and a light edge at least halves the subtree
+  size, so levels are bounded by ``floor(log2 n)``; consequently there are
+  at most ``floor(log2 n) + 1`` blocks.  Every ancestor of a job in a
+  level-``b`` chain lies in a level-``< b`` chain or earlier in the same
+  chain, so executing blocks in increasing level order is precedence-safe.
+
+* For an **in-tree** (edges leaves -> root, out-degree <= 1), decompose the
+  *reversed* tree (an out-tree) the same way, then execute blocks in
+  *decreasing* level order and reverse each chain, which again respects
+  precedence (predecessors in the in-tree are descendants in the reversed
+  out-tree, i.e. they sit at levels ``>= b``).
+
+Mixed forests are handled per weakly-connected component; blocks from
+different components carry no cross-precedence and are merged index-wise so
+the total block count stays ``max`` (not ``sum``) over components.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecompositionError
+from repro.instance.precedence import PrecedenceGraph
+
+__all__ = ["decompose_forest", "heavy_path_blocks"]
+
+
+def _out_tree_heavy_paths(
+    root: int, children: dict[int, list[int]]
+) -> list[tuple[int, list[int]]]:
+    """Heavy-path decomposition of one out-tree.
+
+    Returns ``(level, path)`` pairs; each path is a list of vertices in
+    root-to-leaf (= precedence) order.
+    """
+    # Iterative post-order for subtree sizes (avoid recursion limits).
+    size: dict[int, int] = {}
+    stack = [(root, False)]
+    while stack:
+        v, processed = stack.pop()
+        if processed:
+            size[v] = 1 + sum(size[c] for c in children.get(v, []))
+        else:
+            stack.append((v, True))
+            for c in children.get(v, []):
+                stack.append((c, False))
+
+    paths: list[tuple[int, list[int]]] = []
+    # Walk heavy paths: (head vertex, level of the path's head).
+    heads = [(root, 0)]
+    while heads:
+        head, level = heads.pop()
+        path = [head]
+        v = head
+        while children.get(v):
+            kids = children[v]
+            heavy = max(kids, key=lambda c: (size[c], -c))
+            for c in kids:
+                if c != heavy:
+                    heads.append((c, level + 1))
+            path.append(heavy)
+            v = heavy
+        paths.append((level, path))
+    return paths
+
+
+def heavy_path_blocks(
+    n_jobs: int, edges: list[tuple[int, int]], roots: list[int]
+) -> list[list[list[int]]]:
+    """Blocks of chains for an out-forest given parent->child ``edges``.
+
+    ``roots`` are the in-degree-0 vertices.  Block ``b`` collects all heavy
+    paths of level ``b`` across the forest.
+    """
+    children: dict[int, list[int]] = {}
+    for u, v in edges:
+        children.setdefault(u, []).append(v)
+    blocks: dict[int, list[list[int]]] = {}
+    for root in roots:
+        for level, path in _out_tree_heavy_paths(root, children):
+            blocks.setdefault(level, []).append(path)
+    if not blocks:
+        return []
+    out = [sorted(blocks.get(b, []), key=lambda p: p[0]) for b in range(max(blocks) + 1)]
+    if any(not blk for blk in out):  # pragma: no cover - levels are contiguous
+        raise DecompositionError("heavy-path levels are not contiguous")
+    return out
+
+
+def decompose_forest(graph: PrecedenceGraph) -> list[list[list[int]]]:
+    """Decompose a directed forest into sequential blocks of disjoint chains.
+
+    Returns ``blocks``: a list where ``blocks[b]`` is a list of chains (each
+    a list of job ids in precedence order).  Executing blocks in index order,
+    completing all jobs of a block before starting the next, satisfies every
+    precedence constraint.  For a forest on ``n >= 1`` jobs the number of
+    blocks is at most ``floor(log2 n) + 1``.
+
+    Raises
+    ------
+    DecompositionError
+        If some weakly-connected component is neither an in-tree nor an
+        out-tree.
+    """
+    comps = graph.weakly_connected_components()
+    merged: dict[int, list[list[int]]] = {}
+
+    for comp in comps:
+        comp_set = set(comp)
+        comp_edges = [(u, v) for u, v in graph.edges if u in comp_set]
+        in_ok = all(graph.in_degree(v) <= 1 for v in comp)
+        out_ok = all(graph.out_degree(v) <= 1 for v in comp)
+        if not comp_edges:
+            merged.setdefault(0, []).append([comp[0]])
+            continue
+        if in_ok:
+            # Out-tree: precedence fans out from the unique root.
+            roots = [v for v in comp if graph.in_degree(v) == 0]
+            comp_blocks = heavy_path_blocks(graph.n_jobs, comp_edges, roots)
+        elif out_ok:
+            # In-tree: decompose the reversed (out-)tree, then flip both the
+            # block order and the direction of every chain.
+            rev_edges = [(v, u) for u, v in comp_edges]
+            roots = [v for v in comp if graph.out_degree(v) == 0]
+            rev_blocks = heavy_path_blocks(graph.n_jobs, rev_edges, roots)
+            comp_blocks = [
+                [list(reversed(path)) for path in blk] for blk in reversed(rev_blocks)
+            ]
+        else:
+            raise DecompositionError(
+                "component is neither an in-tree nor an out-tree; "
+                "precedence graph is not a directed forest"
+            )
+        for b, blk in enumerate(comp_blocks):
+            merged.setdefault(b, []).extend(blk)
+
+    if not merged:
+        return []
+    blocks = [
+        sorted(merged[b], key=lambda p: p[0]) for b in sorted(merged)
+    ]
+    _check_blocks(graph, blocks)
+    return blocks
+
+
+def _check_blocks(graph: PrecedenceGraph, blocks: list[list[list[int]]]) -> None:
+    """Validate the decomposition: partition + precedence safety."""
+    seen: set[int] = set()
+    position: dict[int, tuple[int, int, int]] = {}
+    for b, blk in enumerate(blocks):
+        for c, chain in enumerate(blk):
+            for k, j in enumerate(chain):
+                if j in seen:
+                    raise DecompositionError(f"job {j} appears twice in decomposition")
+                seen.add(j)
+                position[j] = (b, c, k)
+    if len(seen) != graph.n_jobs:
+        raise DecompositionError("decomposition does not cover all jobs")
+    for u, v in graph.edges:
+        bu, cu, ku = position[u]
+        bv, cv, kv = position[v]
+        ok = bu < bv or (bu == bv and cu == cv and ku < kv)
+        if not ok:
+            raise DecompositionError(
+                f"edge ({u}, {v}) violated by block decomposition"
+            )

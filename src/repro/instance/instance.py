@@ -1,0 +1,131 @@
+"""The SUU problem instance.
+
+An instance is ``(J, M, {q_ij}, G)``: ``n`` unit-length jobs, ``m``
+machines, a failure-probability matrix ``q`` of shape ``(m, n)`` where
+``q[i, j]`` is the probability that job ``j`` does *not* complete when
+machine ``i`` runs it for one step, and a precedence DAG ``G``.
+
+Instances are immutable; derived quantities (the log-mass matrix, the
+precedence classification) are computed once at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.instance.precedence import PrecedenceClass, PrecedenceGraph
+from repro.util.logmass import logmass_matrix
+
+__all__ = ["SUUInstance"]
+
+
+@dataclass(frozen=True)
+class SUUInstance:
+    """An immutable multiprocessor-scheduling-under-uncertainty instance.
+
+    Parameters
+    ----------
+    q:
+        Failure probabilities, shape ``(m, n)`` (machine-major, matching the
+        paper's ``q_ij`` with ``i`` a machine and ``j`` a job).  Entries must
+        lie in ``[0, 1]`` and every job must have at least one machine with
+        ``q_ij < 1`` (the paper's standing assumption; otherwise the job can
+        never complete and no schedule has finite expected makespan).
+    graph:
+        Precedence constraints.  ``None`` means independent jobs.
+
+    Attributes
+    ----------
+    ell:
+        Log-mass matrix ``-log2(q)``, clamped to ``[0, LOGMASS_CAP]``.
+    """
+
+    q: np.ndarray
+    graph: PrecedenceGraph
+    ell: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __init__(self, q, graph: PrecedenceGraph | None = None):
+        q = np.ascontiguousarray(np.asarray(q, dtype=np.float64))
+        if q.ndim != 2:
+            raise InvalidInstanceError(
+                f"q must be a 2-D (machines x jobs) matrix, got shape {q.shape}"
+            )
+        m, n = q.shape
+        if m == 0 or n == 0:
+            raise InvalidInstanceError(
+                f"instance needs at least one machine and one job, got shape {q.shape}"
+            )
+        if not np.isfinite(q).all():
+            raise InvalidInstanceError("q contains non-finite entries")
+        if (q < 0).any() or (q > 1).any():
+            raise InvalidInstanceError("q entries must lie in [0, 1]")
+        hopeless = np.flatnonzero((q >= 1.0).all(axis=0))
+        if hopeless.size:
+            raise InvalidInstanceError(
+                f"jobs {hopeless.tolist()} have q_ij = 1 on every machine and "
+                "can never complete"
+            )
+        if graph is None:
+            graph = PrecedenceGraph(n, ())
+        if graph.n_jobs != n:
+            raise InvalidInstanceError(
+                f"precedence graph has {graph.n_jobs} jobs but q has {n} columns"
+            )
+        q.setflags(write=False)
+        ell = logmass_matrix(q)
+        ell.setflags(write=False)
+        object.__setattr__(self, "q", q)
+        object.__setattr__(self, "graph", graph)
+        object.__setattr__(self, "ell", ell)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs ``n``."""
+        return self.q.shape[1]
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines ``m``."""
+        return self.q.shape[0]
+
+    @property
+    def precedence_class(self) -> PrecedenceClass:
+        """Structural class of the precedence constraints."""
+        return self.graph.classify()
+
+    def is_independent(self) -> bool:
+        """True when there are no precedence constraints (SUU-I)."""
+        return self.graph.n_edges == 0
+
+    # ------------------------------------------------------------------
+    def best_single_step_success(self) -> np.ndarray:
+        """Per-job success probability when *all* machines run the job.
+
+        ``1 - prod_i q_ij``; the single-step success probability no schedule
+        can beat for that job.  Used by lower bounds and the serial
+        fallback analysis.
+        """
+        total_mass = self.ell.sum(axis=0)
+        return -np.expm1(-total_mass * np.log(2.0))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SUUInstance):
+            return NotImplemented
+        return (
+            self.q.shape == other.q.shape
+            and np.array_equal(self.q, other.q)
+            and self.graph.edges == other.graph.edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.q.shape, self.q.tobytes(), self.graph.edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SUUInstance(n_jobs={self.n_jobs}, n_machines={self.n_machines}, "
+            f"edges={self.graph.n_edges}, class={self.precedence_class.value})"
+        )

@@ -1,0 +1,85 @@
+"""JSON serialization for instances.
+
+Plain-JSON format so instances can be archived next to experiment results
+and re-loaded exactly (probabilities round-trip via ``float`` repr, which is
+exact for binary64 in Python 3).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.instance.generators import StochasticInstance
+from repro.instance.instance import SUUInstance
+from repro.instance.precedence import PrecedenceGraph
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "stochastic_to_dict",
+    "stochastic_from_dict",
+]
+
+_FORMAT = "repro-suu-v1"
+_FORMAT_STOCH = "repro-stoch-v1"
+
+
+def instance_to_dict(inst: SUUInstance) -> dict:
+    """Serialize an SUU instance to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "n_jobs": inst.n_jobs,
+        "n_machines": inst.n_machines,
+        "q": inst.q.tolist(),
+        "edges": [list(e) for e in inst.graph.edges],
+    }
+
+
+def instance_from_dict(data: dict) -> SUUInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    if data.get("format") != _FORMAT:
+        raise InvalidInstanceError(
+            f"unrecognized instance format {data.get('format')!r}"
+        )
+    q = np.asarray(data["q"], dtype=np.float64)
+    if q.shape != (data["n_machines"], data["n_jobs"]):
+        raise InvalidInstanceError("q shape disagrees with recorded dimensions")
+    graph = PrecedenceGraph(data["n_jobs"], [tuple(e) for e in data["edges"]])
+    return SUUInstance(q, graph)
+
+
+def save_instance(inst: SUUInstance, path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(inst)))
+
+
+def load_instance(path) -> SUUInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def stochastic_to_dict(inst: StochasticInstance) -> dict:
+    """Serialize a stochastic-scheduling instance."""
+    return {
+        "format": _FORMAT_STOCH,
+        "rates": inst.rates.tolist(),
+        "speeds": inst.speeds.tolist(),
+    }
+
+
+def stochastic_from_dict(data: dict) -> StochasticInstance:
+    """Inverse of :func:`stochastic_to_dict`."""
+    if data.get("format") != _FORMAT_STOCH:
+        raise InvalidInstanceError(
+            f"unrecognized instance format {data.get('format')!r}"
+        )
+    return StochasticInstance(
+        np.asarray(data["rates"], dtype=np.float64),
+        np.asarray(data["speeds"], dtype=np.float64),
+    )

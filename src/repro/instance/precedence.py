@@ -1,0 +1,266 @@
+"""Precedence DAGs over jobs.
+
+The SUU problem models precedence constraints as a directed acyclic graph
+with jobs as vertices: an edge ``u -> v`` means job ``u`` must complete
+before job ``v`` becomes eligible.  This module provides the (immutable)
+graph representation used throughout the library, cycle detection, the
+structural classification the paper's algorithms dispatch on
+(independent / chains / forests / layered / general), and eligibility
+bookkeeping helpers for the simulator.
+
+Everything here is implemented from scratch (Kahn's algorithm for the
+topological order); networkx is used only by the test suite as an oracle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+
+__all__ = ["PrecedenceClass", "PrecedenceGraph"]
+
+
+class PrecedenceClass(enum.Enum):
+    """Structural classes of precedence graphs the paper distinguishes.
+
+    The classes are ordered from most to least restrictive; `classify`
+    returns the most restrictive class that applies.
+    """
+
+    #: No edges at all (SUU-I).
+    INDEPENDENT = "independent"
+    #: Disjoint chains: every in-degree and out-degree is at most 1 (SUU-C).
+    CHAINS = "chains"
+    #: Out-forest: in-degree <= 1 (precedence fans out from roots).
+    OUT_FOREST = "out_forest"
+    #: In-forest: out-degree <= 1 (precedence fans in toward roots).
+    IN_FOREST = "in_forest"
+    #: Mixed forest: every weakly-connected component is an in- or out-tree.
+    MIXED_FOREST = "mixed_forest"
+    #: Arbitrary DAG (no approximation guarantee in the paper).
+    GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class PrecedenceGraph:
+    """An immutable DAG of precedence constraints over jobs ``0..n-1``.
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of jobs (vertices).
+    edges:
+        Iterable of ``(u, v)`` pairs meaning ``u`` precedes ``v``.
+        Duplicate edges are rejected; self-loops and cycles raise
+        :class:`~repro.errors.InvalidInstanceError`.
+    """
+
+    n_jobs: int
+    edges: tuple[tuple[int, int], ...]
+    _preds: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
+    _succs: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
+    _topo: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __init__(self, n_jobs: int, edges=()):
+        if n_jobs < 0:
+            raise InvalidInstanceError(f"n_jobs must be >= 0, got {n_jobs}")
+        norm: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for e in edges:
+            u, v = int(e[0]), int(e[1])
+            if not (0 <= u < n_jobs and 0 <= v < n_jobs):
+                raise InvalidInstanceError(
+                    f"edge ({u}, {v}) out of range for {n_jobs} jobs"
+                )
+            if u == v:
+                raise InvalidInstanceError(f"self-loop on job {u}")
+            if (u, v) in seen:
+                raise InvalidInstanceError(f"duplicate edge ({u}, {v})")
+            seen.add((u, v))
+            norm.append((u, v))
+        object.__setattr__(self, "n_jobs", n_jobs)
+        object.__setattr__(self, "edges", tuple(norm))
+
+        preds: list[list[int]] = [[] for _ in range(n_jobs)]
+        succs: list[list[int]] = [[] for _ in range(n_jobs)]
+        for u, v in norm:
+            succs[u].append(v)
+            preds[v].append(u)
+        object.__setattr__(self, "_preds", tuple(tuple(p) for p in preds))
+        object.__setattr__(self, "_succs", tuple(tuple(s) for s in succs))
+        object.__setattr__(self, "_topo", self._toposort(n_jobs, preds, succs))
+
+    @staticmethod
+    def _toposort(n, preds, succs) -> tuple[int, ...]:
+        """Kahn's algorithm with a heap: the lexicographically smallest
+        topological order, so downstream tie-breaking (e.g. the serial
+        fallback's job choice) is deterministic and intuitive."""
+        import heapq
+
+        indeg = [len(p) for p in preds]
+        heap = [v for v in range(n) if indeg[v] == 0]
+        heapq.heapify(heap)
+        order: list[int] = []
+        while heap:
+            v = heapq.heappop(heap)
+            order.append(v)
+            for w in succs[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    heapq.heappush(heap, w)
+        if len(order) != n:
+            raise InvalidInstanceError("precedence graph contains a cycle")
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of precedence edges."""
+        return len(self.edges)
+
+    def predecessors(self, job: int) -> tuple[int, ...]:
+        """Direct predecessors of ``job``."""
+        return self._preds[job]
+
+    def successors(self, job: int) -> tuple[int, ...]:
+        """Direct successors of ``job``."""
+        return self._succs[job]
+
+    def in_degree(self, job: int) -> int:
+        """Number of direct predecessors of ``job``."""
+        return len(self._preds[job])
+
+    def out_degree(self, job: int) -> int:
+        """Number of direct successors of ``job``."""
+        return len(self._succs[job])
+
+    def topological_order(self) -> tuple[int, ...]:
+        """A topological order of the jobs (sources first)."""
+        return self._topo
+
+    def in_degree_array(self) -> np.ndarray:
+        """In-degrees as an int64 array (used by the simulator)."""
+        return np.array([len(p) for p in self._preds], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def sources(self) -> list[int]:
+        """Jobs with no predecessors (initially eligible)."""
+        return [j for j in range(self.n_jobs) if not self._preds[j]]
+
+    def sinks(self) -> list[int]:
+        """Jobs with no successors."""
+        return [j for j in range(self.n_jobs) if not self._succs[j]]
+
+    def weakly_connected_components(self) -> list[list[int]]:
+        """Weakly-connected components (ignoring edge direction)."""
+        seen = [False] * self.n_jobs
+        comps: list[list[int]] = []
+        for start in range(self.n_jobs):
+            if seen[start]:
+                continue
+            comp: list[int] = []
+            stack = [start]
+            seen[start] = True
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                for w in self._succs[v] + self._preds[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            comps.append(sorted(comp))
+        return comps
+
+    def classify(self) -> PrecedenceClass:
+        """Most restrictive :class:`PrecedenceClass` this graph belongs to."""
+        if not self.edges:
+            return PrecedenceClass.INDEPENDENT
+        max_in = max(len(p) for p in self._preds)
+        max_out = max(len(s) for s in self._succs)
+        if max_in <= 1 and max_out <= 1:
+            return PrecedenceClass.CHAINS
+        if max_in <= 1:
+            return PrecedenceClass.OUT_FOREST
+        if max_out <= 1:
+            return PrecedenceClass.IN_FOREST
+        # Mixed forest: each weak component individually an in- or out-tree.
+        if all(self._component_is_tree(c) for c in self.weakly_connected_components()):
+            return PrecedenceClass.MIXED_FOREST
+        return PrecedenceClass.GENERAL
+
+    def _component_is_tree(self, comp: list[int]) -> bool:
+        """True if the component is an in-tree or an out-tree."""
+        in_ok = all(len(self._preds[v]) <= 1 for v in comp)
+        out_ok = all(len(self._succs[v]) <= 1 for v in comp)
+        if not (in_ok or out_ok):
+            return False
+        # A weakly-connected comp with max (in|out) degree <= 1 and |E|=|V|-1
+        # is automatically a tree; weak connectivity gives |E| >= |V|-1 and
+        # degree bound gives |E| <= |V| with equality only on a cycle, which
+        # the DAG check already excluded.
+        return True
+
+    def levels(self) -> np.ndarray:
+        """Longest-path depth of each job (sources at level 0).
+
+        Used by the layered-DAG extension: scheduling level-by-level is
+        precedence-safe because every edge goes from a lower to a strictly
+        higher level.
+        """
+        lvl = np.zeros(self.n_jobs, dtype=np.int64)
+        for v in self._topo:
+            for w in self._succs[v]:
+                if lvl[w] < lvl[v] + 1:
+                    lvl[w] = lvl[v] + 1
+        return lvl
+
+    def ancestors(self, job: int) -> set[int]:
+        """All jobs with a directed path to ``job`` (exclusive)."""
+        out: set[int] = set()
+        stack = list(self._preds[job])
+        while stack:
+            v = stack.pop()
+            if v in out:
+                continue
+            out.add(v)
+            stack.extend(self._preds[v])
+        return out
+
+    def descendants(self, job: int) -> set[int]:
+        """All jobs reachable from ``job`` (exclusive)."""
+        out: set[int] = set()
+        stack = list(self._succs[job])
+        while stack:
+            v = stack.pop()
+            if v in out:
+                continue
+            out.add(v)
+            stack.extend(self._succs[v])
+        return out
+
+    def induced_subgraph(self, jobs) -> tuple["PrecedenceGraph", list[int]]:
+        """Subgraph induced by ``jobs``, with jobs relabelled ``0..k-1``.
+
+        Returns the subgraph and the list mapping new ids to original ids.
+        Only edges with both endpoints in ``jobs`` survive; precedence
+        through dropped intermediate jobs is *not* re-added (callers that
+        need closure should pass downward-closed job sets).
+        """
+        keep = sorted(set(int(j) for j in jobs))
+        index = {j: k for k, j in enumerate(keep)}
+        sub_edges = [
+            (index[u], index[v]) for u, v in self.edges if u in index and v in index
+        ]
+        return PrecedenceGraph(len(keep), sub_edges), keep
+
+    def reversed(self) -> "PrecedenceGraph":
+        """Graph with every edge direction flipped."""
+        return PrecedenceGraph(self.n_jobs, [(v, u) for u, v in self.edges])

@@ -1,0 +1,6 @@
+"""LP substrate: sparse model builder and solver wrapper."""
+
+from repro.lp.model import LinearProgram
+from repro.lp.solver import LPSolution, solve_lp
+
+__all__ = ["LinearProgram", "LPSolution", "solve_lp"]

@@ -1,0 +1,141 @@
+"""Incremental sparse LP builder.
+
+Both LP1 and LP2 are built column-by-column over ``(machine, job)`` pairs;
+this builder accumulates sparse inequality rows and hands a CSR matrix to
+the solver.  It intentionally supports only what the paper's programs need:
+minimization, ``<=`` / ``>=`` / ``==`` rows, and per-variable bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.lp.solver import LPSolution, solve_lp
+
+__all__ = ["LinearProgram"]
+
+
+@dataclass
+class LinearProgram:
+    """A minimization LP assembled incrementally.
+
+    Usage::
+
+        lp = LinearProgram()
+        x = lp.add_variable(objective=0.0, lb=0.0)
+        t = lp.add_variable(objective=1.0, lb=0.0)
+        lp.add_ge({x: 2.0}, 1.0)        # 2 x >= 1
+        lp.add_le({x: 1.0, t: -1.0}, 0)  # x <= t
+        sol = lp.solve()
+    """
+
+    _objective: list[float] = field(default_factory=list)
+    _lb: list[float] = field(default_factory=list)
+    _ub: list[float] = field(default_factory=list)
+    _rows: list[dict[int, float]] = field(default_factory=list)
+    _rhs: list[float] = field(default_factory=list)
+    _senses: list[str] = field(default_factory=list)
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variables added so far."""
+        return len(self._objective)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraint rows added so far."""
+        return len(self._rows)
+
+    def add_variable(
+        self, objective: float = 0.0, lb: float = 0.0, ub: float | None = None
+    ) -> int:
+        """Add a variable; returns its column index."""
+        if ub is not None and ub < lb:
+            raise ValueError(f"upper bound {ub} below lower bound {lb}")
+        self._objective.append(float(objective))
+        self._lb.append(float(lb))
+        self._ub.append(np.inf if ub is None else float(ub))
+        return len(self._objective) - 1
+
+    def add_variables(
+        self, count: int, objective: float = 0.0, lb: float = 0.0, ub: float | None = None
+    ) -> list[int]:
+        """Add ``count`` identical variables; returns their column indices."""
+        return [self.add_variable(objective, lb, ub) for _ in range(count)]
+
+    def _add_row(self, coeffs: dict[int, float], rhs: float, sense: str) -> None:
+        nv = self.n_variables
+        clean: dict[int, float] = {}
+        for col, coef in coeffs.items():
+            col = int(col)
+            if not (0 <= col < nv):
+                raise ValueError(f"coefficient on unknown variable {col}")
+            coef = float(coef)
+            if coef != 0.0:
+                clean[col] = clean.get(col, 0.0) + coef
+        self._rows.append(clean)
+        self._rhs.append(float(rhs))
+        self._senses.append(sense)
+
+    def add_le(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[v] * x_v <= rhs``."""
+        self._add_row(coeffs, rhs, "<=")
+
+    def add_ge(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[v] * x_v >= rhs``."""
+        self._add_row(coeffs, rhs, ">=")
+
+    def add_eq(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[v] * x_v == rhs``."""
+        self._add_row(coeffs, rhs, "==")
+
+    # ------------------------------------------------------------------
+    def build_arrays(self):
+        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` for the solver."""
+        nv = self.n_variables
+        data_ub, rows_ub, cols_ub, b_ub = [], [], [], []
+        data_eq, rows_eq, cols_eq, b_eq = [], [], [], []
+        for coeffs, rhs, sense in zip(self._rows, self._rhs, self._senses):
+            if sense == "==":
+                r = len(b_eq)
+                for col, coef in coeffs.items():
+                    rows_eq.append(r)
+                    cols_eq.append(col)
+                    data_eq.append(coef)
+                b_eq.append(rhs)
+            else:
+                sign = 1.0 if sense == "<=" else -1.0
+                r = len(b_ub)
+                for col, coef in coeffs.items():
+                    rows_ub.append(r)
+                    cols_ub.append(col)
+                    data_ub.append(sign * coef)
+                b_ub.append(sign * rhs)
+        A_ub = (
+            sp.csr_matrix((data_ub, (rows_ub, cols_ub)), shape=(len(b_ub), nv))
+            if b_ub
+            else None
+        )
+        A_eq = (
+            sp.csr_matrix((data_eq, (rows_eq, cols_eq)), shape=(len(b_eq), nv))
+            if b_eq
+            else None
+        )
+        c = np.asarray(self._objective, dtype=np.float64)
+        bounds = list(zip(self._lb, [None if np.isinf(u) else u for u in self._ub]))
+        return c, A_ub, np.asarray(b_ub), A_eq, np.asarray(b_eq), bounds
+
+    def solve(self) -> LPSolution:
+        """Solve the LP with the HiGHS backend."""
+        c, A_ub, b_ub, A_eq, b_eq, bounds = self.build_arrays()
+        return solve_lp(
+            c,
+            A_ub=A_ub,
+            b_ub=b_ub if A_ub is not None else None,
+            A_eq=A_eq,
+            b_eq=b_eq if A_eq is not None else None,
+            bounds=bounds,
+        )

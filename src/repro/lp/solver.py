@@ -1,0 +1,66 @@
+"""Thin wrapper around scipy's HiGHS LP backend.
+
+scipy is the one external solver dependency the reproduction allows itself
+(writing a competitive simplex/IPM implementation is out of scope and would
+only add noise to the algorithms under study).  Everything above this layer
+— the LP formulations, the roundings, the flow networks — is ours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleLPError
+
+__all__ = ["LPSolution", "solve_lp"]
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """An optimal LP solution.
+
+    Attributes
+    ----------
+    x:
+        Optimal variable values.
+    value:
+        Optimal objective value.
+    """
+
+    x: np.ndarray
+    value: float
+
+
+def solve_lp(
+    c,
+    A_ub=None,
+    b_ub=None,
+    A_eq=None,
+    b_eq=None,
+    bounds=None,
+) -> LPSolution:
+    """Minimize ``c @ x`` subject to the given constraints.
+
+    Raises
+    ------
+    InfeasibleLPError
+        If HiGHS reports anything but optimality (infeasible, unbounded, or
+        a numerical failure), with the solver's message attached.
+    """
+    res = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        raise InfeasibleLPError(
+            f"LP solve failed (status {res.status}): {res.message}", status=res.status
+        )
+    return LPSolution(x=np.asarray(res.x, dtype=np.float64), value=float(res.fun))

@@ -1,0 +1,29 @@
+"""Schedule representations: policies, oblivious tables, pseudoschedules."""
+
+from repro.schedule.base import IDLE, IntegralAssignment, Policy, SimulationState
+from repro.schedule.oblivious import FiniteObliviousSchedule, RepeatingObliviousPolicy
+from repro.schedule.pseudo import (
+    ChainProgram,
+    JobBlock,
+    Pause,
+    build_chain_programs,
+    congestion_profile,
+    draw_delays,
+    flattened_length,
+)
+
+__all__ = [
+    "IDLE",
+    "Policy",
+    "SimulationState",
+    "IntegralAssignment",
+    "FiniteObliviousSchedule",
+    "RepeatingObliviousPolicy",
+    "ChainProgram",
+    "JobBlock",
+    "Pause",
+    "build_chain_programs",
+    "draw_delays",
+    "congestion_profile",
+    "flattened_length",
+]

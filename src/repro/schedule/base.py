@@ -1,0 +1,144 @@
+"""Scheduling policies and simulation state.
+
+The paper defines a schedule as a function from history and time to an
+assignment of machines to jobs.  We realize schedules as *policies*: objects
+the simulator queries once per unit timestep.  The policy sees a
+:class:`SimulationState` snapshot (time, remaining/eligible job sets,
+accrued log mass) — exactly the information the paper allows a
+polynomial-time schedule to condition on — and returns one job id (or
+:data:`IDLE`) per machine.
+
+Contract
+--------
+* ``start(instance, rng)`` is called once before the first step.  All
+  randomness a policy uses must come from the ``rng`` it is given, so runs
+  are reproducible.
+* ``assign(state)`` is called exactly once per simulated timestep, in time
+  order.  Policies may keep internal counters; the engine never rewinds.
+* Assigning a machine to a *completed* job is allowed (the machine idles —
+  the paper's ``⊥`` convention for concise schedules).  Assigning to a job
+  whose predecessors are incomplete raises
+  :class:`~repro.errors.ScheduleViolationError` in the engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IDLE", "SimulationState", "Policy", "IntegralAssignment"]
+
+#: Assignment value meaning "machine stays idle this step".
+IDLE: int = -1
+
+
+@dataclass(frozen=True)
+class SimulationState:
+    """Snapshot of an execution the policy may condition on.
+
+    Attributes
+    ----------
+    t:
+        Current timestep (0-based; the assignment returned will be executed
+        during step ``t``).
+    remaining:
+        Boolean mask over jobs: True while a job is not yet complete.
+    eligible:
+        Boolean mask: True when a job is remaining *and* all its
+        predecessors have completed.
+    mass_accrued:
+        Total log mass delivered to each job so far.  (Under SUU semantics
+        this is bookkeeping a schedule could compute itself from its own
+        history; exposing it keeps policies simple without leaking the
+        hidden thresholds of SUU*.)
+    """
+
+    t: int
+    remaining: np.ndarray
+    eligible: np.ndarray
+    mass_accrued: np.ndarray
+
+    @property
+    def n_remaining(self) -> int:
+        """Number of uncompleted jobs."""
+        return int(self.remaining.sum())
+
+
+class Policy(abc.ABC):
+    """Base class for scheduling policies.
+
+    Subclasses must implement :meth:`assign`; :meth:`start` defaults to a
+    no-op for stateless policies.
+    """
+
+    #: Human-readable name used in results and experiment tables.
+    name: str = "policy"
+
+    def start(self, instance, rng: np.random.Generator) -> None:
+        """Prepare for a fresh execution of ``instance``.
+
+        Called once per simulation before any :meth:`assign` call.  Policies
+        that solve LPs or draw random delays do so here.
+        """
+
+    @abc.abstractmethod
+    def assign(self, state: SimulationState) -> np.ndarray:
+        """Return this step's assignment: array of shape ``(m,)``.
+
+        Entry ``i`` is the job machine ``i`` runs during step ``state.t``,
+        or :data:`IDLE`.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntegralAssignment:
+    """An integral machine-to-job step allocation ``{x_ij}``.
+
+    This is the object the LP roundings produce: ``x[i, j]`` is the number
+    of unit steps machine ``i`` dedicates to job ``j``.  It is *not* yet a
+    schedule — :class:`~repro.schedule.oblivious.FiniteObliviousSchedule`
+    lays the steps out on a timeline.
+
+    Attributes
+    ----------
+    x:
+        Step counts, shape ``(m, n)``, dtype int64.  Columns of jobs outside
+        the assignment's job subset are zero.
+    jobs:
+        The job subset the assignment covers.
+    target:
+        The log-mass target ``L`` each covered job was guaranteed.
+    """
+
+    x: np.ndarray
+    jobs: tuple[int, ...]
+    target: float
+
+    def __post_init__(self):
+        x = np.asarray(self.x)
+        if x.ndim != 2 or x.dtype.kind not in "iu":
+            raise ValueError("x must be a 2-D integer matrix")
+        if (x < 0).any():
+            raise ValueError("assignment entries must be nonnegative")
+
+    @property
+    def load(self) -> int:
+        """Maximum steps any machine is assigned: ``max_i sum_j x_ij``."""
+        return int(self.x.sum(axis=1).max()) if self.x.size else 0
+
+    @property
+    def machine_loads(self) -> np.ndarray:
+        """Per-machine total steps ``sum_j x_ij``."""
+        return self.x.sum(axis=1)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-job lengths ``d_j = max_i x_ij`` (the paper's job length)."""
+        return self.x.max(axis=0)
+
+    def mass_per_job(self, ell: np.ndarray) -> np.ndarray:
+        """Log mass each job receives under log-mass matrix ``ell``."""
+        return (self.x * ell).sum(axis=0)

@@ -1,0 +1,222 @@
+"""Pseudoschedules: chain programs, supersteps, congestion, random delays.
+
+Section 4 of the paper builds, for each chain ``C_k``, an adaptive schedule
+``Σ_k`` that walks the chain job by job, running each job's oblivious
+assignment block (length ``d_j`` supersteps) and repeating it on failure.
+Running all the ``Σ_k`` "in parallel" yields a *pseudoschedule* whose
+timesteps are called **supersteps**; a machine may be asked to run several
+jobs in one superstep.  The number of jobs a machine is asked to run at
+superstep ``s`` is its congestion; ``c(s)`` is the max over machines, and
+the pseudoschedule is *flattened* by expanding superstep ``s`` into ``c(s)``
+real timesteps.
+
+Random delays (Theorem 7): delaying each chain's start by an independent
+uniform draw from ``{0, ..., H}`` (``H`` = the assignment's load) drops the
+maximum congestion to ``O(log(n+m) / log log(n+m))`` with high probability.
+
+This module provides the *data model* (blocks, pauses, chain programs) and
+the *static* analysis used to verify Theorem 7 empirically: the congestion
+profile of one deterministic pass (every block succeeding once).  The
+adaptive execution with stochastic retries lives in
+:mod:`repro.core.suu_c`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schedule.base import IntegralAssignment
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "JobBlock",
+    "Pause",
+    "ChainProgram",
+    "build_chain_programs",
+    "draw_delays",
+    "congestion_profile",
+    "flattened_length",
+]
+
+
+@dataclass(frozen=True)
+class JobBlock:
+    """One job's oblivious assignment block inside a chain schedule.
+
+    During block-local superstep ``tau`` (``0 <= tau < length``), the
+    machines running the job are those with ``steps[i] > tau`` — machine
+    ``i`` works the first ``steps[i]`` supersteps of the block and then
+    idles until the block ends, exactly as in the paper ("machine i remains
+    idle from time t + x_ij to t + d_j").
+
+    ``prelude`` counts *reinserted* solo steps (the non-polynomial-``t_LP2``
+    trick of Section 4): real timesteps executed before the block's
+    supersteps, during which only this job runs.
+    """
+
+    job: int
+    steps: tuple[tuple[int, int], ...]  # (machine, step-count), step-count > 0
+    length: int
+    prelude: tuple[tuple[int, int], ...] = ()
+
+    def machines_at(self, tau: int) -> list[int]:
+        """Machines assigned during block-local superstep ``tau``."""
+        return [i for i, cnt in self.steps if cnt > tau]
+
+    @property
+    def prelude_length(self) -> int:
+        """Real solo steps to reinsert before the block (max over machines)."""
+        return max((cnt for _, cnt in self.prelude), default=0)
+
+
+@dataclass(frozen=True)
+class Pause:
+    """Placeholder for a *long* job: the chain waits ``length`` supersteps.
+
+    The long job itself is executed by the SUU-I-SEM run at the end of the
+    segment in which the pause started; the chain resumes after the pause
+    expires *and* the job has completed.
+    """
+
+    job: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ChainProgram:
+    """The per-chain schedule ``Σ_k``: an ordered list of blocks and pauses."""
+
+    chain_index: int
+    items: tuple
+
+    @property
+    def n_supersteps_one_pass(self) -> int:
+        """Supersteps for one failure-free pass through the chain."""
+        return sum(item.length for item in self.items)
+
+
+def build_chain_programs(
+    chains: list[list[int]],
+    assignment: IntegralAssignment,
+    *,
+    gamma: int | None = None,
+    unit: int = 1,
+) -> list[ChainProgram]:
+    """Compile chains plus an integral assignment into chain programs.
+
+    Parameters
+    ----------
+    chains:
+        The chains (ordered job lists) of the SUU-C instance.
+    assignment:
+        The rounded LP2 assignment ``{x_ij}``.
+    gamma:
+        Long-job threshold: jobs with length ``d_j > gamma`` become
+        :class:`Pause` items of length ``gamma`` (handled by segment-boundary
+        SEM runs).  ``None`` means no job is long.
+    unit:
+        The rounding unit ``Δ`` of the non-polynomial-``t_LP2`` trick.  Step
+        counts are rounded down to multiples of ``Δ``; the lost steps are
+        re-inserted as solo ``prelude`` steps.  ``Δ = 1`` (the default)
+        leaves assignments untouched.
+    """
+    if unit < 1:
+        raise ValueError(f"unit must be >= 1, got {unit}")
+    x = assignment.x
+    programs: list[ChainProgram] = []
+    for k, chain in enumerate(chains):
+        items: list = []
+        for j in chain:
+            d_j = int(x[:, j].max())
+            if gamma is not None and d_j > gamma:
+                items.append(Pause(job=j, length=int(gamma)))
+                continue
+            main: list[tuple[int, int]] = []
+            prelude: list[tuple[int, int]] = []
+            for i in np.nonzero(x[:, j])[0]:
+                cnt = int(x[i, j])
+                rounded = (cnt // unit) * unit
+                if rounded:
+                    main.append((int(i), rounded))
+                rem = cnt - rounded
+                if rem:
+                    prelude.append((int(i), rem))
+            length = max((cnt for _, cnt in main), default=0)
+            items.append(
+                JobBlock(
+                    job=j,
+                    steps=tuple(main),
+                    length=length,
+                    prelude=tuple(prelude),
+                )
+            )
+        programs.append(ChainProgram(chain_index=k, items=tuple(items)))
+    return programs
+
+
+def draw_delays(
+    n_chains: int, horizon: int, rng, *, unit: int = 1, enabled: bool = True
+) -> np.ndarray:
+    """Random start delays: uniform over ``{0, Δ, 2Δ, ..., ⌊H/Δ⌋·Δ}``.
+
+    With ``enabled=False`` all delays are zero (the no-delay ablation of
+    Theorem 7).
+    """
+    rng = ensure_rng(rng)
+    if not enabled or horizon <= 0:
+        return np.zeros(n_chains, dtype=np.int64)
+    slots = horizon // unit + 1
+    return rng.integers(0, slots, size=n_chains) * unit
+
+
+def congestion_profile(
+    programs: list[ChainProgram], delays, n_machines: int
+) -> np.ndarray:
+    """Per-superstep congestion ``c(s)`` of one deterministic pass.
+
+    Every block is assumed to succeed on its first execution (no retries),
+    which is the setting of Theorem 7's statement: congestion is a property
+    of the pseudoschedule's *layout*, independent of the stochastic
+    outcomes (the random delays are independent of job success/failure).
+
+    Returns the array ``c(0..S-1)`` where ``S`` is the last busy superstep.
+    """
+    delays = np.asarray(delays, dtype=np.int64)
+    if delays.shape != (len(programs),):
+        raise ValueError(
+            f"need one delay per chain, got {delays.shape} for {len(programs)} chains"
+        )
+    # events[s][i] = number of jobs machine i is asked to run at superstep s.
+    per_machine: dict[int, np.ndarray] = {}
+
+    def bump(s: int, machine: int) -> None:
+        row = per_machine.get(s)
+        if row is None:
+            row = np.zeros(n_machines, dtype=np.int64)
+            per_machine[s] = row
+        row[machine] += 1
+
+    for prog, delay in zip(programs, delays):
+        s = int(delay)
+        for item in prog.items:
+            if isinstance(item, Pause):
+                s += item.length
+                continue
+            for i, cnt in item.steps:
+                for tau in range(cnt):
+                    bump(s + tau, i)
+            s += item.length
+    if not per_machine:
+        return np.zeros(0, dtype=np.int64)
+    horizon = max(per_machine) + 1
+    out = np.zeros(horizon, dtype=np.int64)
+    for s, row in per_machine.items():
+        out[s] = row.max()
+    return out
+
+
+def flattened_length(congestion: np.ndarray) -> int:
+    """Total real timesteps after flattening: ``sum_s c(s)``."""
+    return int(np.asarray(congestion).sum())

@@ -1,0 +1,24 @@
+"""Simulation substrate: the SUU/SUU* engine and Monte Carlo estimators."""
+
+from repro.sim.engine import DEFAULT_MAX_STEPS, draw_thresholds, run_policy
+from repro.sim.montecarlo import (
+    compare_policies,
+    estimate_expected_makespan,
+    sample_oblivious_repeat_makespans,
+)
+from repro.sim.results import MakespanStats, SimResult
+from repro.sim.trace import ExecutionTrace, TracingPolicy, render_gantt
+
+__all__ = [
+    "TracingPolicy",
+    "ExecutionTrace",
+    "render_gantt",
+    "run_policy",
+    "draw_thresholds",
+    "DEFAULT_MAX_STEPS",
+    "estimate_expected_makespan",
+    "compare_policies",
+    "sample_oblivious_repeat_makespans",
+    "MakespanStats",
+    "SimResult",
+]

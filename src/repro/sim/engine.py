@@ -1,0 +1,182 @@
+"""The unit-step execution engine for SUU and SUU* semantics.
+
+The engine owns the ground truth of an execution: which jobs remain, which
+are eligible, and how completions are drawn.  Policies only ever see the
+:class:`~repro.schedule.base.SimulationState` snapshot, so the same policy
+object runs unmodified under both semantics — which is exactly the content
+of the paper's Theorem 10 (the two semantics induce identical history
+distributions), and is verified statistically in the test suite.
+
+* **SUU** (Section 2): when a set of machines ``M`` runs job ``j`` during a
+  step, the job survives with probability ``prod_{i in M} q_ij =
+  2**-mass``; the engine draws one uniform per scheduled job per step.
+* **SUU\\*** (Appendix A): one hidden threshold ``theta_j = -log2 r_j`` with
+  ``r_j ~ U(0,1)`` is drawn up front; the job completes on the first step
+  its cumulative delivered log mass reaches ``theta_j``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ScheduleViolationError, SimulationHorizonError
+from repro.instance.instance import SUUInstance
+from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.sim.results import SimResult
+from repro.util.rng import ensure_rng
+
+__all__ = ["run_policy", "draw_thresholds", "DEFAULT_MAX_STEPS"]
+
+#: Default simulation horizon; hitting it raises SimulationHorizonError.
+DEFAULT_MAX_STEPS: int = 1_000_000
+
+_LN2 = math.log(2.0)
+
+
+def draw_thresholds(n_jobs: int, rng) -> np.ndarray:
+    """Draw the SUU* completion thresholds ``theta_j = -log2 r_j``.
+
+    With ``r ~ U(0,1)``, ``-log2 r`` is exponential with mean ``1/ln 2``.
+    """
+    rng = ensure_rng(rng)
+    return rng.exponential(scale=1.0 / _LN2, size=n_jobs)
+
+
+def run_policy(
+    instance: SUUInstance,
+    policy: Policy,
+    rng=None,
+    *,
+    semantics: str = "suu",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    thresholds: np.ndarray | None = None,
+) -> SimResult:
+    """Execute ``policy`` on ``instance`` until every job completes.
+
+    Parameters
+    ----------
+    semantics:
+        ``"suu"`` for per-step coin flips, ``"suu_star"`` for the
+        deferred-decision formulation.
+    thresholds:
+        Optional pre-drawn SUU* thresholds (ignored under ``"suu"``); used
+        by tests and by offline/competitive analyses that fix the hidden
+        input ``{r_j}``.
+
+    Raises
+    ------
+    ScheduleViolationError
+        If the policy assigns a machine to a job whose predecessors have
+        not all completed.
+    SimulationHorizonError
+        If the execution exceeds ``max_steps``.
+    """
+    if semantics not in ("suu", "suu_star"):
+        raise ValueError(f"unknown semantics {semantics!r}")
+    rng = ensure_rng(rng)
+    n, m = instance.n_jobs, instance.n_machines
+    ell = instance.ell
+    graph = instance.graph
+
+    policy_rng, outcome_rng = rng.spawn(2)
+    policy.start(instance, policy_rng)
+
+    if semantics == "suu_star":
+        theta = (
+            np.asarray(thresholds, dtype=np.float64)
+            if thresholds is not None
+            else draw_thresholds(n, outcome_rng)
+        )
+        if theta.shape != (n,):
+            raise ValueError(f"thresholds must have shape ({n},), got {theta.shape}")
+    else:
+        theta = None
+
+    remaining = np.ones(n, dtype=bool)
+    indeg = graph.in_degree_array()
+    eligible = remaining & (indeg == 0)
+    mass_accrued = np.zeros(n, dtype=np.float64)
+    completion_times = np.zeros(n, dtype=np.int64)
+    busy = 0
+    machine_ids = np.arange(m)
+
+    t = 0
+    while remaining.any():
+        if t >= max_steps:
+            raise SimulationHorizonError(
+                f"{policy.name!r} exceeded max_steps={max_steps} with "
+                f"{int(remaining.sum())} jobs remaining",
+                steps=t,
+            )
+        state = SimulationState(
+            t=t, remaining=remaining, eligible=eligible, mass_accrued=mass_accrued
+        )
+        a = np.asarray(policy.assign(state))
+        if a.shape != (m,):
+            raise ScheduleViolationError(
+                f"{policy.name!r} returned assignment of shape {a.shape}, "
+                f"expected ({m},)"
+            )
+        if a.dtype.kind not in "iu":
+            raise ScheduleViolationError(
+                f"{policy.name!r} returned non-integer assignment dtype {a.dtype}"
+            )
+        active = a >= 0
+        if (a[active] >= n).any() or (a < IDLE).any():
+            raise ScheduleViolationError(
+                f"{policy.name!r} assigned an out-of-range job id"
+            )
+        # Assignments to completed jobs idle silently (the paper's
+        # convention); assignments to remaining-but-ineligible jobs are
+        # precedence violations.
+        targets = a[active]
+        bad = remaining[targets] & ~eligible[targets]
+        if bad.any():
+            machine = machine_ids[active][bad][0]
+            raise ScheduleViolationError(
+                f"{policy.name!r} assigned machine {int(machine)} to job "
+                f"{int(a[machine])} whose predecessors are incomplete (t={t})"
+            )
+        effective = active.copy()
+        effective[active] = remaining[targets]
+
+        step_mass = np.zeros(n, dtype=np.float64)
+        if effective.any():
+            jobs_hit = a[effective]
+            np.add.at(step_mass, jobs_hit, ell[machine_ids[effective], jobs_hit])
+            busy += int(effective.sum())
+
+        scheduled = np.nonzero(step_mass > 0.0)[0]
+        if semantics == "suu":
+            if scheduled.size:
+                u = outcome_rng.random(scheduled.size)
+                survive = u < np.power(2.0, -step_mass[scheduled])
+                done_now = scheduled[~survive]
+            else:
+                done_now = scheduled
+        else:
+            done_now = scheduled[
+                mass_accrued[scheduled] + step_mass[scheduled] >= theta[scheduled]
+            ]
+        mass_accrued = mass_accrued + step_mass
+
+        t += 1
+        if done_now.size:
+            remaining = remaining.copy()
+            remaining[done_now] = False
+            completion_times[done_now] = t
+            indeg = indeg.copy()
+            for j in done_now:
+                for w in graph.successors(int(j)):
+                    indeg[w] -= 1
+            eligible = remaining & (indeg == 0)
+
+    return SimResult(
+        makespan=t,
+        completion_times=completion_times,
+        busy_machine_steps=busy,
+        semantics=semantics,
+        policy_name=policy.name,
+    )

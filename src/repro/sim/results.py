@@ -1,0 +1,97 @@
+"""Result records for simulations and Monte Carlo estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimResult", "MakespanStats"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    makespan:
+        Number of unit steps until the last job completed.
+    completion_times:
+        Per-job completion step (1-based: a job finishing during step 0 has
+        completion time 1, matching "the expected time at which all jobs
+        complete").
+    busy_machine_steps:
+        Total machine-steps spent on uncompleted jobs (work actually done;
+        excludes idling and assignments to completed jobs).
+    semantics:
+        ``"suu"`` (per-step coin flips) or ``"suu_star"`` (deferred
+        thresholds).
+    policy_name:
+        The executing policy's ``name``.
+    """
+
+    makespan: int
+    completion_times: np.ndarray
+    busy_machine_steps: int
+    semantics: str
+    policy_name: str
+
+    def __post_init__(self):
+        ct = np.asarray(self.completion_times)
+        if ct.size and int(ct.max()) != self.makespan:
+            raise ValueError(
+                f"makespan {self.makespan} disagrees with completion times "
+                f"(max {int(ct.max())})"
+            )
+
+
+@dataclass(frozen=True)
+class MakespanStats:
+    """Monte Carlo summary of a policy's makespan distribution.
+
+    Attributes
+    ----------
+    samples:
+        The raw makespan samples (one per trial).
+    """
+
+    samples: np.ndarray
+    policy_name: str = "policy"
+
+    @property
+    def n_trials(self) -> int:
+        """Number of Monte Carlo trials."""
+        return int(self.samples.size)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the makespan (the ``E[T]`` estimate)."""
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single trial)."""
+        if self.samples.size < 2:
+            return 0.0
+        return float(self.samples.std(ddof=1))
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.samples.size < 2:
+            return 0.0
+        return self.std / float(np.sqrt(self.samples.size))
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.ci95
+        return (
+            f"MakespanStats({self.policy_name}: mean={self.mean:.3f} "
+            f"ci95=[{lo:.3f}, {hi:.3f}] n={self.n_trials})"
+        )

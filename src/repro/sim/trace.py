@@ -1,0 +1,120 @@
+"""Execution traces and an ASCII Gantt renderer.
+
+Wrapping any policy in :class:`TracingPolicy` records the full
+machine-by-step assignment table of one execution; :func:`render_gantt`
+draws it as an ASCII chart (one row per machine, one column per step),
+which the examples use to make schedules visible without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.schedule.base import IDLE, Policy, SimulationState
+
+__all__ = ["TracingPolicy", "ExecutionTrace", "render_gantt"]
+
+
+@dataclass
+class ExecutionTrace:
+    """Recorded assignments of one execution.
+
+    Attributes
+    ----------
+    rows:
+        One ``(m,)`` assignment array per simulated step, in time order.
+    """
+
+    rows: list = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of recorded steps."""
+        return len(self.rows)
+
+    def table(self) -> np.ndarray:
+        """Assignments as a ``(steps, m)`` array (IDLE = -1)."""
+        if not self.rows:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.vstack(self.rows)
+
+    def machine_utilization(self) -> np.ndarray:
+        """Fraction of steps each machine was assigned a job."""
+        t = self.table()
+        if t.size == 0:
+            return np.zeros(0)
+        return (t >= 0).mean(axis=0)
+
+    def job_steps(self, n_jobs: int) -> np.ndarray:
+        """Total machine-steps each job was assigned."""
+        t = self.table()
+        out = np.zeros(n_jobs, dtype=np.int64)
+        if t.size:
+            active = t[t >= 0]
+            np.add.at(out, active, 1)
+        return out
+
+
+class TracingPolicy(Policy):
+    """Record every assignment of an inner policy.
+
+    The wrapper is transparent: it forwards ``start``/``assign`` and stores
+    a copy of each returned row in :attr:`trace`.
+    """
+
+    def __init__(self, inner: Policy):
+        self.inner = inner
+        self.trace = ExecutionTrace()
+        self.name = f"traced({inner.name})"
+
+    def start(self, instance, rng) -> None:
+        self.trace = ExecutionTrace()
+        self.inner.start(instance, rng)
+
+    def assign(self, state: SimulationState) -> np.ndarray:
+        row = np.asarray(self.inner.assign(state))
+        self.trace.rows.append(row.copy())
+        return row
+
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_gantt(
+    trace: ExecutionTrace,
+    *,
+    max_width: int = 100,
+    completion_times: np.ndarray | None = None,
+) -> str:
+    """ASCII Gantt chart: one row per machine, one glyph per step.
+
+    Jobs are drawn with cycling alphanumeric glyphs (job id mod 62); idle
+    steps are ``.``.  Executions longer than ``max_width`` are truncated
+    with a marker.  When ``completion_times`` is given, a footer line marks
+    each step where at least one job completed with ``^``.
+    """
+    t = trace.table()
+    if t.size == 0:
+        return "(empty trace)"
+    steps, m = t.shape
+    shown = min(steps, max_width)
+    lines = [
+        f"steps 0..{shown - 1} of {steps}"
+        + (" (truncated)" if steps > shown else "")
+    ]
+    for i in range(m):
+        chars = []
+        for s in range(shown):
+            j = t[s, i]
+            chars.append("." if j < 0 else _GLYPHS[j % len(_GLYPHS)])
+        lines.append(f"m{i:<3d} |" + "".join(chars) + "|")
+    if completion_times is not None:
+        marks = np.zeros(shown, dtype=bool)
+        for ct in np.asarray(completion_times):
+            if 1 <= ct <= shown:
+                marks[int(ct) - 1] = True
+        lines.append("done |" + "".join("^" if f else " " for f in marks) + "|")
+    return "\n".join(lines)

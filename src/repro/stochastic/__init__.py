@@ -1,0 +1,19 @@
+"""Stochastic-scheduling substrate: R|pmtn|Cmax, R||Cmax, and execution."""
+
+from repro.stochastic.lawler_labetoulle import (
+    PreemptiveTimetable,
+    decompose_timetable,
+    solve_r_pmtn_cmax,
+)
+from repro.stochastic.lst import lst_feasible_assignment, solve_r_cmax_lst
+from repro.stochastic.sim import RoundOutcome, execute_timetable
+
+__all__ = [
+    "PreemptiveTimetable",
+    "solve_r_pmtn_cmax",
+    "decompose_timetable",
+    "solve_r_cmax_lst",
+    "lst_feasible_assignment",
+    "execute_timetable",
+    "RoundOutcome",
+]

@@ -1,0 +1,187 @@
+"""Lawler–Labetoulle: optimal preemptive schedules for ``R|pmtn|Cmax``.
+
+Two stages, both classic [8]:
+
+1. **LP**: minimize ``C`` subject to ``sum_i x_ij v_ij >= p_j`` (work),
+   ``sum_j x_ij <= C`` (machine loads), and ``sum_i x_ij <= C`` (no job may
+   occupy more than ``C`` time in total, since it can use only one machine
+   at a time).  The optimum ``C*`` is the exact preemptive makespan.
+
+2. **Decomposition**: pad the optimal time matrix ``X`` (``x_ij`` = time
+   machine ``i`` spends on job ``j``) to a square ``(m+n) x (m+n)`` matrix
+   with all row and column sums equal to ``C*`` (diagonal slack blocks plus
+   the transpose trick), then peel perfect matchings Birkhoff–von-Neumann
+   style: every positive-entry bipartite graph of such a matrix has a
+   perfect matching (Hall), each matching runs for the minimum matched
+   entry, and each step zeroes at least one entry, so at most
+   ``(m+n)^2`` segments result.  Restricted to the real block this yields a
+   preemptive timetable of makespan exactly ``C*`` in which no job ever
+   runs on two machines at once.
+
+This is the deterministic engine inside STC-I (Appendix C, Theorem 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.flow.matching import hopcroft_karp
+from repro.lp.model import LinearProgram
+
+__all__ = ["PreemptiveTimetable", "solve_r_pmtn_cmax", "decompose_timetable"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PreemptiveTimetable:
+    """A preemptive schedule: consecutive segments of constant assignment.
+
+    Attributes
+    ----------
+    segments:
+        List of ``(duration, assignment)`` pairs; ``assignment[i]`` is the
+        job machine ``i`` processes throughout the segment (or ``-1``).
+    makespan:
+        Total duration.
+    """
+
+    segments: tuple
+    makespan: float
+
+    def work_delivered(self, speeds: np.ndarray) -> np.ndarray:
+        """Total work each job receives: ``sum over segments of v_ij * dt``."""
+        n = speeds.shape[1]
+        out = np.zeros(n, dtype=np.float64)
+        for duration, assignment in self.segments:
+            for i, j in enumerate(assignment):
+                if j >= 0:
+                    out[j] += duration * speeds[i, j]
+        return out
+
+    def validate(self) -> None:
+        """Check the no-simultaneity invariant (one machine per job)."""
+        for duration, assignment in self.segments:
+            if duration < -_TOL:
+                raise ReproError(f"negative segment duration {duration}")
+            active = [j for j in assignment if j >= 0]
+            if len(active) != len(set(active)):
+                raise ReproError(
+                    "a job runs on two machines within one segment"
+                )
+
+
+def solve_r_pmtn_cmax(
+    speeds: np.ndarray, lengths: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Solve the Lawler–Labetoulle LP.
+
+    Returns ``(C*, X)`` with ``X[i, j]`` the time machine ``i`` spends on
+    job ``j``.  Pairs with zero speed get no time.
+    """
+    speeds = np.asarray(speeds, dtype=np.float64)
+    lengths = np.asarray(lengths, dtype=np.float64)
+    m, n = speeds.shape
+    if lengths.shape != (n,):
+        raise ValueError(f"lengths shape {lengths.shape} mismatches {n} jobs")
+    if (lengths < 0).any():
+        raise ValueError("job lengths must be nonnegative")
+
+    lp = LinearProgram()
+    c_var = lp.add_variable(objective=1.0)
+    var_of: dict[tuple[int, int], int] = {}
+    for j in range(n):
+        if lengths[j] <= 0:
+            continue
+        usable = np.nonzero(speeds[:, j] > 0)[0]
+        if usable.size == 0:
+            raise ReproError(f"job {j} has positive length but no usable machine")
+        for i in usable:
+            var_of[(int(i), j)] = lp.add_variable(objective=0.0)
+    for j in range(n):
+        if lengths[j] <= 0:
+            continue
+        coeffs = {
+            var: float(speeds[i, jj]) for (i, jj), var in var_of.items() if jj == j
+        }
+        lp.add_ge(coeffs, float(lengths[j]))
+        col = {var: 1.0 for (i, jj), var in var_of.items() if jj == j}
+        col[c_var] = -1.0
+        lp.add_le(col, 0.0)
+    for i in range(m):
+        coeffs = {var: 1.0 for (ii, _), var in var_of.items() if ii == i}
+        if coeffs:
+            coeffs[c_var] = -1.0
+            lp.add_le(coeffs, 0.0)
+    sol = lp.solve()
+    X = np.zeros((m, n), dtype=np.float64)
+    for (i, j), var in var_of.items():
+        X[i, j] = max(0.0, sol.x[var])
+    return float(sol.value), X
+
+
+def decompose_timetable(X: np.ndarray, makespan: float) -> PreemptiveTimetable:
+    """Turn a time matrix with row/col sums <= ``makespan`` into a timetable.
+
+    Implements the padding + matching-peeling described in the module
+    docstring.  The result processes job ``j`` on machine ``i`` for exactly
+    ``X[i, j]`` time units total and never runs a job on two machines at
+    once.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    m, n = X.shape
+    C = float(makespan)
+    if C <= _TOL:
+        return PreemptiveTimetable(segments=(), makespan=0.0)
+    row_sums = X.sum(axis=1)
+    col_sums = X.sum(axis=0)
+    if row_sums.max() > C * (1 + 1e-7) + _TOL or col_sums.max() > C * (1 + 1e-7) + _TOL:
+        raise ReproError(
+            f"matrix sums exceed the makespan: max row {row_sums.max():.6g}, "
+            f"max col {col_sums.max():.6g}, C {C:.6g}"
+        )
+
+    # Padded square matrix: [[X, diag(row slack)], [diag(col slack), X^T]].
+    s = m + n
+    B = np.zeros((s, s), dtype=np.float64)
+    B[:m, :n] = X
+    B[m:, n:] = X.T
+    for i in range(m):
+        B[i, n + i] = max(0.0, C - row_sums[i])
+    for j in range(n):
+        B[m + j, j] = max(0.0, C - col_sums[j])
+
+    segments: list[tuple[float, tuple[int, ...]]] = []
+    remaining = C
+    guard = 0
+    scale = max(C, 1.0)
+    while remaining > _TOL * scale:
+        guard += 1
+        if guard > s * s + 2 * s + 8:
+            raise ReproError("timetable decomposition failed to converge")
+        thresh = _TOL * scale
+        adjacency = [list(np.nonzero(B[r] > thresh)[0]) for r in range(s)]
+        size, match_l, _ = hopcroft_karp(s, s, adjacency)
+        if size < s:
+            # Numerical dust can starve a row; absorb it by treating rows
+            # with only dust as matched to their slack column.
+            raise ReproError(
+                f"no perfect matching in decomposition step (matched {size}/{s})"
+            )
+        delta = min(
+            min(B[r, match_l[r]] for r in range(s)),
+            remaining,
+        )
+        if delta <= thresh:
+            raise ReproError("decomposition made no progress")
+        assignment = tuple(
+            int(match_l[i]) if match_l[i] < n else -1 for i in range(m)
+        )
+        segments.append((float(delta), assignment))
+        for r in range(s):
+            B[r, match_l[r]] -= delta
+        remaining -= delta
+    return PreemptiveTimetable(segments=tuple(segments), makespan=C)

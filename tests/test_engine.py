@@ -1,0 +1,211 @@
+"""Tests for the simulation engine (repro.sim.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleViolationError, SimulationHorizonError
+from repro.instance import PrecedenceGraph, SUUInstance, independent_instance
+from repro.schedule.base import IDLE, Policy
+from repro.sim import draw_thresholds, run_policy
+
+
+class ConstantPolicy(Policy):
+    """Assign every machine to a fixed job id forever."""
+
+    name = "constant"
+
+    def __init__(self, job):
+        self.job = job
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):
+        return np.full(self._m, self.job, dtype=np.int64)
+
+
+class FirstRemainingPolicy(Policy):
+    """All machines on the first remaining eligible job."""
+
+    name = "first-remaining"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):
+        targets = np.nonzero(state.remaining & state.eligible)[0]
+        if targets.size == 0:
+            return np.full(self._m, IDLE, dtype=np.int64)
+        return np.full(self._m, targets[0], dtype=np.int64)
+
+
+class BadShapePolicy(Policy):
+    name = "bad-shape"
+
+    def assign(self, state):
+        return np.array([0, 0, 0, 0, 0, 0, 0], dtype=np.int64)
+
+
+class FloatPolicy(Policy):
+    name = "float-assign"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):
+        return np.zeros(self._m, dtype=np.float64)
+
+
+class IneligiblePolicy(Policy):
+    """Assigns the last job immediately (violating precedence)."""
+
+    name = "ineligible"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+        self._n = instance.n_jobs
+
+    def assign(self, state):
+        return np.full(self._m, self._n - 1, dtype=np.int64)
+
+
+class IdlePolicy(Policy):
+    name = "idler"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):
+        return np.full(self._m, IDLE, dtype=np.int64)
+
+
+class TestBasicExecution:
+    def test_deterministic_success(self):
+        # q = 0 everywhere: every job completes the first step it runs.
+        inst = SUUInstance(np.zeros((2, 3)))
+        res = run_policy(inst, FirstRemainingPolicy(), rng=0)
+        assert res.makespan == 3
+        assert sorted(res.completion_times.tolist()) == [1, 2, 3]
+
+    def test_geometric_single_job(self):
+        inst = SUUInstance(np.array([[0.5]]))
+        samples = [
+            run_policy(inst, FirstRemainingPolicy(), rng=k).makespan
+            for k in range(2000)
+        ]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_busy_steps_counted(self):
+        inst = SUUInstance(np.zeros((2, 2)))
+        res = run_policy(inst, FirstRemainingPolicy(), rng=0)
+        assert res.busy_machine_steps == 4  # 2 machines x 2 steps
+
+    def test_both_semantics_complete(self, small_independent):
+        for semantics in ("suu", "suu_star"):
+            res = run_policy(
+                small_independent, FirstRemainingPolicy(), rng=1, semantics=semantics
+            )
+            assert res.makespan >= small_independent.n_jobs
+            assert (res.completion_times > 0).all()
+
+    def test_fixed_thresholds_deterministic(self, small_independent):
+        theta = draw_thresholds(small_independent.n_jobs, np.random.default_rng(5))
+        a = run_policy(
+            small_independent,
+            FirstRemainingPolicy(),
+            rng=1,
+            semantics="suu_star",
+            thresholds=theta,
+        )
+        b = run_policy(
+            small_independent,
+            FirstRemainingPolicy(),
+            rng=2,  # different rng: thresholds fixed, policy deterministic
+            semantics="suu_star",
+            thresholds=theta,
+        )
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.completion_times, b.completion_times)
+
+
+class TestPrecedence:
+    def test_chain_executes_in_order(self):
+        q = np.zeros((1, 3))
+        graph = PrecedenceGraph(3, [(2, 1), (1, 0)])
+        inst = SUUInstance(q, graph)
+        res = run_policy(inst, FirstRemainingPolicy(), rng=0)
+        assert res.completion_times[2] < res.completion_times[1] < res.completion_times[0]
+
+    def test_violation_detected(self):
+        graph = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        inst = SUUInstance(np.full((2, 3), 0.5), graph)
+        with pytest.raises(ScheduleViolationError, match="predecessors"):
+            run_policy(inst, IneligiblePolicy(), rng=0)
+
+    def test_assign_completed_is_idle(self):
+        # Constantly assigning job 0 after it completes must not crash and
+        # must never finish job 1 -> horizon error.
+        inst = SUUInstance(np.zeros((1, 2)))
+        with pytest.raises(SimulationHorizonError):
+            run_policy(inst, ConstantPolicy(0), rng=0, max_steps=50)
+
+
+class TestValidation:
+    def test_bad_shape(self, tiny_instance):
+        with pytest.raises(ScheduleViolationError, match="shape"):
+            run_policy(tiny_instance, BadShapePolicy(), rng=0)
+
+    def test_bad_dtype(self, tiny_instance):
+        with pytest.raises(ScheduleViolationError, match="dtype"):
+            run_policy(tiny_instance, FloatPolicy(), rng=0)
+
+    def test_out_of_range_job(self, tiny_instance):
+        with pytest.raises(ScheduleViolationError, match="out-of-range"):
+            run_policy(tiny_instance, ConstantPolicy(99), rng=0)
+
+    def test_horizon(self, tiny_instance):
+        with pytest.raises(SimulationHorizonError) as err:
+            run_policy(tiny_instance, IdlePolicy(), rng=0, max_steps=10)
+        assert err.value.steps == 10
+
+    def test_bad_semantics(self, tiny_instance):
+        with pytest.raises(ValueError, match="semantics"):
+            run_policy(tiny_instance, IdlePolicy(), rng=0, semantics="nope")
+
+    def test_bad_thresholds_shape(self, tiny_instance):
+        with pytest.raises(ValueError, match="thresholds"):
+            run_policy(
+                tiny_instance,
+                FirstRemainingPolicy(),
+                rng=0,
+                semantics="suu_star",
+                thresholds=np.array([1.0]),
+            )
+
+
+class TestThresholds:
+    def test_distribution(self):
+        theta = draw_thresholds(200_000, np.random.default_rng(0))
+        # -log2 U ~ exponential with mean 1/ln 2 = log2(e).
+        assert theta.mean() == pytest.approx(np.log2(np.e), rel=0.02)
+        assert (theta > 0).all()
+
+    def test_reproducible(self):
+        a = draw_thresholds(10, np.random.default_rng(3))
+        b = draw_thresholds(10, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestReproducibility:
+    def test_same_seed_same_run(self, small_independent):
+        a = run_policy(small_independent, FirstRemainingPolicy(), rng=77)
+        b = run_policy(small_independent, FirstRemainingPolicy(), rng=77)
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.completion_times, b.completion_times)
+
+    def test_different_seeds_differ_somewhere(self, small_independent):
+        outcomes = {
+            run_policy(small_independent, FirstRemainingPolicy(), rng=s).makespan
+            for s in range(10)
+        }
+        assert len(outcomes) > 1

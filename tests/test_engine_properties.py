@@ -1,0 +1,100 @@
+"""Property-based tests of engine invariants (hypothesis).
+
+A random-but-valid policy (each machine picks a uniformly random eligible
+job) is run on randomized instances under both semantics; the invariants
+checked here must hold for *any* policy and any instance:
+
+* every job completes exactly once, at a step <= makespan;
+* precedence: completion times strictly increase along every edge;
+* the SimulationState snapshots handed to the policy are never mutated
+  retroactively (monotone remaining sets);
+* busy machine-steps never exceed m x makespan.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import RandomAssignmentPolicy
+from repro.instance import (
+    chain_instance,
+    forest_instance,
+    independent_instance,
+    random_dag_instance,
+)
+from repro.schedule.base import Policy
+from repro.sim import run_policy
+
+
+class SnapshotCheckingPolicy(Policy):
+    """Random policy that asserts state snapshots stay consistent."""
+
+    name = "snapshot-checker"
+
+    def start(self, instance, rng):
+        self._rng = rng
+        self._m = instance.n_machines
+        self._prev_remaining = None
+        self._idle = np.full(instance.n_machines, -1, dtype=np.int64)
+
+    def assign(self, state):
+        # Monotonicity: remaining sets only shrink over time.
+        if self._prev_remaining is not None:
+            assert not (state.remaining & ~self._prev_remaining).any()
+        self._prev_remaining = state.remaining.copy()
+        # Eligible is a subset of remaining.
+        assert not (state.eligible & ~state.remaining).any()
+        # Mass never decreases and is finite.
+        assert np.isfinite(state.mass_accrued).all()
+        targets = np.nonzero(state.eligible)[0]
+        if targets.size == 0:
+            return self._idle
+        return targets[self._rng.integers(0, targets.size, size=self._m)]
+
+
+def _make_instance(kind: str, n: int, m: int, seed: int):
+    rng = np.random.default_rng(seed)
+    if kind == "independent":
+        return independent_instance(n, m, "uniform", rng=rng)
+    if kind == "chains":
+        return chain_instance(n, m, max(1, n // 3), "uniform", rng=rng)
+    if kind == "forest":
+        return forest_instance(n, m, max(1, n // 4), "mixed", "uniform", rng=rng)
+    return random_dag_instance(n, m, 0.25, "uniform", rng=rng)
+
+
+@given(
+    st.sampled_from(["independent", "chains", "forest", "dag"]),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["suu", "suu_star"]),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants(kind, n, m, semantics, seed):
+    inst = _make_instance(kind, n, m, seed)
+    res = run_policy(
+        inst,
+        SnapshotCheckingPolicy(),
+        rng=seed + 1,
+        semantics=semantics,
+        max_steps=300_000,
+    )
+    ct = res.completion_times
+    assert ct.shape == (n,)
+    assert (ct >= 1).all()
+    assert ct.max() == res.makespan
+    for u, v in inst.graph.edges:
+        assert ct[u] < ct[v], f"edge ({u},{v}) violated"
+    assert 0 <= res.busy_machine_steps <= m * res.makespan
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_random_policy_always_terminates(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 10))
+    m = int(rng.integers(1, 4))
+    inst = independent_instance(n, m, "uniform", rng=rng)
+    res = run_policy(inst, RandomAssignmentPolicy(), rng=seed, max_steps=300_000)
+    assert res.makespan >= (n + m - 1) // m  # can't beat perfect parallelism

@@ -1,0 +1,225 @@
+"""Tests for the flow substrate (Dinic + Hopcroft-Karp) vs networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import INF_CAPACITY, MaxFlowNetwork, hopcroft_karp, max_bipartite_matching
+
+
+def random_flow_network(n_nodes, n_edges, seed, max_cap=20):
+    rng = np.random.default_rng(seed)
+    edges = []
+    for _ in range(n_edges):
+        u = int(rng.integers(0, n_nodes))
+        v = int(rng.integers(0, n_nodes))
+        if u != v:
+            edges.append((u, v, int(rng.integers(0, max_cap + 1))))
+    return edges
+
+
+class TestDinicBasics:
+    def test_single_path(self):
+        net = MaxFlowNetwork(3)
+        net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        net = MaxFlowNetwork(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(0, 2, 3)
+        net.add_edge(1, 3, 4)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3) == 3
+
+    def test_classic_cross_network(self):
+        # The textbook 6-node example with a cross edge.
+        net = MaxFlowNetwork(6)
+        net.add_edge(0, 1, 16)
+        net.add_edge(0, 2, 13)
+        net.add_edge(1, 2, 10)
+        net.add_edge(2, 1, 4)
+        net.add_edge(1, 3, 12)
+        net.add_edge(3, 2, 9)
+        net.add_edge(2, 4, 14)
+        net.add_edge(4, 3, 7)
+        net.add_edge(3, 5, 20)
+        net.add_edge(4, 5, 4)
+        assert net.max_flow(0, 5) == 23
+
+    def test_disconnected(self):
+        net = MaxFlowNetwork(4)
+        net.add_edge(0, 1, 5)
+        net.add_edge(2, 3, 5)
+        assert net.max_flow(0, 3) == 0
+
+    def test_zero_capacity(self):
+        net = MaxFlowNetwork(2)
+        net.add_edge(0, 1, 0)
+        assert net.max_flow(0, 1) == 0
+
+    def test_flow_on_edges(self):
+        net = MaxFlowNetwork(3)
+        e0 = net.add_edge(0, 1, 5)
+        e1 = net.add_edge(1, 2, 3)
+        net.max_flow(0, 2)
+        assert net.flow_on(e0) == 3
+        assert net.flow_on(e1) == 3
+
+    def test_infinite_capacity(self):
+        net = MaxFlowNetwork(4)
+        net.add_edge(0, 1, 7)
+        net.add_edge(1, 2, INF_CAPACITY)
+        net.add_edge(2, 3, 5)
+        assert net.max_flow(0, 3) == 5
+
+    def test_rejects_self_loop(self):
+        net = MaxFlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(1, 1, 3)
+
+    def test_rejects_negative_capacity(self):
+        net = MaxFlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+
+    def test_rejects_same_source_sink(self):
+        net = MaxFlowNetwork(2)
+        net.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_rejects_edges_after_solve(self):
+        net = MaxFlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.max_flow(0, 1)
+        with pytest.raises(RuntimeError):
+            net.add_edge(1, 2, 1)
+
+    def test_add_node(self):
+        net = MaxFlowNetwork(2)
+        w = net.add_node()
+        net.add_edge(0, w, 4)
+        net.add_edge(w, 1, 2)
+        assert net.max_flow(0, 1) == 2
+
+
+class TestDinicVsNetworkx:
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=40),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_value_matches(self, n, m, seed):
+        edges = random_flow_network(n, m, seed)
+        net = MaxFlowNetwork(n)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(n))
+        for u, v, cap in edges:
+            net.add_edge(u, v, cap)
+            if G.has_edge(u, v):
+                G[u][v]["capacity"] += cap
+            else:
+                G.add_edge(u, v, capacity=cap)
+        ours = net.max_flow(0, n - 1)
+        theirs = nx.maximum_flow_value(G, 0, n - 1)
+        assert ours == theirs
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=30),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_and_cut(self, n, m, seed):
+        edges = random_flow_network(n, m, seed)
+        net = MaxFlowNetwork(n)
+        ids = [net.add_edge(u, v, c) for u, v, c in edges]
+        value = net.max_flow(0, n - 1)
+        # Conservation at interior nodes.
+        balance = [0] * n
+        for (u, v, cap), eid in zip(edges, ids):
+            f = net.flow_on(eid)
+            assert 0 <= f <= cap
+            balance[u] -= f
+            balance[v] += f
+        for w in range(1, n - 1):
+            assert balance[w] == 0
+        assert balance[n - 1] == value
+        # Min-cut certificate: cut capacity equals flow value.
+        side = net.min_cut_side(0)
+        assert side[0]
+        if value > 0 or not side[n - 1]:
+            cut = sum(
+                cap for (u, v, cap) in edges if side[u] and not side[v]
+            )
+            assert cut == value
+
+
+class TestHopcroftKarp:
+    def test_perfect(self):
+        size, ml, mr = hopcroft_karp(3, 3, [[0, 1], [0], [1, 2]])
+        assert size == 3
+        assert sorted(ml) == [0, 1, 2]
+
+    def test_unmatchable(self):
+        size, ml, mr = hopcroft_karp(2, 1, [[0], [0]])
+        assert size == 1
+
+    def test_empty(self):
+        size, ml, mr = hopcroft_karp(0, 0, [])
+        assert size == 0
+
+    def test_no_edges(self):
+        size, ml, mr = hopcroft_karp(3, 3, [[], [], []])
+        assert size == 0
+        assert ml == [-1, -1, -1]
+
+    def test_rejects_bad_vertex(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(1, 1, [[5]])
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(2, 2, [[0]])
+
+    def test_matching_consistency(self):
+        size, ml, mr = hopcroft_karp(4, 4, [[0, 1], [1, 2], [2, 3], [3, 0]])
+        assert size == 4
+        for u, v in enumerate(ml):
+            assert mr[v] == u
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_size_matches_networkx(self, nl, nr, density, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (u, v)
+            for u in range(nl)
+            for v in range(nr)
+            if rng.random() < density
+        ]
+        size, ml, mr = max_bipartite_matching(nl, nr, edges)
+        G = nx.Graph()
+        G.add_nodes_from(range(nl), bipartite=0)
+        G.add_nodes_from(range(nl, nl + nr), bipartite=1)
+        G.add_edges_from((u, nl + v) for u, v in edges)
+        theirs = len(nx.bipartite.maximum_matching(G, top_nodes=range(nl))) // 2
+        assert size == theirs
+        # Validity: matched pairs are actual edges, no double use.
+        eset = set(edges)
+        used_r = set()
+        for u, v in enumerate(ml):
+            if v >= 0:
+                assert (u, v) in eset
+                assert v not in used_r
+                used_r.add(v)

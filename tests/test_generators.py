@@ -1,0 +1,158 @@
+"""Tests for workload generators (repro.instance.generators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.instance import (
+    PrecedenceClass,
+    chain_instance,
+    extract_chains,
+    failure_matrix,
+    forest_instance,
+    independent_instance,
+    layered_instance,
+    random_dag_instance,
+    stochastic_instance,
+    tree_instance,
+)
+
+
+class TestFailureMatrix:
+    @pytest.mark.parametrize("model", ["uniform", "powerlaw", "specialist", "related"])
+    def test_shape_and_range(self, model):
+        q = failure_matrix(5, 8, model, rng=0)
+        assert q.shape == (5, 8)
+        assert (q >= 0).all() and (q <= 1).all()
+
+    def test_uniform_respects_bounds(self):
+        q = failure_matrix(4, 50, "uniform", rng=1, q_lo=0.3, q_hi=0.4)
+        assert (q >= 0.3).all() and (q <= 0.4).all()
+
+    def test_specialist_counts(self):
+        q = failure_matrix(6, 20, "specialist", rng=2, specialists_per_job=2, q_bad=0.99)
+        good = (q < 0.99).sum(axis=0)
+        assert (good == 2).all()
+
+    def test_related_constant_rows(self):
+        q = failure_matrix(3, 10, "related", rng=3)
+        assert np.allclose(q, q[:, :1])
+
+    def test_unknown_model(self):
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            failure_matrix(2, 2, "nope", rng=0)
+
+    def test_bad_range(self):
+        with pytest.raises(InvalidInstanceError):
+            failure_matrix(2, 2, "uniform", rng=0, q_lo=0.9, q_hi=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = failure_matrix(3, 4, "powerlaw", rng=42)
+        b = failure_matrix(3, 4, "powerlaw", rng=42)
+        assert np.array_equal(a, b)
+
+
+class TestShapes:
+    def test_independent(self):
+        inst = independent_instance(7, 3, rng=0)
+        assert inst.precedence_class is PrecedenceClass.INDEPENDENT
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=30),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chain_partition(self, n, z, seed):
+        z = min(z, n)
+        inst = chain_instance(n, 3, z, rng=seed)
+        chains = extract_chains(inst.graph)
+        assert len(chains) == z
+        assert sorted(j for c in chains for j in c) == list(range(n))
+
+    def test_chain_bad_count(self):
+        with pytest.raises(InvalidInstanceError):
+            chain_instance(5, 2, 6, rng=0)
+
+    @pytest.mark.parametrize("orientation,expected", [
+        ("out", {PrecedenceClass.OUT_FOREST, PrecedenceClass.CHAINS}),
+        ("in", {PrecedenceClass.IN_FOREST, PrecedenceClass.CHAINS}),
+    ])
+    def test_tree_orientation(self, orientation, expected):
+        inst = tree_instance(12, 3, orientation, rng=4)
+        assert inst.precedence_class in expected
+        assert inst.graph.n_edges == 11  # a tree on 12 vertices
+
+    def test_tree_bad_orientation(self):
+        with pytest.raises(InvalidInstanceError):
+            tree_instance(5, 2, "sideways", rng=0)
+
+    def test_forest_components(self):
+        inst = forest_instance(20, 3, 4, "out", rng=5)
+        comps = inst.graph.weakly_connected_components()
+        assert len(comps) == 4
+
+    def test_forest_mixed(self):
+        inst = forest_instance(20, 3, 4, "mixed", rng=6)
+        assert inst.precedence_class in (
+            PrecedenceClass.MIXED_FOREST,
+            PrecedenceClass.OUT_FOREST,
+            PrecedenceClass.IN_FOREST,
+            PrecedenceClass.CHAINS,
+        )
+
+    def test_layered_complete(self):
+        inst = layered_instance([3, 4], 2, rng=7)
+        assert inst.graph.n_edges == 12  # complete bipartite 3 x 4
+        levels = inst.graph.levels()
+        assert (levels[:3] == 0).all() and (levels[3:] == 1).all()
+
+    def test_layered_sparse_keeps_predecessor(self):
+        inst = layered_instance([5, 5, 5], 2, rng=8, density=0.1)
+        lvl = inst.graph.levels()
+        for j in range(5, 15):
+            assert inst.graph.in_degree(j) >= 1
+        assert lvl.max() == 2
+
+    def test_layered_rejects_empty_layer(self):
+        with pytest.raises(InvalidInstanceError):
+            layered_instance([3, 0, 2], 2, rng=0)
+
+    def test_random_dag_is_dag(self):
+        inst = random_dag_instance(15, 3, 0.3, rng=9)
+        # Construction succeeded => toposort succeeded => acyclic.
+        assert len(inst.graph.topological_order()) == 15
+
+
+class TestStochasticInstance:
+    def test_basic(self):
+        inst = stochastic_instance(8, 3, rng=0)
+        assert inst.n_jobs == 8
+        assert inst.n_machines == 3
+        assert (inst.rates > 0).all()
+        assert (inst.speeds.max(axis=0) > 0).all()
+
+    def test_mean_lengths(self):
+        inst = stochastic_instance(5, 2, rng=1)
+        assert np.allclose(inst.mean_lengths(), 1.0 / inst.rates)
+
+    def test_sample_lengths_positive(self):
+        inst = stochastic_instance(5, 2, rng=2)
+        p = inst.sample_lengths(np.random.default_rng(0))
+        assert (p > 0).all()
+
+    def test_sample_mean_close(self):
+        inst = stochastic_instance(3, 2, rng=3)
+        rng = np.random.default_rng(1)
+        draws = np.array([inst.sample_lengths(rng) for _ in range(4000)])
+        assert np.allclose(draws.mean(axis=0), inst.mean_lengths(), rtol=0.1)
+
+    def test_specialist_speed_model(self):
+        inst = stochastic_instance(10, 4, rng=4, speed_model="specialist")
+        assert inst.speeds.shape == (4, 10)
+
+    def test_rejects_bad_speed_model(self):
+        with pytest.raises(InvalidInstanceError):
+            stochastic_instance(3, 2, rng=0, speed_model="warp")

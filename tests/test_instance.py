@@ -1,0 +1,113 @@
+"""Tests for SUUInstance and serialization (repro.instance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.instance import (
+    PrecedenceGraph,
+    SUUInstance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+
+
+class TestValidation:
+    def test_basic(self, tiny_instance):
+        assert tiny_instance.n_jobs == 3
+        assert tiny_instance.n_machines == 2
+        assert tiny_instance.is_independent()
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidInstanceError, match="2-D"):
+            SUUInstance(np.array([0.5, 0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            SUUInstance(np.zeros((0, 3)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidInstanceError, match=r"\[0, 1\]"):
+            SUUInstance(np.array([[1.5]]))
+        with pytest.raises(InvalidInstanceError, match=r"\[0, 1\]"):
+            SUUInstance(np.array([[-0.1]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidInstanceError, match="non-finite"):
+            SUUInstance(np.array([[np.nan]]))
+
+    def test_rejects_hopeless_job(self):
+        q = np.array([[0.5, 1.0], [0.5, 1.0]])
+        with pytest.raises(InvalidInstanceError, match="never complete"):
+            SUUInstance(q)
+
+    def test_rejects_graph_size_mismatch(self):
+        with pytest.raises(InvalidInstanceError, match="columns"):
+            SUUInstance(np.array([[0.5]]), PrecedenceGraph(2, ()))
+
+    def test_q_is_readonly(self, tiny_instance):
+        with pytest.raises(ValueError):
+            tiny_instance.q[0, 0] = 0.1
+
+    def test_ell_matches_q(self, tiny_instance):
+        assert np.allclose(tiny_instance.ell, -np.log2(tiny_instance.q))
+
+
+class TestDerived:
+    def test_best_single_step_success(self):
+        inst = SUUInstance(np.array([[0.5], [0.5]]))
+        assert inst.best_single_step_success()[0] == pytest.approx(0.75)
+
+    def test_equality_and_hash(self):
+        q = np.array([[0.5, 0.6]])
+        a = SUUInstance(q)
+        b = SUUInstance(q.copy())
+        assert a == b
+        assert hash(a) == hash(b)
+        c = SUUInstance(np.array([[0.5, 0.7]]))
+        assert a != c
+
+    def test_precedence_class_passthrough(self, small_chains):
+        assert small_chains.precedence_class.value == "chains"
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self, small_chains):
+        data = instance_to_dict(small_chains)
+        back = instance_from_dict(data)
+        assert back == small_chains
+        assert back.graph.edges == small_chains.graph.edges
+
+    def test_roundtrip_file(self, tmp_path, small_tree):
+        path = tmp_path / "inst.json"
+        save_instance(small_tree, path)
+        back = load_instance(path)
+        assert back == small_tree
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(InvalidInstanceError, match="format"):
+            instance_from_dict({"format": "bogus"})
+
+    def test_rejects_shape_mismatch(self, tiny_instance):
+        data = instance_to_dict(tiny_instance)
+        data["n_jobs"] = 99
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_exact_probabilities(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.uniform(0.05, 0.95, size=(m, n))
+        inst = SUUInstance(q)
+        back = instance_from_dict(instance_to_dict(inst))
+        # float -> repr -> float is exact for binary64.
+        assert np.array_equal(back.q, inst.q)

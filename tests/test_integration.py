@@ -1,0 +1,103 @@
+"""End-to-end integration matrix: every policy x compatible workloads.
+
+These are the "does the whole stack hold together" tests: generator ->
+LP -> rounding -> schedule -> engine -> result, under both semantics,
+with precedence validation left to the engine (which raises on violation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BestMachinePolicy,
+    GreedyLRPolicy,
+    RandomAssignmentPolicy,
+    RoundRobinPolicy,
+    SerialAllMachinesPolicy,
+)
+from repro.core import (
+    LayeredPolicy,
+    SUUCPolicy,
+    SUUIAdaptiveLPPolicy,
+    SUUIOblPolicy,
+    SUUISemPolicy,
+    SUUTPolicy,
+)
+from repro.instance import (
+    chain_instance,
+    forest_instance,
+    independent_instance,
+    layered_instance,
+    random_dag_instance,
+    tree_instance,
+)
+from repro.sim import run_policy
+
+WORKLOADS = {
+    "independent": lambda seed: independent_instance(12, 4, "specialist", rng=seed),
+    "chains": lambda seed: chain_instance(12, 4, 3, "uniform", rng=seed),
+    "out-tree": lambda seed: tree_instance(12, 4, "out", "uniform", rng=seed),
+    "in-tree": lambda seed: tree_instance(12, 4, "in", "uniform", rng=seed),
+    "forest": lambda seed: forest_instance(14, 4, 3, "mixed", "uniform", rng=seed),
+    "layered": lambda seed: layered_instance([5, 4, 3], 4, "uniform", rng=seed),
+    "dag": lambda seed: random_dag_instance(10, 4, 0.25, "uniform", rng=seed),
+}
+
+# Which policies are valid on which workloads.
+COMPATIBILITY = {
+    "SUUIOblPolicy": (SUUIOblPolicy, {"independent"}),
+    "SUUISemPolicy": (SUUISemPolicy, {"independent"}),
+    "SUUIAdaptiveLPPolicy": (SUUIAdaptiveLPPolicy, {"independent"}),
+    "SUUCPolicy": (SUUCPolicy, {"independent", "chains"}),
+    "SUUTPolicy": (
+        SUUTPolicy,
+        {"independent", "chains", "out-tree", "in-tree", "forest"},
+    ),
+    "LayeredPolicy": (LayeredPolicy, set(WORKLOADS)),
+    "GreedyLRPolicy": (GreedyLRPolicy, set(WORKLOADS)),
+    "SerialAllMachinesPolicy": (SerialAllMachinesPolicy, set(WORKLOADS)),
+    "RoundRobinPolicy": (RoundRobinPolicy, set(WORKLOADS)),
+    "BestMachinePolicy": (BestMachinePolicy, set(WORKLOADS)),
+    "RandomAssignmentPolicy": (RandomAssignmentPolicy, set(WORKLOADS)),
+}
+
+CASES = [
+    (policy_name, workload)
+    for policy_name, (_, compat) in COMPATIBILITY.items()
+    for workload in sorted(compat)
+]
+
+
+@pytest.mark.parametrize("policy_name,workload", CASES)
+@pytest.mark.parametrize("semantics", ["suu", "suu_star"])
+def test_policy_on_workload(policy_name, workload, semantics):
+    factory, _ = COMPATIBILITY[policy_name]
+    inst = WORKLOADS[workload](seed=hash((policy_name, workload)) % 2**31)
+    res = run_policy(
+        inst, factory(), rng=11, semantics=semantics, max_steps=300_000
+    )
+    assert res.makespan >= 1
+    assert (res.completion_times >= 1).all()
+    for u, v in inst.graph.edges:
+        assert res.completion_times[u] < res.completion_times[v]
+
+
+def test_full_pipeline_reproducible_end_to_end():
+    """Same seed => bit-identical makespans across the whole stack."""
+    inst = chain_instance(14, 4, 4, "specialist", rng=99)
+    a = run_policy(inst, SUUCPolicy(), rng=123, max_steps=300_000)
+    b = run_policy(inst, SUUCPolicy(), rng=123, max_steps=300_000)
+    assert a.makespan == b.makespan
+    assert np.array_equal(a.completion_times, b.completion_times)
+
+
+def test_policies_rank_sanely_on_specialist_chains():
+    """Serial should not beat SUU-C on average over several seeds."""
+    from repro.sim import estimate_expected_makespan
+
+    inst = chain_instance(20, 5, 4, "specialist", rng=5)
+    suuc = estimate_expected_makespan(inst, SUUCPolicy, 20, rng=6, max_steps=300_000)
+    serial = estimate_expected_makespan(
+        inst, SerialAllMachinesPolicy, 20, rng=7, max_steps=300_000
+    )
+    assert suuc.mean <= serial.mean * 1.3

@@ -1,0 +1,77 @@
+"""Coverage for stochastic-instance serialization and pseudoschedule helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.instance import StochasticInstance, stochastic_instance
+from repro.instance.io import stochastic_from_dict, stochastic_to_dict
+from repro.schedule import IntegralAssignment, build_chain_programs, flattened_length
+from repro.schedule.pseudo import congestion_profile
+
+
+class TestStochasticIO:
+    def test_roundtrip(self):
+        inst = stochastic_instance(6, 3, rng=0)
+        back = stochastic_from_dict(stochastic_to_dict(inst))
+        assert np.array_equal(back.rates, inst.rates)
+        assert np.array_equal(back.speeds, inst.speeds)
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(InvalidInstanceError):
+            stochastic_from_dict({"format": "nope"})
+
+
+class TestStochasticValidation:
+    def test_rejects_2d_rates(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(np.ones(3), np.ones((2, 4)))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(np.array([0.0]), np.ones((1, 1)))
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(np.array([1.0]), np.array([[-1.0]]))
+
+    def test_rejects_speedless_job(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(np.array([1.0, 1.0]), np.array([[1.0, 0.0]]))
+
+    def test_arrays_readonly(self):
+        inst = stochastic_instance(3, 2, rng=1)
+        with pytest.raises(ValueError):
+            inst.rates[0] = 5.0
+        with pytest.raises(ValueError):
+            inst.speeds[0, 0] = 5.0
+
+
+class TestPseudoHelpers:
+    def test_flattened_length_zero(self):
+        assert flattened_length(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_flattened_length_sums(self):
+        assert flattened_length(np.array([2, 0, 3])) == 5
+
+    def test_empty_program_congestion(self):
+        x = np.zeros((2, 1), dtype=np.int64)
+        x[0, 0] = 1
+        a = IntegralAssignment(x=x, jobs=(0,), target=1.0)
+        programs = build_chain_programs([[0]], a)
+        prof = congestion_profile(programs, np.array([0]), 2)
+        assert prof.tolist() == [1]
+
+    def test_gamma_none_means_no_pauses(self):
+        x = np.zeros((1, 2), dtype=np.int64)
+        x[0, 0] = 100
+        x[0, 1] = 1
+        a = IntegralAssignment(x=x, jobs=(0, 1), target=1.0)
+        programs = build_chain_programs([[0, 1]], a, gamma=None)
+        from repro.schedule.pseudo import JobBlock
+
+        assert all(isinstance(item, JobBlock) for item in programs[0].items)

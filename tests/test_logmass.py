@@ -1,0 +1,136 @@
+"""Tests for log-mass conversions (repro.util.logmass)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.logmass import (
+    LOGMASS_CAP,
+    capped_logmass,
+    failure_to_logmass,
+    group_index,
+    logmass_matrix,
+    logmass_to_failure,
+    success_probability,
+)
+
+
+class TestFailureToLogmass:
+    def test_half_gives_one(self):
+        assert failure_to_logmass(0.5) == pytest.approx(1.0)
+
+    def test_quarter_gives_two(self):
+        assert failure_to_logmass(0.25) == pytest.approx(2.0)
+
+    def test_one_gives_zero(self):
+        assert failure_to_logmass(1.0) == 0.0
+
+    def test_zero_clamps_to_cap(self):
+        assert failure_to_logmass(0.0) == LOGMASS_CAP
+
+    def test_scalar_returns_float(self):
+        assert isinstance(failure_to_logmass(0.5), float)
+
+    def test_array_shape_preserved(self):
+        q = np.array([[0.5, 0.25], [1.0, 0.0]])
+        out = failure_to_logmass(q)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[1, 1] == LOGMASS_CAP
+
+    @given(st.floats(min_value=1e-18, max_value=1.0))
+    def test_roundtrip(self, q):
+        ell = failure_to_logmass(q)
+        back = logmass_to_failure(ell)
+        assert back == pytest.approx(q, rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_range(self, q):
+        ell = failure_to_logmass(q)
+        assert 0.0 <= ell <= LOGMASS_CAP
+
+
+class TestLogmassToFailure:
+    def test_one_gives_half(self):
+        assert logmass_to_failure(1.0) == pytest.approx(0.5)
+
+    def test_zero_gives_one(self):
+        assert logmass_to_failure(0.0) == 1.0
+
+    def test_huge_clamps(self):
+        assert logmass_to_failure(1e9) == pytest.approx(2.0**-LOGMASS_CAP)
+
+    def test_array(self):
+        out = logmass_to_failure(np.array([0.0, 1.0, 2.0]))
+        assert np.allclose(out, [1.0, 0.5, 0.25])
+
+
+class TestLogmassMatrix:
+    def test_matches_scalar(self):
+        q = np.array([[0.5, 0.25]])
+        assert np.allclose(logmass_matrix(q), [[1.0, 2.0]])
+
+
+class TestCappedLogmass:
+    def test_caps_large_values(self):
+        out = capped_logmass(np.array([0.2, 5.0]), 1.0)
+        assert np.allclose(out, [0.2, 1.0])
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            capped_logmass(np.array([1.0]), 0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.01, max_value=50.0),
+    )
+    def test_never_exceeds_cap(self, ell, cap):
+        assert capped_logmass(np.array([ell]), cap)[0] <= cap
+
+
+class TestSuccessProbability:
+    def test_mass_one_is_half(self):
+        assert success_probability(1.0) == pytest.approx(0.5)
+
+    def test_mass_zero_is_zero(self):
+        assert success_probability(0.0) == 0.0
+
+    def test_small_mass_accuracy(self):
+        # 1 - 2^-x ~ x ln 2 for small x; naive evaluation would cancel.
+        mass = 1e-12
+        assert success_probability(mass) == pytest.approx(
+            mass * math.log(2.0), rel=1e-6
+        )
+
+    @given(st.floats(min_value=0.0, max_value=80.0))
+    def test_matches_definition(self, mass):
+        expected = 1.0 - 2.0**-mass
+        assert success_probability(mass) == pytest.approx(expected, abs=1e-12)
+
+
+class TestGroupIndex:
+    def test_powers_of_two(self):
+        assert group_index(1.0) == 0
+        assert group_index(2.0) == 1
+        assert group_index(0.5) == -1
+
+    def test_interval_membership(self):
+        # l' in [2^k, 2^(k+1)) must map to group k.
+        for ell, k in [(1.5, 0), (3.99, 1), (0.75, -1), (0.26, -2)]:
+            assert group_index(ell) == k
+
+    def test_zero_returns_none(self):
+        assert group_index(0.0) is None
+
+    def test_below_floor_returns_none(self):
+        assert group_index(2.0**-70) is None
+
+    @given(st.floats(min_value=1e-15, max_value=64.0))
+    def test_group_bounds(self, ell):
+        k = group_index(ell)
+        if k is not None:
+            assert 2.0**k <= ell * (1 + 1e-12)
+            assert ell < 2.0 ** (k + 1) * (1 + 1e-12)

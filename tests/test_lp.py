@@ -1,0 +1,88 @@
+"""Tests for the LP substrate (repro.lp)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleLPError
+from repro.lp import LinearProgram, solve_lp
+
+
+class TestSolveLP:
+    def test_simple_min(self):
+        # min x s.t. x >= 3
+        sol = solve_lp(np.array([1.0]), A_ub=np.array([[-1.0]]), b_ub=np.array([-3.0]))
+        assert sol.value == pytest.approx(3.0)
+
+    def test_infeasible_raises(self):
+        # x <= -1, x >= 0
+        with pytest.raises(InfeasibleLPError):
+            solve_lp(np.array([1.0]), A_ub=np.array([[1.0]]), b_ub=np.array([-1.0]))
+
+    def test_unbounded_raises(self):
+        with pytest.raises(InfeasibleLPError):
+            solve_lp(np.array([-1.0]), bounds=[(0, None)])
+
+
+class TestLinearProgram:
+    def test_variable_bounds(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0, lb=2.0, ub=5.0)
+        sol = lp.solve()
+        assert sol.x[x] == pytest.approx(2.0)
+
+    def test_rejects_inverted_bounds(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_variable(lb=3.0, ub=1.0)
+
+    def test_ge_le_eq(self):
+        # min x + y  s.t. x + y >= 2, x <= 1.5, y == 1
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        y = lp.add_variable(objective=1.0)
+        lp.add_ge({x: 1.0, y: 1.0}, 2.0)
+        lp.add_le({x: 1.0}, 1.5)
+        lp.add_eq({y: 1.0}, 1.0)
+        sol = lp.solve()
+        assert sol.value == pytest.approx(2.0)
+        assert sol.x[y] == pytest.approx(1.0)
+
+    def test_duplicate_coefficients_merge(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        # 2x >= 4 expressed as two 1x coefficients on the same variable.
+        lp._add_row({x: 2.0}, 4.0, ">=")
+        sol = lp.solve()
+        assert sol.value == pytest.approx(2.0)
+
+    def test_rejects_unknown_variable(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        with pytest.raises(ValueError):
+            lp.add_le({5: 1.0}, 1.0)
+
+    def test_add_variables_bulk(self):
+        lp = LinearProgram()
+        cols = lp.add_variables(4, objective=1.0, lb=1.0)
+        assert cols == [0, 1, 2, 3]
+        sol = lp.solve()
+        assert sol.value == pytest.approx(4.0)
+
+    def test_counts(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        lp.add_variable()
+        lp.add_le({0: 1.0}, 1.0)
+        assert lp.n_variables == 2
+        assert lp.n_constraints == 1
+
+    def test_transportation_shape(self):
+        # min sum costs on a 2x2 transportation problem.
+        lp = LinearProgram()
+        x = [[lp.add_variable(objective=c) for c in row] for row in [[1, 2], [3, 1]]]
+        for i in range(2):
+            lp.add_eq({x[i][0]: 1.0, x[i][1]: 1.0}, 1.0)  # supply
+        for j in range(2):
+            lp.add_le({x[0][j]: 1.0, x[1][j]: 1.0}, 1.5)  # capacity
+        sol = lp.solve()
+        assert sol.value == pytest.approx(2.0)

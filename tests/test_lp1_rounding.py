@@ -1,0 +1,140 @@
+"""Tests for (LP1) and the Lemma 2 rounding (repro.core.lp1 / rounding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp1 import solve_lp1
+from repro.core.rounding import round_assignment
+from repro.errors import InvalidInstanceError
+from repro.instance import SUUInstance, independent_instance
+from repro.schedule.oblivious import FiniteObliviousSchedule
+
+
+class TestSolveLP1:
+    def test_single_job_single_machine(self):
+        # q = 0.5 -> l = 1 -> l' = 1/2 at L = 1/2, so t* = 1 machine-step...
+        # capped l' = min(1, 0.5) = 0.5; need 0.5 mass -> 1 step.
+        inst = SUUInstance(np.array([[0.5]]))
+        rel = solve_lp1(inst, target=0.5)
+        assert rel.t_star == pytest.approx(1.0)
+
+    def test_mass_target_met_fractionally(self, small_independent):
+        rel = solve_lp1(small_independent, target=0.5)
+        mass = rel.mass_per_job()
+        for j in rel.jobs:
+            assert mass[j] >= 0.5 * (1 - 1e-6)
+
+    def test_load_bounded_by_t_star(self, small_independent):
+        rel = solve_lp1(small_independent, target=0.5)
+        loads = rel.x.sum(axis=1)
+        assert loads.max() <= rel.t_star * (1 + 1e-6)
+
+    def test_subset_only(self, small_independent):
+        rel = solve_lp1(small_independent, jobs=[1, 3], target=0.5)
+        assert rel.jobs == (1, 3)
+        others = [j for j in range(small_independent.n_jobs) if j not in (1, 3)]
+        assert rel.x[:, others].sum() == 0.0
+
+    def test_empty_subset(self, small_independent):
+        rel = solve_lp1(small_independent, jobs=[], target=0.5)
+        assert rel.t_star == 0.0
+        assert rel.jobs == ()
+
+    def test_monotone_in_target(self, small_independent):
+        t_half = solve_lp1(small_independent, target=0.5).t_star
+        t_two = solve_lp1(small_independent, target=2.0).t_star
+        assert t_two >= t_half
+
+    def test_rejects_nonpositive_target(self, small_independent):
+        with pytest.raises(ValueError):
+            solve_lp1(small_independent, target=0.0)
+
+    def test_rejects_bad_jobs(self, small_independent):
+        with pytest.raises(ValueError):
+            solve_lp1(small_independent, jobs=[99])
+
+    def test_capping_changes_nothing_for_integral_use(self):
+        # A machine with huge mass: l' = L, so one step suffices.
+        inst = SUUInstance(np.array([[1e-9]]))  # l ~ 30
+        rel = solve_lp1(inst, target=0.5)
+        assert rel.t_star == pytest.approx(1.0)
+        assert rel.ell_capped[0, 0] == pytest.approx(0.5)
+
+
+class TestRounding:
+    @pytest.mark.parametrize("model", ["uniform", "specialist", "powerlaw"])
+    @pytest.mark.parametrize("target", [0.5, 1.0, 4.0])
+    def test_feasibility(self, model, target):
+        inst = independent_instance(15, 5, model, rng=3)
+        rel = solve_lp1(inst, target=target)
+        rounded = round_assignment(rel)
+        mass = rounded.mass_per_job(rel.ell_capped)
+        for j in rel.jobs:
+            assert mass[j] >= target * (1 - 1e-6)
+
+    def test_load_bound(self):
+        inst = independent_instance(20, 6, "specialist", rng=4)
+        rel = solve_lp1(inst, target=0.5)
+        rounded = round_assignment(rel)
+        assert rounded.load <= int(np.ceil(6 * max(rel.t_star, rel.x.sum(axis=1).max()))) + 1
+
+    def test_integrality(self, small_independent):
+        rel = solve_lp1(small_independent, target=0.5)
+        rounded = round_assignment(rel)
+        assert rounded.x.dtype.kind == "i"
+        assert (rounded.x >= 0).all()
+
+    def test_per_job_caps_respected(self):
+        inst = independent_instance(12, 4, "uniform", rng=5)
+        rel = solve_lp1(inst, target=1.0)
+        caps = np.full(inst.n_jobs, 50, dtype=np.int64)
+        rounded = round_assignment(rel, per_job_caps=caps)
+        assert (rounded.x <= 50).all()
+
+    def test_empty_jobs(self, small_independent):
+        rel = solve_lp1(small_independent, jobs=[], target=0.5)
+        rounded = round_assignment(rel)
+        assert rounded.x.sum() == 0
+
+    def test_rejects_bad_scale(self, small_independent):
+        rel = solve_lp1(small_independent, target=0.5)
+        with pytest.raises(ValueError):
+            round_assignment(rel, scale=0)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_always_feasible_at_scale_6(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        m = int(rng.integers(2, 8))
+        model = ["uniform", "specialist", "powerlaw", "related"][int(rng.integers(4))]
+        inst = independent_instance(n, m, model, rng=rng)
+        rel = solve_lp1(inst, target=0.5)
+        rounded = round_assignment(rel)  # raises RoundingError on miss
+        assert rounded.load >= 1
+
+    def test_schedule_gives_constant_success(self):
+        # The oblivious schedule built from the rounding gives every job a
+        # per-pass failure probability at most 2^-L.
+        inst = independent_instance(18, 5, "specialist", rng=6)
+        rel = solve_lp1(inst, target=0.5)
+        rounded = round_assignment(rel)
+        sched = FiniteObliviousSchedule.from_assignment(rounded)
+        mass = sched.mass_per_step(inst.ell).sum(axis=0)
+        # Uncapped masses dominate capped ones.
+        assert (mass >= 0.5 * (1 - 1e-6)).all()
+
+
+class TestRoundingGroups:
+    def test_grouping_loses_at_most_factor_two(self):
+        # Build a job where all machines share a group: rounding exact.
+        q = np.full((4, 1), 0.5)  # l = 1, group 0
+        inst = SUUInstance(q)
+        rel = solve_lp1(inst, target=2.0)
+        rounded = round_assignment(rel)
+        mass = rounded.mass_per_job(rel.ell_capped)[0]
+        assert mass >= 2.0
+        # Scale-6 flooring cannot overshoot absurdly either.
+        assert mass <= 6 * 2.0 + 4.0

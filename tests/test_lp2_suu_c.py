@@ -1,0 +1,184 @@
+"""Tests for (LP2), Lemma 6 rounding, and the SUU-C policy (Theorem 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lp2 import round_lp2, solve_lp2
+from repro.core.suu_c import SUUCPolicy
+from repro.errors import InvalidInstanceError
+from repro.instance import SUUInstance, chain_instance, extract_chains
+from repro.sim import run_policy
+
+
+class TestSolveLP2:
+    def test_constraints_hold(self, small_chains):
+        chains = extract_chains(small_chains.graph)
+        rel = solve_lp2(small_chains, chains)
+        mass = (rel.x * rel.ell_capped).sum(axis=0)
+        assert (mass >= 1 - 1e-6).all()
+        assert rel.x.sum(axis=1).max() <= rel.t_star * (1 + 1e-6)
+        assert (rel.d >= 1).all()
+        for chain in chains:
+            assert sum(rel.d[j] for j in chain) <= rel.t_star * (1 + 1e-6)
+        # x_ij <= d_j
+        assert (rel.x <= rel.d[None, :] * (1 + 1e-6)).all()
+
+    def test_chain_length_drives_value(self):
+        """One long chain forces t* >= chain length even with many machines."""
+        inst = chain_instance(10, 20, 1, "uniform", rng=0)
+        chains = extract_chains(inst.graph)
+        rel = solve_lp2(inst, chains)
+        assert rel.t_star >= 10 - 1e-6  # d_j >= 1 summed over the chain
+
+    def test_rejects_overlapping_chains(self, small_chains):
+        with pytest.raises(InvalidInstanceError, match="overlap"):
+            solve_lp2(small_chains, [[0, 1], [1, 2]])
+
+    def test_rejects_empty(self, small_chains):
+        with pytest.raises(InvalidInstanceError):
+            solve_lp2(small_chains, [])
+
+    def test_subset_of_jobs_allowed(self, small_chains):
+        rel = solve_lp2(small_chains, [[0], [1]])
+        assert rel.t_star > 0
+
+
+class TestRoundLP2:
+    def test_feasibility_and_caps(self, small_chains):
+        chains = extract_chains(small_chains.graph)
+        rel = solve_lp2(small_chains, chains)
+        rounded = round_lp2(rel)
+        mass = rounded.mass_per_job(rel.ell_capped)
+        jobs = [j for c in chains for j in c]
+        assert (mass[jobs] >= 1 - 1e-6).all()
+        # Lemma 6: lengths capped by ceil(6 d*_j).
+        lengths = rounded.lengths
+        for j in jobs:
+            assert lengths[j] <= int(np.ceil(6 * rel.d[j]))
+
+    def test_chain_length_blowup_bounded(self, small_chains):
+        chains = extract_chains(small_chains.graph)
+        rel = solve_lp2(small_chains, chains)
+        rounded = round_lp2(rel)
+        lengths = rounded.lengths
+        for chain in chains:
+            total = int(sum(lengths[j] for j in chain))
+            # <= sum ceil(6 d*_j) <= 6 sum d*_j + |chain| <= 7 t*.
+            assert total <= 7 * rel.t_star + 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_instances(self, seed):
+        inst = chain_instance(15, 4, 4, "specialist", rng=seed)
+        chains = extract_chains(inst.graph)
+        rel = solve_lp2(inst, chains)
+        rounded = round_lp2(rel)  # raises on infeasibility
+        assert rounded.load <= int(np.ceil(6 * max(rel.t_star, rel.x.sum(axis=1).max())))
+
+
+class TestSUUCPolicy:
+    def test_completes(self, small_chains):
+        pol = SUUCPolicy()
+        res = run_policy(small_chains, pol, rng=1, max_steps=200_000)
+        assert res.makespan >= 1
+        assert pol.stats["supersteps"] >= 1
+
+    def test_respects_precedence_always(self, small_chains):
+        # The engine itself raises if SUU-C ever violates precedence; run
+        # several seeds to exercise retries.
+        for seed in range(5):
+            run_policy(small_chains, SUUCPolicy(), rng=seed, max_steps=200_000)
+
+    def test_completion_order_within_chain(self, small_chains):
+        chains = extract_chains(small_chains.graph)
+        res = run_policy(small_chains, SUUCPolicy(), rng=2, max_steps=200_000)
+        for chain in chains:
+            times = [res.completion_times[j] for j in chain]
+            assert times == sorted(times)
+            assert len(set(times)) == len(times)
+
+    def test_long_job_segments(self):
+        inst = chain_instance(16, 3, 4, "specialist", rng=3, q_bad=0.9999)
+        pol = SUUCPolicy()
+        res = run_policy(inst, pol, rng=4, max_steps=200_000)
+        assert res.makespan >= 1
+        if pol.stats["n_long_jobs"] > 0:
+            assert pol.stats["sem_runs"] >= 1
+
+    def test_segments_disabled_treats_all_short(self):
+        inst = chain_instance(12, 3, 3, "specialist", rng=5, q_bad=0.999)
+        pol = SUUCPolicy(enable_segments=False)
+        run_policy(inst, pol, rng=6, max_steps=400_000)
+        assert pol.stats["n_long_jobs"] == 0
+        assert pol.stats["sem_runs"] == 0
+
+    def test_delays_disabled(self, small_chains):
+        pol = SUUCPolicy(enable_delays=False)
+        res = run_policy(small_chains, pol, rng=7, max_steps=200_000)
+        assert res.makespan >= 1
+        assert (pol._delays == 0).all()
+
+    def test_inner_obl_variant(self):
+        inst = chain_instance(12, 3, 3, "specialist", rng=8, q_bad=0.9999)
+        pol = SUUCPolicy(inner="obl")
+        res = run_policy(inst, pol, rng=9, max_steps=400_000)
+        assert res.makespan >= 1
+
+    def test_rejects_bad_inner(self):
+        with pytest.raises(ValueError):
+            SUUCPolicy(inner="bogus")
+
+    def test_fallback_on_tiny_congestion_limit(self, small_chains):
+        pol = SUUCPolicy(congestion_factor=0.0)
+        res = run_policy(small_chains, pol, rng=10, max_steps=200_000)
+        # With the limit clamped to its floor the run may or may not trip
+        # the fallback, but must complete either way.
+        assert res.makespan >= 1
+
+    def test_forced_fallback_still_completes(self, small_chains):
+        pol = SUUCPolicy(length_factor=0.0)
+        res = run_policy(small_chains, pol, rng=11, max_steps=200_000)
+        assert res.makespan >= 1
+        assert pol.stats["fallback"]
+
+    def test_independent_jobs_as_singleton_chains(self):
+        # An instance with no edges: every job is a singleton chain.
+        inst = SUUInstance(np.full((2, 5), 0.5))
+        res = run_policy(inst, SUUCPolicy(), rng=12, max_steps=200_000)
+        assert res.makespan >= 1
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            SUUCPolicy().assign(None)
+
+    def test_explicit_chains_param(self, small_chains):
+        chains = extract_chains(small_chains.graph)
+        pol = SUUCPolicy(chains=chains)
+        res = run_policy(small_chains, pol, rng=13, max_steps=200_000)
+        assert res.makespan >= 1
+
+    def test_unit_rounding_structure(self):
+        """Force the non-polynomial trick on and check solo preludes run."""
+        inst = chain_instance(6, 2, 2, "uniform", rng=14)
+        pol = SUUCPolicy()
+        pol.start(inst, np.random.default_rng(0))
+        # Recompute programs with a forced unit > 1 to exercise preludes.
+        from repro.schedule.pseudo import build_chain_programs
+        from repro.core.lp2 import round_lp2, solve_lp2
+        from repro.instance.chains import extract_chains as ec
+
+        chains = ec(inst.graph)
+        rel = solve_lp2(inst, chains)
+        rounded = round_lp2(rel)
+        programs = build_chain_programs(chains, rounded, unit=2)
+        has_prelude = any(
+            getattr(item, "prelude", ()) != ()
+            for p in programs
+            for item in p.items
+        )
+        odd_steps = (rounded.x % 2 == 1) & (rounded.x > 0)
+        assert has_prelude == bool(odd_steps.any())
+
+    def test_suu_star_semantics(self, small_chains):
+        res = run_policy(small_chains, SUUCPolicy(), rng=15, semantics="suu_star",
+                         max_steps=200_000)
+        assert res.makespan >= 1

@@ -1,0 +1,87 @@
+"""Tests for the chain-progress DP (repro.baselines.malewicz)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import optimal_chains_expected_makespan, optimal_expected_makespan
+from repro.errors import DecompositionError, ReproError
+from repro.instance import PrecedenceGraph, SUUInstance, chain_instance
+
+
+class TestChainDPClosedForms:
+    def test_single_job(self):
+        inst = SUUInstance(np.array([[0.5]]))
+        res = optimal_chains_expected_makespan(inst)
+        assert res.value == pytest.approx(2.0)
+        assert res.n_chains == 1
+
+    def test_single_chain_serial_geometrics(self):
+        graph = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        inst = SUUInstance(np.array([[0.5, 0.5, 0.5]]), graph)
+        res = optimal_chains_expected_makespan(inst)
+        assert res.value == pytest.approx(6.0)
+        assert res.n_states == 4
+
+    def test_two_machines_gang_up(self):
+        graph = PrecedenceGraph(2, [(0, 1)])
+        inst = SUUInstance(np.full((2, 2), 0.5), graph)
+        # Both machines on the frontier job: 2 x geometric(3/4).
+        res = optimal_chains_expected_makespan(inst)
+        assert res.value == pytest.approx(2 * 4.0 / 3.0)
+
+
+class TestAgreementWithSubsetDP:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_generic_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        z = int(rng.integers(1, 3))
+        inst = chain_instance(n, 2, z, "uniform", rng=rng)
+        a = optimal_chains_expected_makespan(inst).value
+        b = optimal_expected_makespan(inst).value
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_independent_as_singletons(self):
+        inst = SUUInstance(np.full((2, 4), 0.5))
+        a = optimal_chains_expected_makespan(inst).value
+        b = optimal_expected_makespan(inst).value
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestScalability:
+    def test_beyond_subset_dp_limit(self):
+        # 24 jobs in 2 chains: impossible for the 2^n DP, easy here.
+        inst = chain_instance(24, 2, 2, "uniform", rng=5)
+        res = optimal_chains_expected_makespan(inst)
+        assert res.value > 0
+        assert res.n_states <= 25 * 25
+
+    def test_state_guard(self):
+        inst = chain_instance(40, 2, 8, "uniform", rng=6)
+        with pytest.raises(ReproError, match="state space"):
+            optimal_chains_expected_makespan(inst, max_states=100)
+
+    def test_action_guard(self):
+        inst = chain_instance(12, 4, 6, "uniform", rng=7)
+        with pytest.raises(ReproError, match="actions"):
+            optimal_chains_expected_makespan(inst, max_actions=10)
+
+    def test_rejects_trees(self):
+        graph = PrecedenceGraph(3, [(0, 1), (0, 2)])
+        inst = SUUInstance(np.full((1, 3), 0.5), graph)
+        with pytest.raises(DecompositionError):
+            optimal_chains_expected_makespan(inst)
+
+
+class TestLowerBoundCalibration:
+    def test_lp2_bound_sound_at_scale(self):
+        """LB soundness on instances only this DP can solve exactly."""
+        from repro.analysis.bounds import lower_bound
+
+        for seed in range(3):
+            inst = chain_instance(18, 3, 2, "uniform", rng=seed)
+            opt = optimal_chains_expected_makespan(inst).value
+            assert lower_bound(inst) <= opt * (1 + 1e-9)

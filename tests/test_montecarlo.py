@@ -1,0 +1,99 @@
+"""Tests for Monte Carlo estimation and the exact oblivious-repeat sampler."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.suu_i_obl import SUUIOblPolicy, build_obl_schedule
+from repro.instance import SUUInstance, chain_instance, independent_instance
+from repro.schedule import FiniteObliviousSchedule, IntegralAssignment
+from repro.sim import (
+    estimate_expected_makespan,
+    sample_oblivious_repeat_makespans,
+)
+
+
+class TestEstimateExpectedMakespan:
+    def test_geometric_mean(self):
+        inst = SUUInstance(np.array([[0.5]]))
+        stats = estimate_expected_makespan(inst, SUUIOblPolicy, 1500, rng=0)
+        # One machine, q=1/2: every policy is "run the job"; E[T] = 2.
+        assert stats.mean == pytest.approx(2.0, rel=0.1)
+
+    def test_reproducible(self, small_independent):
+        a = estimate_expected_makespan(small_independent, SUUIOblPolicy, 10, rng=4)
+        b = estimate_expected_makespan(small_independent, SUUIOblPolicy, 10, rng=4)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_stats_fields(self, small_independent):
+        s = estimate_expected_makespan(small_independent, SUUIOblPolicy, 16, rng=5)
+        assert s.n_trials == 16
+        lo, hi = s.ci95
+        assert lo <= s.mean <= hi
+        assert s.policy_name == "SUU-I-OBL"
+
+    def test_single_trial_stats(self, small_independent):
+        s = estimate_expected_makespan(small_independent, SUUIOblPolicy, 1, rng=6)
+        assert s.std == 0.0
+        assert s.sem == 0.0
+
+    def test_rejects_zero_trials(self, small_independent):
+        with pytest.raises(ValueError):
+            estimate_expected_makespan(small_independent, SUUIOblPolicy, 0, rng=0)
+
+
+class TestExactObliviousSampler:
+    def test_matches_engine_distribution(self):
+        """The exact sampler and the engine must sample the same law."""
+        inst = independent_instance(8, 3, "uniform", rng=9)
+        schedule = build_obl_schedule(inst)
+        exact = sample_oblivious_repeat_makespans(inst, schedule, 400, rng=1)
+
+        def factory():
+            from repro.schedule.oblivious import RepeatingObliviousPolicy
+
+            return RepeatingObliviousPolicy(schedule)
+
+        engine = estimate_expected_makespan(inst, factory, 400, rng=2)
+        ks = scipy_stats.ks_2samp(exact.samples, engine.samples)
+        assert ks.pvalue > 0.001
+        assert exact.mean == pytest.approx(engine.mean, rel=0.15)
+
+    def test_single_machine_geometric(self):
+        inst = SUUInstance(np.array([[0.5]]))
+        x = np.ones((1, 1), dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=(0,), target=0.5)
+        )
+        stats = sample_oblivious_repeat_makespans(inst, sched, 4000, rng=3)
+        assert stats.mean == pytest.approx(2.0, rel=0.07)
+        assert stats.samples.min() >= 1
+
+    def test_rejects_precedence(self):
+        inst = chain_instance(6, 2, 2, rng=10)
+        x = np.ones((2, 6), dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=tuple(range(6)), target=0.5)
+        )
+        with pytest.raises(ValueError, match="independent"):
+            sample_oblivious_repeat_makespans(inst, sched, 10, rng=0)
+
+    def test_rejects_starved_job(self):
+        inst = independent_instance(3, 2, rng=11)
+        x = np.zeros((2, 3), dtype=np.int64)
+        x[0, 0] = 1  # jobs 1, 2 never scheduled
+        x[1, 1] = 0
+        sched = FiniteObliviousSchedule(np.array([[0, -1]]))
+        with pytest.raises(ValueError, match="zero mass"):
+            sample_oblivious_repeat_makespans(inst, sched, 10, rng=0)
+
+    def test_completion_in_later_pass(self):
+        # Hard job: q = 0.9 -> per-pass mass 0.152: most trials need many
+        # passes, so samples must exceed one schedule length frequently.
+        inst = SUUInstance(np.array([[0.9]]))
+        x = np.ones((1, 1), dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=(0,), target=0.1)
+        )
+        stats = sample_oblivious_repeat_makespans(inst, sched, 500, rng=4)
+        assert stats.mean == pytest.approx(10.0, rel=0.15)  # geometric p=0.1

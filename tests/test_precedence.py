@@ -1,0 +1,155 @@
+"""Tests for precedence graphs (repro.instance.precedence)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.instance.precedence import PrecedenceClass, PrecedenceGraph
+
+
+def random_dag_edges(n, density, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < density
+    ]
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = PrecedenceGraph(0, ())
+        assert g.n_jobs == 0
+        assert g.n_edges == 0
+
+    def test_simple_chain(self):
+        g = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        assert g.predecessors(1) == (0,)
+        assert g.successors(1) == (2,)
+        assert g.in_degree(0) == 0
+        assert g.out_degree(2) == 0
+
+    def test_rejects_cycle(self):
+        with pytest.raises(InvalidInstanceError, match="cycle"):
+            PrecedenceGraph(2, [(0, 1), (1, 0)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidInstanceError, match="self-loop"):
+            PrecedenceGraph(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            PrecedenceGraph(2, [(0, 1), (0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            PrecedenceGraph(2, [(0, 2)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(InvalidInstanceError):
+            PrecedenceGraph(-1, ())
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        edges = random_dag_edges(20, 0.2, 0)
+        g = PrecedenceGraph(20, edges)
+        pos = {v: i for i, v in enumerate(g.topological_order())}
+        for u, v in edges:
+            assert pos[u] < pos[v]
+
+    def test_covers_all_jobs(self):
+        g = PrecedenceGraph(10, [(0, 5), (5, 9)])
+        assert sorted(g.topological_order()) == list(range(10))
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_reachability(self, n, seed):
+        edges = random_dag_edges(n, 0.3, seed)
+        g = PrecedenceGraph(n, edges)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(edges)
+        for j in range(n):
+            assert g.ancestors(j) == nx.ancestors(nxg, j)
+            assert g.descendants(j) == nx.descendants(nxg, j)
+
+
+class TestClassification:
+    def test_independent(self):
+        assert PrecedenceGraph(4, ()).classify() is PrecedenceClass.INDEPENDENT
+
+    def test_chains(self):
+        g = PrecedenceGraph(5, [(0, 1), (1, 2), (3, 4)])
+        assert g.classify() is PrecedenceClass.CHAINS
+
+    def test_out_forest(self):
+        g = PrecedenceGraph(4, [(0, 1), (0, 2), (2, 3)])
+        assert g.classify() is PrecedenceClass.OUT_FOREST
+
+    def test_in_forest(self):
+        g = PrecedenceGraph(4, [(1, 0), (2, 0), (3, 2)])
+        assert g.classify() is PrecedenceClass.IN_FOREST
+
+    def test_mixed_forest(self):
+        # One out-tree and one in-tree component.
+        g = PrecedenceGraph(6, [(0, 1), (0, 2), (4, 3), (5, 3)])
+        assert g.classify() is PrecedenceClass.MIXED_FOREST
+
+    def test_general(self):
+        # Diamond: not a forest in either orientation.
+        g = PrecedenceGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.classify() is PrecedenceClass.GENERAL
+
+
+class TestStructureQueries:
+    def test_sources_sinks(self):
+        g = PrecedenceGraph(4, [(0, 1), (1, 2)])
+        assert g.sources() == [0, 3]
+        assert g.sinks() == [2, 3]
+
+    def test_components(self):
+        g = PrecedenceGraph(5, [(0, 1), (2, 3)])
+        assert g.weakly_connected_components() == [[0, 1], [2, 3], [4]]
+
+    def test_levels_chain(self):
+        g = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        assert g.levels().tolist() == [0, 1, 2]
+
+    def test_levels_diamond(self):
+        g = PrecedenceGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.levels().tolist() == [0, 1, 1, 2]
+
+    def test_levels_respect_edges(self):
+        edges = random_dag_edges(15, 0.25, 3)
+        g = PrecedenceGraph(15, edges)
+        lvl = g.levels()
+        for u, v in edges:
+            assert lvl[u] < lvl[v]
+
+    def test_reversed(self):
+        g = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        r = g.reversed()
+        assert r.predecessors(0) == (1,)
+        assert r.classify() is PrecedenceClass.CHAINS
+
+    def test_in_degree_array(self):
+        g = PrecedenceGraph(3, [(0, 2), (1, 2)])
+        assert g.in_degree_array().tolist() == [0, 0, 2]
+
+
+class TestInducedSubgraph:
+    def test_relabels(self):
+        g = PrecedenceGraph(5, [(0, 2), (2, 4)])
+        sub, jobs = g.induced_subgraph([0, 2, 4])
+        assert jobs == [0, 2, 4]
+        assert sub.edges == ((0, 1), (1, 2))
+
+    def test_drops_cross_edges(self):
+        g = PrecedenceGraph(4, [(0, 1), (1, 2), (2, 3)])
+        sub, jobs = g.induced_subgraph([0, 3])
+        assert sub.n_edges == 0

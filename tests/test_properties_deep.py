@@ -1,0 +1,121 @@
+"""Deeper property-based tests on the LP/rounding/decomposition stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import critical_path_lower_bound, lower_bound
+from repro.core.lp2 import round_lp2, solve_lp2
+from repro.instance import chain_instance, extract_chains, tree_instance
+from repro.instance.generators import stochastic_instance
+from repro.stochastic import decompose_timetable, solve_r_pmtn_cmax
+
+
+class TestLP2RoundingProperties:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_lemma6_invariants_random_chains(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 18))
+        m = int(rng.integers(2, 6))
+        z = int(rng.integers(1, min(5, n) + 1))
+        model = ["uniform", "specialist", "powerlaw"][int(rng.integers(3))]
+        inst = chain_instance(n, m, z, model, rng=rng)
+        chains = extract_chains(inst.graph)
+        rel = solve_lp2(inst, chains)
+        rounded = round_lp2(rel)
+
+        # Mass >= 1 for all jobs (Lemma 6 feasibility).
+        mass = rounded.mass_per_job(rel.ell_capped)
+        assert (mass >= 1 - 1e-6).all()
+        # Load <= ceil(6 max(t*, fractional load)).
+        t_eff = max(rel.t_star, rel.x.sum(axis=1).max())
+        assert rounded.load <= int(np.ceil(6 * t_eff))
+        # Per-job lengths <= ceil(6 d*_j).
+        for j in range(n):
+            assert rounded.lengths[j] <= int(np.ceil(6 * rel.d[j]))
+        # Chain lengths <= 7 t* (the paper's chain-length blow-up bound).
+        for chain in chains:
+            assert sum(int(rounded.lengths[j]) for j in chain) <= 7 * rel.t_star + 1e-6
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_lp2_value_at_least_lp1_style_needs(self, seed):
+        """t*_LP2 >= max(longest chain, per-job mass needs / capacity)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 14))
+        z = int(rng.integers(1, 4))
+        inst = chain_instance(n, 3, z, "uniform", rng=rng)
+        chains = extract_chains(inst.graph)
+        rel = solve_lp2(inst, chains)
+        longest = max(len(c) for c in chains)
+        assert rel.t_star >= longest - 1e-6  # d_j >= 1 summed along a chain
+
+
+class TestDecompositionBounds:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_segment_count_bound(self, seed):
+        """Birkhoff peeling must finish within (m+n)^2 + O(m+n) segments."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 7))
+        m = int(rng.integers(1, 5))
+        inst = stochastic_instance(n, m, rng=rng)
+        lengths = inst.sample_lengths(rng)
+        c, X = solve_r_pmtn_cmax(inst.speeds, lengths)
+        tt = decompose_timetable(X, c)
+        s = m + n
+        assert len(tt.segments) <= s * s + 2 * s + 8
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_durations_positive_and_sum_to_makespan(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = stochastic_instance(4, 3, rng=rng)
+        lengths = inst.mean_lengths()
+        c, X = solve_r_pmtn_cmax(inst.speeds, lengths)
+        tt = decompose_timetable(X, c)
+        total = sum(d for d, _ in tt.segments)
+        assert total == pytest.approx(c, rel=1e-6, abs=1e-6)
+        assert all(d > 0 for d, _ in tt.segments)
+
+
+class TestGeneratorShapeProperties:
+    def test_attach_bias_controls_depth(self):
+        deep = tree_instance(60, 2, "out", rng=1, attach_bias=8.0)
+        bushy = tree_instance(60, 2, "out", rng=1, attach_bias=-8.0)
+        assert deep.graph.levels().max() > bushy.graph.levels().max()
+
+    @given(st.integers(2, 40), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_tree_has_single_root(self, n, seed):
+        inst = tree_instance(n, 2, "out", rng=seed)
+        roots = [j for j in range(n) if inst.graph.in_degree(j) == 0]
+        assert len(roots) == 1
+
+    @given(st.integers(2, 40), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_in_tree_has_single_sink(self, n, seed):
+        inst = tree_instance(n, 2, "in", rng=seed)
+        sinks = [j for j in range(n) if inst.graph.out_degree(j) == 0]
+        assert len(sinks) == 1
+
+
+class TestBoundMonotonicity:
+    def test_critical_path_dominates_on_deep_trees(self):
+        """On a path-like tree the critical path is the binding bound."""
+        inst = tree_instance(12, 6, "out", rng=2, attach_bias=50.0)
+        cp = critical_path_lower_bound(inst)
+        assert lower_bound(inst) >= cp - 1e-9
+        # A 12-job path each needing >= 1 step: bound at least 12.
+        assert cp >= 12 - 1e-9
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_lower_bound_at_least_one_and_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 15))
+        inst = tree_instance(n, 3, "out", "powerlaw", rng=rng)
+        lb = lower_bound(inst)
+        assert 1.0 <= lb < np.inf

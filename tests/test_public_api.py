@@ -1,0 +1,93 @@
+"""Public-API hygiene: exports exist, are documented, and stay consistent."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.experiments",
+    "repro.flow",
+    "repro.instance",
+    "repro.lp",
+    "repro.schedule",
+    "repro.sim",
+    "repro.stochastic",
+    "repro.util",
+]
+
+
+class TestTopLevelExports:
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_all_public_callables_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or inspect.isclass(obj):
+                assert inspect.getdoc(obj), f"repro.{name} lacks a docstring"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize("pkg_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_module_docstrings(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        assert pkg.__doc__, f"{pkg_name} lacks a module docstring"
+        for info in pkgutil.iter_modules(pkg.__path__):
+            mod = importlib.import_module(f"{pkg_name}.{info.name}")
+            assert mod.__doc__, f"{pkg_name}.{info.name} lacks a module docstring"
+
+    def test_declared_exports_exist(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name!r}"
+
+
+class TestPublicClassesDocumented:
+    def test_policy_subclasses_have_names(self):
+        from repro.schedule.base import Policy
+
+        policies = [
+            repro.SUUIOblPolicy,
+            repro.SUUISemPolicy,
+            repro.SUUCPolicy,
+            repro.SUUTPolicy,
+            repro.LayeredPolicy,
+            repro.SUUIAdaptiveLPPolicy,
+            repro.GreedyLRPolicy,
+            repro.SerialAllMachinesPolicy,
+            repro.RoundRobinPolicy,
+            repro.BestMachinePolicy,
+            repro.RandomAssignmentPolicy,
+        ]
+        names = set()
+        for cls in policies:
+            assert issubclass(cls, Policy)
+            assert cls.name != Policy.name, f"{cls.__name__} kept the default name"
+            names.add(cls.name)
+        assert len(names) == len(policies), "policy display names collide"
+
+    def test_public_methods_documented(self):
+        for cls in (
+            repro.SUUInstance,
+            repro.PrecedenceGraph,
+            repro.FiniteObliviousSchedule,
+            repro.MakespanStats,
+        ):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"

@@ -1,0 +1,71 @@
+"""Tests for RNG discipline and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_independent_streams(self):
+        children = spawn_rngs(ensure_rng(0), 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(ensure_rng(3), 3)]
+        b = [g.random() for g in spawn_rngs(ensure_rng(3), 3)]
+        assert a == b
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(ensure_rng(0), -1)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.InvalidInstanceError,
+            errors.InfeasibleLPError,
+            errors.RoundingError,
+            errors.ScheduleViolationError,
+            errors.SimulationHorizonError,
+            errors.DecompositionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+    def test_lp_error_carries_status(self):
+        err = errors.InfeasibleLPError("bad", status=2)
+        assert err.status == 2
+
+    def test_horizon_error_carries_steps(self):
+        err = errors.SimulationHorizonError("slow", steps=10)
+        assert err.steps == 10
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.RoundingError("nope")

@@ -1,0 +1,214 @@
+"""Tests for schedule representations (repro.schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.instance import SUUInstance, chain_instance
+from repro.core.lp2 import round_lp2, solve_lp2
+from repro.instance.chains import extract_chains
+from repro.schedule import (
+    IDLE,
+    FiniteObliviousSchedule,
+    IntegralAssignment,
+    JobBlock,
+    Pause,
+    RepeatingObliviousPolicy,
+    build_chain_programs,
+    congestion_profile,
+    draw_delays,
+    flattened_length,
+)
+from repro.sim import run_policy
+
+
+class TestIntegralAssignment:
+    def test_properties(self):
+        x = np.array([[2, 0, 1], [0, 3, 1]], dtype=np.int64)
+        a = IntegralAssignment(x=x, jobs=(0, 1, 2), target=0.5)
+        assert a.load == 4
+        assert a.machine_loads.tolist() == [3, 4]
+        assert a.lengths.tolist() == [2, 3, 1]
+
+    def test_mass_per_job(self):
+        x = np.array([[2]], dtype=np.int64)
+        a = IntegralAssignment(x=x, jobs=(0,), target=0.5)
+        assert a.mass_per_job(np.array([[1.5]]))[0] == pytest.approx(3.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IntegralAssignment(x=np.array([[-1]]), jobs=(0,), target=0.5)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            IntegralAssignment(x=np.array([[1.5]]), jobs=(0,), target=0.5)
+
+
+class TestFiniteObliviousSchedule:
+    def test_from_assignment_layout(self):
+        x = np.array([[2, 1], [0, 3]], dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=(0, 1), target=0.5)
+        )
+        assert sched.length == 3
+        # Machine 0: job 0 twice then job 1; machine 1: job 1 thrice.
+        assert sched.table[:, 0].tolist() == [0, 0, 1]
+        assert sched.table[:, 1].tolist() == [1, 1, 1]
+
+    def test_idle_padding(self):
+        x = np.array([[1], [3]], dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=(0,), target=0.5)
+        )
+        assert sched.table[:, 0].tolist() == [0, IDLE, IDLE]
+
+    def test_assignment_at_bounds(self):
+        sched = FiniteObliviousSchedule(np.full((2, 1), IDLE))
+        with pytest.raises(IndexError):
+            sched.assignment_at(2)
+
+    def test_mass_per_step(self):
+        x = np.array([[1, 1]], dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=(0, 1), target=0.5)
+        )
+        ell = np.array([[2.0, 3.0]])
+        mass = sched.mass_per_step(ell)
+        assert mass.shape == (2, 2)
+        assert mass[0].tolist() == [2.0, 0.0]
+        assert mass[1].tolist() == [0.0, 3.0]
+
+    def test_rejects_bad_table(self):
+        with pytest.raises(ValueError):
+            FiniteObliviousSchedule(np.array([[-5]]))
+        with pytest.raises(ValueError):
+            FiniteObliviousSchedule(np.zeros(3))
+
+    def test_repeating_policy_completes(self):
+        inst = SUUInstance(np.full((2, 4), 0.4))
+        x = np.ones((2, 4), dtype=np.int64)
+        sched = FiniteObliviousSchedule.from_assignment(
+            IntegralAssignment(x=x, jobs=tuple(range(4)), target=0.5)
+        )
+        res = run_policy(inst, RepeatingObliviousPolicy(sched), rng=3)
+        assert res.makespan >= 1
+
+    def test_repeating_policy_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RepeatingObliviousPolicy(FiniteObliviousSchedule(np.zeros((0, 2), dtype=np.int64)))
+
+    def test_repeating_policy_machine_mismatch(self):
+        inst = SUUInstance(np.full((3, 2), 0.4))
+        sched = FiniteObliviousSchedule(np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="machines"):
+            run_policy(inst, RepeatingObliviousPolicy(sched), rng=0)
+
+
+class TestChainPrograms:
+    def _assignment(self):
+        x = np.array(
+            [
+                [3, 0, 1],
+                [1, 2, 0],
+            ],
+            dtype=np.int64,
+        )
+        return IntegralAssignment(x=x, jobs=(0, 1, 2), target=1.0)
+
+    def test_blocks(self):
+        programs = build_chain_programs([[0, 1], [2]], self._assignment())
+        assert len(programs) == 2
+        b0 = programs[0].items[0]
+        assert isinstance(b0, JobBlock)
+        assert b0.job == 0
+        assert b0.length == 3
+        assert dict(b0.steps) == {0: 3, 1: 1}
+        assert b0.machines_at(0) == [0, 1]
+        assert b0.machines_at(1) == [0]
+        assert b0.machines_at(2) == [0]
+
+    def test_pause_for_long_jobs(self):
+        programs = build_chain_programs([[0, 1], [2]], self._assignment(), gamma=2)
+        first = programs[0].items[0]
+        assert isinstance(first, Pause)
+        assert first.job == 0
+        assert first.length == 2
+        second = programs[0].items[1]
+        assert isinstance(second, JobBlock)
+
+    def test_unit_rounding_and_prelude(self):
+        programs = build_chain_programs([[0, 1], [2]], self._assignment(), unit=2)
+        b0 = programs[0].items[0]
+        # x = 3 on machine 0 -> 2 main + 1 prelude; x = 1 on machine 1 -> prelude only.
+        assert dict(b0.steps) == {0: 2}
+        assert dict(b0.prelude) == {0: 1, 1: 1}
+        assert b0.prelude_length == 1
+        assert b0.length == 2
+
+    def test_unit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            build_chain_programs([[0]], self._assignment(), unit=0)
+
+    def test_one_pass_superstep_count(self):
+        programs = build_chain_programs([[0, 1], [2]], self._assignment())
+        assert programs[0].n_supersteps_one_pass == 3 + 2
+        assert programs[1].n_supersteps_one_pass == 1
+
+
+class TestDelaysAndCongestion:
+    def test_draw_delays_range(self):
+        rng = np.random.default_rng(0)
+        d = draw_delays(1000, 10, rng)
+        assert d.min() >= 0 and d.max() <= 10
+
+    def test_draw_delays_disabled(self):
+        d = draw_delays(5, 10, np.random.default_rng(0), enabled=False)
+        assert (d == 0).all()
+
+    def test_draw_delays_unit_multiples(self):
+        d = draw_delays(500, 20, np.random.default_rng(1), unit=4)
+        assert (d % 4 == 0).all()
+        assert d.max() <= 20
+
+    def test_congestion_identical_chains(self):
+        # Two chains with identical single-block programs on one machine:
+        # undelayed congestion 2, fully staggered congestion 1.
+        x = np.zeros((1, 2), dtype=np.int64)
+        x[0, 0] = 2
+        x[0, 1] = 2
+        a = IntegralAssignment(x=x, jobs=(0, 1), target=1.0)
+        programs = build_chain_programs([[0], [1]], a)
+        prof0 = congestion_profile(programs, np.array([0, 0]), 1)
+        assert prof0.tolist() == [2, 2]
+        prof1 = congestion_profile(programs, np.array([0, 2]), 1)
+        assert prof1.tolist() == [1, 1, 1, 1]
+        assert flattened_length(prof0) == flattened_length(prof1) == 4
+
+    def test_congestion_with_pause(self):
+        x = np.zeros((1, 2), dtype=np.int64)
+        x[0, 0] = 5
+        x[0, 1] = 1
+        a = IntegralAssignment(x=x, jobs=(0, 1), target=1.0)
+        programs = build_chain_programs([[0, 1]], a, gamma=2)
+        # Job 0 is long -> pause of 2, then block of 1 for job 1.
+        prof = congestion_profile(programs, np.array([0]), 1)
+        assert prof.tolist() == [0, 0, 1]
+
+    def test_congestion_requires_matching_delays(self):
+        with pytest.raises(ValueError):
+            congestion_profile([], np.array([0]), 1)
+
+    def test_real_instance_congestion_drops_with_delay(self):
+        inst = chain_instance(60, 4, 20, "related", rng=11)
+        chains = extract_chains(inst.graph)
+        relax = solve_lp2(inst, chains)
+        assignment = round_lp2(relax)
+        programs = build_chain_programs(chains, assignment)
+        no_delay = congestion_profile(programs, np.zeros(20, dtype=np.int64), 4)
+        rng = np.random.default_rng(5)
+        delayed = [
+            congestion_profile(
+                programs, draw_delays(20, assignment.load, rng), 4
+            ).max()
+            for _ in range(5)
+        ]
+        assert np.mean(delayed) <= no_delay.max()

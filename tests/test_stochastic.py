@@ -1,0 +1,219 @@
+"""Tests for the stochastic-scheduling substrate and STC-I (Appendix C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stoch import (
+    serial_fastest_trial,
+    static_mean_trial,
+    stc_i_trial,
+    stochastic_round_count,
+    estimate_stochastic,
+    realized_preemptive_optimum,
+)
+from repro.errors import ReproError
+from repro.instance import StochasticInstance, stochastic_instance
+from repro.stochastic import (
+    decompose_timetable,
+    execute_timetable,
+    lst_feasible_assignment,
+    solve_r_cmax_lst,
+    solve_r_pmtn_cmax,
+)
+
+
+class TestLawlerLabetoulleLP:
+    def test_single_job(self):
+        # speed 2, length 4 -> C* = 2.
+        c, X = solve_r_pmtn_cmax(np.array([[2.0]]), np.array([4.0]))
+        assert c == pytest.approx(2.0)
+        assert X[0, 0] == pytest.approx(2.0)
+
+    def test_job_parallelism_forbidden(self):
+        # One job, two fast machines: the job still can't run on both at
+        # once, so C* = p / v = 1, not 1/2.
+        c, _ = solve_r_pmtn_cmax(np.full((2, 1), 4.0), np.array([4.0]))
+        assert c == pytest.approx(1.0)
+
+    def test_machine_load_bound(self):
+        # Two unit jobs, one unit machine: C* = 2.
+        c, _ = solve_r_pmtn_cmax(np.ones((1, 2)), np.ones(2))
+        assert c == pytest.approx(2.0)
+
+    def test_preemption_helps(self):
+        # Classic: 2 machines with complementary speeds.
+        speeds = np.array([[2.0, 1.0], [1.0, 2.0]])
+        lengths = np.array([3.0, 3.0])
+        c, X = solve_r_pmtn_cmax(speeds, lengths)
+        assert c <= 1.5 + 1e-9
+
+    def test_zero_length_jobs_skipped(self):
+        c, X = solve_r_pmtn_cmax(np.ones((1, 2)), np.array([0.0, 1.0]))
+        assert c == pytest.approx(1.0)
+        assert X[0, 0] == 0.0
+
+    def test_rejects_unusable_job(self):
+        with pytest.raises(ReproError):
+            solve_r_pmtn_cmax(np.zeros((1, 1)), np.array([1.0]))
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            solve_r_pmtn_cmax(np.ones((1, 1)), np.array([-1.0]))
+
+
+class TestDecomposition:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_timetable(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 5))
+        n = int(rng.integers(1, 7))
+        inst = stochastic_instance(n, m, rng=rng)
+        lengths = inst.sample_lengths(rng)
+        c, X = solve_r_pmtn_cmax(inst.speeds, lengths)
+        tt = decompose_timetable(X, c)
+        tt.validate()
+        # Makespan preserved and all work delivered.
+        assert tt.makespan == pytest.approx(c)
+        delivered = tt.work_delivered(inst.speeds)
+        target = (X * inst.speeds).sum(axis=0)
+        assert np.allclose(delivered, target, rtol=1e-6, atol=1e-6)
+
+    def test_no_job_on_two_machines(self):
+        speeds = np.ones((3, 3))
+        lengths = np.ones(3)
+        c, X = solve_r_pmtn_cmax(speeds, lengths)
+        tt = decompose_timetable(X, c)
+        tt.validate()  # raises if a job is doubled in a segment
+
+    def test_empty(self):
+        tt = decompose_timetable(np.zeros((2, 2)), 0.0)
+        assert tt.makespan == 0.0
+        assert tt.segments == ()
+
+    def test_rejects_oversized_matrix(self):
+        with pytest.raises(ReproError, match="exceed"):
+            decompose_timetable(np.array([[5.0]]), 1.0)
+
+
+class TestExecuteTimetable:
+    def test_exact_completion_time(self):
+        from repro.stochastic.lawler_labetoulle import PreemptiveTimetable
+
+        tt = PreemptiveTimetable(segments=((2.0, (0,)),), makespan=2.0)
+        speeds = np.array([[1.5]])
+        out = execute_timetable(tt, speeds, np.array([1.5]))
+        assert out.completion_offsets[0] == pytest.approx(1.0)
+        assert out.remaining_work[0] == 0.0
+        assert out.elapsed == pytest.approx(1.0)
+
+    def test_unfinished_work_carries(self):
+        from repro.stochastic.lawler_labetoulle import PreemptiveTimetable
+
+        tt = PreemptiveTimetable(segments=((1.0, (0,)),), makespan=1.0)
+        out = execute_timetable(tt, np.array([[1.0]]), np.array([3.0]))
+        assert np.isinf(out.completion_offsets[0])
+        assert out.remaining_work[0] == pytest.approx(2.0)
+        assert out.elapsed == pytest.approx(1.0)
+
+    def test_completed_jobs_skipped(self):
+        from repro.stochastic.lawler_labetoulle import PreemptiveTimetable
+
+        tt = PreemptiveTimetable(segments=((1.0, (0,)),), makespan=1.0)
+        out = execute_timetable(tt, np.array([[1.0]]), np.array([0.0]))
+        assert out.elapsed == 0.0
+
+
+class TestLST:
+    def test_assignment_valid(self):
+        inst = stochastic_instance(12, 4, rng=0)
+        lengths = inst.mean_lengths()
+        assignment, makespan = solve_r_cmax_lst(inst.speeds, lengths)
+        assert assignment.shape == (12,)
+        assert (assignment >= 0).all() and (assignment < 4).all()
+        # Recompute loads; makespan must match.
+        ptimes = lengths[None, :] / inst.speeds
+        loads = np.zeros(4)
+        for j in range(12):
+            loads[assignment[j]] += ptimes[assignment[j], j]
+        assert loads.max() == pytest.approx(makespan)
+
+    def test_two_approx_bound(self):
+        inst = stochastic_instance(15, 4, rng=1)
+        lengths = inst.mean_lengths()
+        _, makespan = solve_r_cmax_lst(inst.speeds, lengths)
+        c_pmtn, _ = solve_r_pmtn_cmax(inst.speeds, lengths)
+        # Preemptive optimum lower-bounds R||Cmax optimum; LST <= 2(1+eps) OPT.
+        assert makespan <= 2.05 * max(
+            c_pmtn, (lengths / inst.speeds.max(axis=0)).max()
+        ) * 1.5 + 1e-9
+
+    def test_feasible_assignment_threshold(self):
+        speeds = np.array([[1.0, 1.0]])
+        ptimes = np.array([[1.0, 1.0]])
+        out = lst_feasible_assignment(ptimes, 2.0)
+        assert out is not None
+        assert out.tolist() == [0, 0]
+
+    def test_infeasible_threshold(self):
+        ptimes = np.array([[1.0, 1.0]])
+        assert lst_feasible_assignment(ptimes, 0.5) is None
+
+
+class TestSTCITrials:
+    def test_round_count(self):
+        assert stochastic_round_count(2) == 3
+        assert stochastic_round_count(4) == 4
+        assert stochastic_round_count(16) == 5
+
+    def test_completes_all_work(self):
+        inst = stochastic_instance(8, 3, rng=2)
+        p = inst.sample_lengths(np.random.default_rng(0))
+        tr = stc_i_trial(inst, p)
+        assert tr.makespan > 0
+        assert tr.rounds_used >= 1
+
+    def test_restart_variant(self):
+        inst = stochastic_instance(8, 3, rng=3)
+        p = inst.sample_lengths(np.random.default_rng(1))
+        tr = stc_i_trial(inst, p, variant="restart")
+        assert tr.makespan > 0
+
+    def test_rejects_bad_variant(self):
+        inst = stochastic_instance(3, 2, rng=4)
+        with pytest.raises(ValueError):
+            stc_i_trial(inst, inst.mean_lengths(), variant="teleport")
+
+    def test_fallback_on_tiny_round_budget(self):
+        inst = stochastic_instance(6, 2, rng=5)
+        p = inst.sample_lengths(np.random.default_rng(2)) * 10
+        tr = stc_i_trial(inst, p, n_rounds=1)
+        assert tr.fallback or tr.makespan > 0
+
+    def test_makespan_at_least_realized_optimum(self):
+        inst = stochastic_instance(6, 3, rng=6)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            p = inst.sample_lengths(rng)
+            tr = stc_i_trial(inst, p)
+            assert tr.makespan >= realized_preemptive_optimum(inst, p) * (1 - 1e-6)
+
+    def test_serial_baseline(self):
+        inst = StochasticInstance(np.array([1.0, 1.0]), np.array([[1.0, 2.0]]))
+        tr = serial_fastest_trial(inst, np.array([2.0, 4.0]))
+        assert tr.makespan == pytest.approx(2.0 + 2.0)
+
+    def test_static_mean_baseline(self):
+        inst = stochastic_instance(6, 3, rng=7)
+        p = inst.sample_lengths(np.random.default_rng(4))
+        tr = static_mean_trial(inst, p)
+        assert tr.makespan > 0
+
+    def test_estimator_shapes(self):
+        inst = stochastic_instance(5, 2, rng=8)
+        stats, lbs = estimate_stochastic(inst, stc_i_trial, 6, rng=9)
+        assert stats.n_trials == 6
+        assert lbs.n_trials == 6
+        assert (stats.samples >= lbs.samples * (1 - 1e-6)).all()

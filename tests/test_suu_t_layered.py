@@ -1,0 +1,97 @@
+"""Tests for SUU-T (Theorem 12) and the layered-DAG extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.layered import LayeredPolicy
+from repro.core.suu_t import SUUTPolicy
+from repro.instance import (
+    forest_instance,
+    layered_instance,
+    random_dag_instance,
+    tree_instance,
+)
+from repro.instance.decomposition import decompose_forest
+from repro.sim import run_policy
+
+
+class TestSUUT:
+    @pytest.mark.parametrize("orientation", ["out", "in"])
+    def test_completes(self, orientation):
+        inst = tree_instance(14, 3, orientation, "uniform", rng=1)
+        pol = SUUTPolicy()
+        res = run_policy(inst, pol, rng=2, max_steps=200_000)
+        assert res.makespan >= 1
+        assert pol.stats["n_blocks"] == len(decompose_forest(inst.graph))
+
+    def test_respects_precedence(self):
+        # Engine enforcement: any violation raises.
+        for seed in range(4):
+            inst = forest_instance(18, 3, 3, "mixed", "uniform", rng=seed)
+            res = run_policy(inst, SUUTPolicy(), rng=seed + 100, max_steps=200_000)
+            for u, v in inst.graph.edges:
+                assert res.completion_times[u] < res.completion_times[v]
+
+    def test_blocks_complete_in_order(self):
+        inst = tree_instance(12, 3, "out", "uniform", rng=3)
+        blocks = decompose_forest(inst.graph)
+        res = run_policy(inst, SUUTPolicy(), rng=4, max_steps=200_000)
+        for earlier, later in zip(blocks, blocks[1:]):
+            max_earlier = max(
+                res.completion_times[j] for chain in earlier for j in chain
+            )
+            min_later = min(
+                res.completion_times[j] for chain in later for j in chain
+            )
+            assert max_earlier < min_later
+
+    def test_single_chain_tree(self):
+        # A path is a degenerate tree: one block.
+        inst = tree_instance(8, 2, "out", rng=5, attach_bias=100.0)
+        pol = SUUTPolicy()
+        res = run_policy(inst, pol, rng=6, max_steps=200_000)
+        assert res.makespan >= 8
+
+    def test_forwards_suu_c_kwargs(self):
+        inst = tree_instance(10, 3, "out", rng=7)
+        pol = SUUTPolicy(enable_delays=False)
+        res = run_policy(inst, pol, rng=8, max_steps=200_000)
+        assert res.makespan >= 1
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            SUUTPolicy().assign(None)
+
+    def test_suu_star(self):
+        inst = tree_instance(10, 3, "in", rng=9)
+        res = run_policy(inst, SUUTPolicy(), rng=10, semantics="suu_star",
+                         max_steps=200_000)
+        assert res.makespan >= 1
+
+
+class TestLayered:
+    def test_mapreduce_two_phases(self):
+        inst = layered_instance([6, 6], 4, "uniform", rng=11)
+        pol = LayeredPolicy()
+        res = run_policy(inst, pol, rng=12, max_steps=200_000)
+        assert pol.stats["n_levels"] == 2
+        first_phase_done = max(res.completion_times[:6])
+        second_phase_start = min(res.completion_times[6:])
+        assert first_phase_done < second_phase_start
+
+    def test_general_dag(self):
+        inst = random_dag_instance(15, 4, 0.2, "uniform", rng=13)
+        res = run_policy(inst, LayeredPolicy(), rng=14, max_steps=200_000)
+        for u, v in inst.graph.edges:
+            assert res.completion_times[u] < res.completion_times[v]
+
+    def test_independent_single_level(self):
+        inst = layered_instance([8], 3, "uniform", rng=15)
+        pol = LayeredPolicy()
+        res = run_policy(inst, pol, rng=16, max_steps=200_000)
+        assert pol.stats["n_levels"] == 1
+        assert res.makespan >= 1
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            LayeredPolicy().assign(None)
