@@ -1,0 +1,39 @@
+"""Benchmark the batched simulation service's backends.
+
+Times :func:`repro.api.simulate` on one mid-sized scenario under the serial
+backend and under the process backend, asserting along the way that both
+produce identical samples (the service's core contract).  The process
+backend pays a pool-startup cost, so its advantage only shows once per-trial
+work dominates — this bench makes that crossover visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, SimConfig, simulate
+
+SCENARIO = Scenario(shape="independent", n_jobs=30, n_machines=8,
+                    model="specialist", seed=5)
+CONFIG = SimConfig(n_trials=16, seed=9)
+
+
+@pytest.mark.benchmark(group="service")
+def test_simulate_serial_backend(benchmark):
+    report = benchmark.pedantic(
+        lambda: simulate(SCENARIO, "greedy", CONFIG, backend="serial"),
+        rounds=1, iterations=1,
+    )
+    assert report.stats.n_trials == CONFIG.n_trials
+
+
+@pytest.mark.benchmark(group="service")
+def test_simulate_process_backend(benchmark):
+    report = benchmark.pedantic(
+        lambda: simulate(SCENARIO, "greedy", CONFIG, backend="process",
+                         n_workers=4),
+        rounds=1, iterations=1,
+    )
+    serial = simulate(SCENARIO, "greedy", CONFIG, backend="serial")
+    assert np.array_equal(report.stats.samples, serial.stats.samples)

@@ -3,8 +3,9 @@
 Each benchmark wraps one experiment runner from ``repro.experiments`` at a
 reduced (bench-sized) configuration: pytest-benchmark times it, and the
 resulting table — the same rows EXPERIMENTS.md records at full size — is
-printed so ``pytest benchmarks/ --benchmark-only`` regenerates every
-table/figure of the reproduction in one command.
+printed so ``pytest benchmarks/bench_*.py --benchmark-only`` regenerates
+every table/figure of the reproduction in one command (the explicit glob
+matters: ``bench_*.py`` does not match pytest's auto-discovery pattern).
 """
 
 from __future__ import annotations

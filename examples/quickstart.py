@@ -3,7 +3,7 @@
 
 Covers the core loop of the library in ~40 lines:
 
-1. generate an instance (20 unreliable-machine jobs, 6 machines),
+1. declare and measure a workload through the ``repro.api`` facade,
 2. run the paper's SUU-I-SEM policy once and inspect the execution,
 3. estimate its expected makespan by Monte Carlo,
 4. compare against a provable lower bound and a naive baseline.
@@ -17,6 +17,15 @@ SEED = 42
 
 
 def main() -> None:
+    # The one-call path: declare the workload, let the policy registry pick
+    # the paper's algorithm for its precedence class, get stats + bound back.
+    scenario = repro.Scenario(shape="independent", n_jobs=20, n_machines=6,
+                              model="specialist", seed=SEED)
+    report = repro.simulate(scenario, policy="auto",
+                            config=repro.SimConfig(n_trials=60, seed=SEED + 1))
+    print(f"facade:   {report!r}")
+
+    # Everything below does the same measurement with the low-level pieces.
     # 20 independent unit jobs, 6 machines; each job has 2 "specialist"
     # machines that mostly succeed and 4 that mostly fail -- the unrelated
     # machines regime the paper targets.

@@ -8,14 +8,50 @@ SUU-I-SEM, SUU-C, SUU-T), the stochastic-scheduling variants of
 Appendix C (STC-I), the Lin–Rajaraman baseline, and the measurement
 harness that reproduces the paper's Table 1 empirically.
 
-Quick start::
+Quick start — the :mod:`repro.api` facade::
 
     import repro
+
+    # Declare the workload, let the registry pick the right algorithm.
+    scenario = repro.Scenario(shape="independent", n_jobs=50, n_machines=10,
+                              model="specialist", seed=0)
+    report = repro.simulate(scenario, policy="auto",
+                            config=repro.SimConfig(n_trials=50, seed=1))
+    print(report.mean, "vs lower bound", report.lower_bound)
+
+    # Sweep a grid of scenarios across policies, in parallel:
+    grid = repro.ScenarioGrid(scenario, shape=["independent", "chains"],
+                              n_jobs=[20, 40])
+    for rep in repro.evaluate_grid(grid, ["auto", "greedy"], backend="process"):
+        print(rep)
+
+Lower-level building blocks (instances, policies, the engine, Monte Carlo
+estimators, LP relaxations, bounds) remain importable directly::
 
     inst = repro.independent_instance(50, 10, "specialist", rng=0)
     stats = repro.estimate_expected_makespan(inst, repro.SUUISemPolicy, 50, rng=1)
     print(stats.mean, "vs lower bound", repro.lower_bound(inst))
 """
+
+from repro.api import (
+    FAILURE_MODELS,
+    SCENARIO_SHAPES,
+    PolicyInfo,
+    Report,
+    Scenario,
+    ScenarioGrid,
+    SimConfig,
+    default_policy_for,
+    evaluate_grid,
+    get_policy,
+    list_policies,
+    make_policy,
+    policy_factory,
+    policy_info,
+    policy_names,
+    register_policy,
+    simulate,
+)
 
 from repro.analysis import (
     RatioMeasurement,
@@ -66,10 +102,12 @@ from repro.errors import (
     DecompositionError,
     InfeasibleLPError,
     InvalidInstanceError,
+    InvalidScenarioError,
     ReproError,
     RoundingError,
     ScheduleViolationError,
     SimulationHorizonError,
+    UnknownPolicyError,
 )
 from repro.instance import (
     PrecedenceClass,
@@ -111,10 +149,28 @@ from repro.sim import (
     sample_oblivious_repeat_makespans,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # repro.api facade
+    "Scenario",
+    "SimConfig",
+    "ScenarioGrid",
+    "Report",
+    "simulate",
+    "evaluate_grid",
+    "register_policy",
+    "get_policy",
+    "policy_info",
+    "policy_names",
+    "policy_factory",
+    "list_policies",
+    "default_policy_for",
+    "make_policy",
+    "PolicyInfo",
+    "SCENARIO_SHAPES",
+    "FAILURE_MODELS",
     # Instances
     "SUUInstance",
     "PrecedenceGraph",
@@ -199,4 +255,6 @@ __all__ = [
     "ScheduleViolationError",
     "SimulationHorizonError",
     "DecompositionError",
+    "UnknownPolicyError",
+    "InvalidScenarioError",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: generate, run, and inspect SUU instances.
+"""Command-line interface: generate, run, sweep, and inspect SUU instances.
 
 Usage::
 
@@ -7,110 +7,104 @@ Usage::
     python -m repro run inst.json --policy suu-c --trials 30 --seed 7
     python -m repro gantt inst.json --policy sem --seed 1
     python -m repro bound inst.json
+    python -m repro policies
+    python -m repro sweep --shape independent --shape chains \\
+        --jobs 20 --jobs 40 --trials 20 --backend process
 
-Policies: ``obl``, ``sem``, ``adapt``, ``suu-c``, ``suu-t``, ``layered``,
-``greedy``, ``serial``, ``round-robin``.
+Policy names come from the :mod:`repro.api` registry (``repro policies``
+lists them); every command resolving a policy accepts canonical names and
+aliases, and defaults to the registered policy for the instance's
+precedence class.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 
 from repro.analysis.bounds import lower_bound
-from repro.baselines.greedy_lr import GreedyLRPolicy
-from repro.baselines.naive import RoundRobinPolicy, SerialAllMachinesPolicy
-from repro.core.adaptive import SUUIAdaptiveLPPolicy
-from repro.core.layered import LayeredPolicy
-from repro.core.suu_c import SUUCPolicy
-from repro.core.suu_i_obl import SUUIOblPolicy
-from repro.core.suu_i_sem import SUUISemPolicy
-from repro.core.suu_t import SUUTPolicy
-from repro.instance import (
-    chain_instance,
-    forest_instance,
-    independent_instance,
-    layered_instance,
-    load_instance,
-    save_instance,
-    tree_instance,
+from repro.analysis.tables import format_table
+from repro.api.registry import (
+    default_policy_for,
+    get_policy,
+    list_policies,
+    policy_names,
 )
+from repro.api.scenario import FAILURE_MODELS, SCENARIO_SHAPES, Scenario, SimConfig
+from repro.api.service import evaluate_grid, simulate
+from repro.instance import load_instance, save_instance
 from repro.sim.engine import run_policy
-from repro.sim.montecarlo import estimate_expected_makespan
 from repro.sim.trace import TracingPolicy, render_gantt
 
-POLICIES = {
-    "obl": SUUIOblPolicy,
-    "sem": SUUISemPolicy,
-    "adapt": SUUIAdaptiveLPPolicy,
-    "suu-c": SUUCPolicy,
-    "suu-t": SUUTPolicy,
-    "layered": LayeredPolicy,
-    "greedy": GreedyLRPolicy,
-    "serial": SerialAllMachinesPolicy,
-    "round-robin": RoundRobinPolicy,
-}
+
+def __getattr__(name: str):
+    # The hand-maintained POLICIES dict moved into the repro.api registry.
+    if name == "POLICIES":
+        warnings.warn(
+            "repro.__main__.POLICIES moved to the repro.api registry; use "
+            "repro.api.get_policy / repro.api.list_policies instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {info.name: info.cls for info in list_policies()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _scenario_from_args(args) -> Scenario:
+    return Scenario(
+        shape=args.shape,
+        n_jobs=args.jobs,
+        n_machines=args.machines,
+        model=args.model,
+        seed=args.seed,
+        edge_prob=args.edge_prob,
+    )
 
 
 def _cmd_generate(args) -> int:
-    if args.shape == "independent":
-        inst = independent_instance(args.jobs, args.machines, args.model, rng=args.seed)
-    elif args.shape == "chains":
-        inst = chain_instance(
-            args.jobs, args.machines, max(1, args.jobs // 6), args.model, rng=args.seed
-        )
-    elif args.shape == "tree":
-        inst = tree_instance(args.jobs, args.machines, "out", args.model, rng=args.seed)
-    elif args.shape == "forest":
-        inst = forest_instance(
-            args.jobs, args.machines, max(1, args.jobs // 10), "mixed", args.model,
-            rng=args.seed,
-        )
-    elif args.shape == "layered":
-        half = max(1, args.jobs // 2)
-        inst = layered_instance(
-            [half, args.jobs - half or 1], args.machines, args.model, rng=args.seed
-        )
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(args.shape)
+    inst = _scenario_from_args(args).to_instance()
     save_instance(inst, args.out)
     print(f"wrote {inst} to {args.out}")
     return 0
 
 
 def _default_policy_for(inst) -> str:
-    cls = inst.precedence_class.value
-    return {
-        "independent": "sem",
-        "chains": "suu-c",
-        "out_forest": "suu-t",
-        "in_forest": "suu-t",
-        "mixed_forest": "suu-t",
-        "general": "layered",
-    }[cls]
+    """Deprecated alias for :func:`repro.api.registry.default_policy_for`."""
+    warnings.warn(
+        "repro.__main__._default_policy_for moved to "
+        "repro.api.default_policy_for",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return default_policy_for(inst)
 
 
 def _cmd_run(args) -> int:
     inst = load_instance(args.instance)
-    name = args.policy or _default_policy_for(inst)
-    factory = POLICIES[name]
-    stats = estimate_expected_makespan(
-        inst, factory, args.trials, rng=args.seed, max_steps=args.max_steps
+    name = args.policy or default_policy_for(inst)
+    report = simulate(
+        inst,
+        name,
+        SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps),
+        backend=args.backend,
+        n_workers=args.workers,
     )
-    bound = lower_bound(inst)
-    lo, hi = stats.ci95
+    lo, hi = report.stats.ci95
     print(f"instance: {inst}")
-    print(f"policy:   {name}")
-    print(f"E[T] = {stats.mean:.3f} steps   95% CI [{lo:.3f}, {hi:.3f}] "
+    print(f"policy:   {report.policy}")
+    print(f"E[T] = {report.mean:.3f} steps   95% CI [{lo:.3f}, {hi:.3f}] "
           f"({args.trials} trials)")
-    print(f"lower bound = {bound:.3f}   measured ratio <= {stats.mean / bound:.3f}")
+    print(f"lower bound = {report.lower_bound:.3f}   "
+          f"measured ratio <= {report.ratio:.3f}")
     return 0
 
 
 def _cmd_gantt(args) -> int:
     inst = load_instance(args.instance)
-    name = args.policy or _default_policy_for(inst)
-    traced = TracingPolicy(POLICIES[name]())
+    name = args.policy or default_policy_for(inst)
+    traced = TracingPolicy(get_policy(name)())
     result = run_policy(inst, traced, rng=args.seed, max_steps=args.max_steps)
     print(f"{inst}  policy={name}  makespan={result.makespan}")
     print(render_gantt(traced.trace, max_width=args.width,
@@ -125,36 +119,100 @@ def _cmd_bound(args) -> int:
     return 0
 
 
+def _cmd_policies(args) -> int:
+    rows = [
+        [
+            info.name,
+            ", ".join(info.aliases) or "-",
+            ", ".join(info.default_for) or "-",
+            info.cls.__name__,
+            info.summary,
+        ]
+        for info in list_policies()
+    ]
+    print(format_table(
+        ["name", "aliases", "default for", "class", "summary"],
+        rows,
+        title="registered policies",
+    ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.api.scenario import ScenarioGrid
+
+    grid = ScenarioGrid(
+        Scenario(model=args.model[0], edge_prob=args.edge_prob),
+        shape=args.shape or ["independent"],
+        n_jobs=args.jobs or [20],
+        n_machines=args.machines or [5],
+        model=args.model,
+        seed=args.seed_instance,
+    )
+    config = SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps)
+    reports = evaluate_grid(
+        grid,
+        args.policy or ("auto",),
+        config=config,
+        backend=args.backend,
+        n_workers=args.workers,
+    )
+    rows = []
+    for r in reports:
+        lo, hi = r.stats.ci95
+        s = r.scenario
+        rows.append([
+            s.shape, s.n_jobs, s.n_machines, s.model, s.seed, r.policy,
+            f"{r.mean:.2f}", f"[{lo:.2f}, {hi:.2f}]",
+            f"{r.lower_bound:.2f}", f"{r.ratio:.3f}",
+        ])
+    print(format_table(
+        ["shape", "n", "m", "model", "inst seed", "policy", "E[T]",
+         "95% CI", "LB", "ratio"],
+        rows,
+        title=f"sweep: {len(reports)} reports, {args.trials} trials each "
+              f"({args.backend} backend)",
+    ))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"wrote {len(reports)} reports to {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="repro",
         description="Multiprocessor scheduling under uncertainty (SPAA 2008).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    all_policy_names = policy_names(include_aliases=True)
 
     g = sub.add_parser("generate", help="generate a random instance")
-    g.add_argument("--shape", choices=["independent", "chains", "tree", "forest", "layered"],
-                   default="independent")
+    g.add_argument("--shape", choices=SCENARIO_SHAPES, default="independent")
     g.add_argument("--jobs", type=int, default=20)
     g.add_argument("--machines", type=int, default=5)
-    g.add_argument("--model", choices=["uniform", "powerlaw", "specialist", "related"],
-                   default="specialist")
+    g.add_argument("--model", choices=FAILURE_MODELS, default="specialist")
     g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--edge-prob", type=float, default=0.1,
+                   help="forward-edge probability (random_dag only)")
     g.add_argument("--out", required=True)
     g.set_defaults(func=_cmd_generate)
 
     r = sub.add_parser("run", help="estimate a policy's expected makespan")
     r.add_argument("instance")
-    r.add_argument("--policy", choices=sorted(POLICIES), default=None,
+    r.add_argument("--policy", choices=all_policy_names, default=None,
                    help="default: matched to the precedence class")
     r.add_argument("--trials", type=int, default=30)
     r.add_argument("--seed", type=int, default=0)
     r.add_argument("--max-steps", type=int, default=1_000_000)
+    r.add_argument("--backend", choices=["serial", "process"], default="serial")
+    r.add_argument("--workers", type=int, default=None)
     r.set_defaults(func=_cmd_run)
 
     ga = sub.add_parser("gantt", help="render one execution as ASCII")
     ga.add_argument("instance")
-    ga.add_argument("--policy", choices=sorted(POLICIES), default=None)
+    ga.add_argument("--policy", choices=all_policy_names, default=None)
     ga.add_argument("--seed", type=int, default=0)
     ga.add_argument("--width", type=int, default=100)
     ga.add_argument("--max-steps", type=int, default=1_000_000)
@@ -164,7 +222,39 @@ def main(argv=None) -> int:
     b.add_argument("instance")
     b.set_defaults(func=_cmd_bound)
 
+    p = sub.add_parser("policies", help="list the policy registry")
+    p.set_defaults(func=_cmd_policies)
+
+    s = sub.add_parser("sweep", help="evaluate policies across a scenario grid")
+    s.add_argument("--shape", action="append", choices=SCENARIO_SHAPES,
+                   help="repeatable; default: independent")
+    s.add_argument("--jobs", action="append", type=int,
+                   help="repeatable; default: 20")
+    s.add_argument("--machines", action="append", type=int,
+                   help="repeatable; default: 5")
+    s.add_argument("--model", action="append", choices=FAILURE_MODELS,
+                   default=None, help="repeatable; default: specialist")
+    s.add_argument("--policy", action="append", metavar="NAME",
+                   help="repeatable registry name, or 'auto' (default)")
+    s.add_argument("--seed-instance", action="append", type=int,
+                   default=None, help="repeatable instance seed; default: 0")
+    s.add_argument("--trials", type=int, default=20)
+    s.add_argument("--seed", type=int, default=0, help="trial RNG seed")
+    s.add_argument("--max-steps", type=int, default=1_000_000)
+    s.add_argument("--edge-prob", type=float, default=0.1)
+    s.add_argument("--backend", choices=["serial", "process"], default="serial")
+    s.add_argument("--workers", type=int, default=None)
+    s.add_argument("--json", default=None, help="also dump reports to this file")
+    s.set_defaults(func=_cmd_sweep)
+
     args = parser.parse_args(argv)
+    if args.command == "sweep":
+        args.model = args.model or ["specialist"]
+        args.seed_instance = args.seed_instance or [0]
+        bad = [n for n in (args.policy or []) if n != "auto"
+               and n not in all_policy_names]
+        if bad:
+            parser.error(f"unknown policies {bad}; see 'repro policies'")
     return args.func(args)
 
 

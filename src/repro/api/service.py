@@ -1,0 +1,314 @@
+"""The batched simulation service: scenarios in, reports out.
+
+:func:`simulate` is the facade's single entry point for measuring a policy
+on a scenario: it materializes the instance, resolves the policy through
+the :mod:`repro.api.registry` (``"auto"`` picks the registered default for
+the instance's precedence class), runs the Monte Carlo trials, and returns
+a :class:`Report` bundling the makespan statistics with the provable lower
+bound.  :func:`evaluate_grid` sweeps a :class:`~repro.api.scenario.
+ScenarioGrid` across many policies.
+
+Both accept ``backend="serial"`` or ``backend="process"``.  The process
+backend dispatches contiguous chunks of trials across a
+``multiprocessing`` pool; because every trial's RNG stream is spawned
+up-front from the config seed (the same ``Generator.spawn`` tree the
+serial loop walks), the two backends produce **bit-identical** makespan
+samples — parallelism never changes results, only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.api.registry import default_policy_for, policy_factory, policy_info
+from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
+from repro.instance.instance import SUUInstance
+from repro.sim.engine import run_policy
+from repro.sim.results import MakespanStats
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = ["Report", "simulate", "evaluate_grid", "run_trial_batch"]
+
+_BACKENDS = ("serial", "process")
+
+#: Start method for worker pools.  ``spawn`` is used everywhere (not just
+#: where it is the OS default) so results and failure modes are identical
+#: across platforms and workers never inherit forked interpreter state.
+_MP_START_METHOD = "spawn"
+
+
+@dataclass(frozen=True)
+class Report:
+    """Outcome of measuring one policy on one scenario.
+
+    Attributes
+    ----------
+    scenario:
+        The declarative recipe that was simulated (``None`` when
+        :func:`simulate` was handed a raw instance).
+    policy:
+        Canonical registry name (or display label) of the measured policy.
+    stats:
+        Monte Carlo makespan statistics.
+    lower_bound:
+        Provable lower bound on ``E[T_OPT]`` for the instance.
+    config:
+        The :class:`~repro.api.scenario.SimConfig` the trials used.
+    """
+
+    scenario: Scenario | None
+    policy: str
+    stats: MakespanStats
+    lower_bound: float
+    config: SimConfig
+
+    @property
+    def mean(self) -> float:
+        """Estimated expected makespan ``E[T]``."""
+        return self.stats.mean
+
+    @property
+    def ratio(self) -> float:
+        """Measured approximation ratio ``E[T] / lower_bound``."""
+        if self.lower_bound <= 0:
+            return float("inf")
+        return self.mean / self.lower_bound
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (includes raw samples)."""
+        return {
+            "scenario": self.scenario.to_dict() if self.scenario else None,
+            "policy": self.policy,
+            "samples": self.stats.samples.tolist(),
+            "mean": self.mean,
+            "ci95": list(self.stats.ci95),
+            "lower_bound": self.lower_bound,
+            "ratio": self.ratio,
+            "config": self.config.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.scenario.label() if self.scenario else "instance"
+        return (
+            f"Report({self.policy} on {where}: E[T]={self.mean:.3f}, "
+            f"ratio<={self.ratio:.3f}, n={self.stats.n_trials})"
+        )
+
+
+def run_trial_batch(instance, factory, rngs, semantics, max_steps) -> np.ndarray:
+    """Run one chunk of Monte Carlo trials; returns the makespans.
+
+    Module-level (rather than a closure) so the process backend can ship it
+    to ``spawn``-ed workers.  ``factory`` must therefore be picklable — the
+    registry's :func:`~repro.api.registry.policy_factory` partials are.
+    """
+    samples = np.empty(len(rngs), dtype=np.int64)
+    for k, rng in enumerate(rngs):
+        result = run_policy(
+            instance, factory(), rng, semantics=semantics, max_steps=max_steps
+        )
+        samples[k] = result.makespan
+    return samples
+
+
+def _resolve_policy(policy, instance, policy_kwargs):
+    """Normalize a policy spec into ``(label, zero-arg factory)``."""
+    if isinstance(policy, str):
+        name = default_policy_for(instance) if policy == "auto" else policy
+        info = policy_info(name)
+        return info.name, policy_factory(info.name, **policy_kwargs)
+    if isinstance(policy, type):
+        label = getattr(policy, "name", policy.__name__)
+        return label, _with_kwargs(policy, policy_kwargs)
+    # Otherwise treat it as a zero-argument factory (each trial needs a
+    # fresh policy, so already-constructed instances are not accepted).
+    label = getattr(policy, "name", getattr(policy, "__name__", "policy"))
+    return str(label), _with_kwargs(policy, policy_kwargs)
+
+
+def _with_kwargs(fn, kwargs):
+    """Bind constructor kwargs onto a class/factory as a zero-arg factory."""
+    return functools.partial(fn, **kwargs) if kwargs else fn
+
+
+def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous spans."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    bounds, start = [], 0
+    for k in range(n_chunks):
+        size = base + (1 if k < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _map_chunks(pool, n_workers, instance, factory, rngs, config) -> np.ndarray:
+    """Fan trial chunks out over ``pool`` and reassemble them in order."""
+    bounds = _chunk_bounds(config.n_trials, n_workers)
+    chunks = pool.map(
+        run_trial_batch,
+        *zip(
+            *[
+                (instance, factory, rngs[lo:hi], config.semantics, config.max_steps)
+                for lo, hi in bounds
+            ]
+        ),
+    )
+    return np.concatenate(list(chunks))
+
+
+def _run_batched(
+    instance, factory, config: SimConfig, backend: str, n_workers, pool=None
+):
+    """Dispatch the trials on the requested backend; returns all samples.
+
+    The per-trial RNG tree is spawned up-front either way, so the samples
+    are bit-identical across backends, worker counts, and chunk layouts.
+    ``pool`` lets :func:`evaluate_grid` reuse one executor (with
+    ``n_workers`` workers) across many cells instead of paying pool
+    startup per cell.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+    rngs = spawn_rngs(ensure_rng(config.seed), config.n_trials)
+    if backend == "serial":
+        return run_trial_batch(
+            instance, factory, rngs, config.semantics, config.max_steps
+        )
+    n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
+    if pool is not None:
+        return _map_chunks(pool, n_workers, instance, factory, rngs, config)
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=get_context(_MP_START_METHOD)
+    ) as pool:
+        return _map_chunks(pool, n_workers, instance, factory, rngs, config)
+
+
+def simulate(
+    scenario: Scenario | SUUInstance,
+    policy="auto",
+    config: SimConfig | None = None,
+    *,
+    backend: str = "serial",
+    n_workers: int | None = None,
+    **policy_kwargs,
+) -> Report:
+    """Measure ``policy`` on ``scenario`` and return a :class:`Report`.
+
+    Parameters
+    ----------
+    scenario:
+        A declarative :class:`~repro.api.scenario.Scenario`, or a
+        ready-made :class:`~repro.instance.instance.SUUInstance`.
+    policy:
+        Registry name or alias, ``"auto"`` (registered default for the
+        instance's precedence class), a ``Policy`` subclass, or a
+        picklable zero-argument factory.
+    config:
+        Trial count / seed / semantics / horizon; defaults to
+        ``SimConfig()``.
+    backend:
+        ``"serial"`` or ``"process"`` (bit-identical samples).
+    n_workers:
+        Process-backend pool size (default: CPU count, capped at the
+        trial count).
+    **policy_kwargs:
+        Extra constructor arguments for the policy (e.g.
+        ``inner="obl"`` for SUU-C ablations).
+    """
+    config = config or SimConfig()
+    if isinstance(scenario, SUUInstance):
+        declarative, instance = None, scenario
+    else:
+        declarative, instance = scenario, scenario.to_instance()
+    return _simulate_instance(
+        declarative, instance, policy, config, backend, n_workers, policy_kwargs
+    )
+
+
+def _simulate_instance(
+    declarative,
+    instance,
+    policy,
+    config,
+    backend,
+    n_workers,
+    policy_kwargs,
+    pool=None,
+    bound=None,
+):
+    """Shared core of :func:`simulate` / :func:`evaluate_grid`.
+
+    ``pool`` and ``bound`` let grid sweeps reuse one process pool and one
+    LP lower-bound solve across the cells that share a scenario.
+    """
+    label, factory = _resolve_policy(policy, instance, policy_kwargs)
+    samples = _run_batched(instance, factory, config, backend, n_workers, pool=pool)
+    if bound is None:
+        bound = _lower_bound(instance)
+    return Report(
+        scenario=declarative,
+        policy=label,
+        stats=MakespanStats(samples=samples, policy_name=label),
+        lower_bound=bound,
+        config=config,
+    )
+
+
+def _lower_bound(instance) -> float:
+    # Deferred import: analysis -> core -> api is a cycle while those
+    # packages are still initializing, so the bound is resolved at call time.
+    from repro.analysis.bounds import lower_bound
+
+    return float(lower_bound(instance))
+
+
+def evaluate_grid(
+    grid: ScenarioGrid | list[Scenario],
+    policies=("auto",),
+    *,
+    config: SimConfig | None = None,
+    backend: str = "serial",
+    n_workers: int | None = None,
+) -> list[Report]:
+    """Measure every policy on every scenario of a sweep.
+
+    Returns reports ordered scenario-major (all policies of the first
+    scenario, then the second, ...), matching the grid's declaration
+    order; each (scenario, policy) cell runs under the same ``config``.
+
+    Per-scenario work is shared across the policy cells: the instance is
+    materialized and its LP lower bound solved once, and under
+    ``backend="process"`` a single worker pool serves the whole sweep
+    instead of being re-spawned per cell.
+    """
+    if isinstance(policies, str):
+        policies = (policies,)
+    config = config or SimConfig()
+    pool_cm = nullcontext(None)
+    if backend == "process":
+        n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
+        pool_cm = ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=get_context(_MP_START_METHOD)
+        )
+    reports = []
+    with pool_cm as pool:
+        for scenario in grid:
+            instance = scenario.to_instance()
+            bound = _lower_bound(instance)
+            for policy in policies:
+                reports.append(
+                    _simulate_instance(
+                        scenario, instance, policy, config, backend,
+                        n_workers, {}, pool=pool, bound=bound,
+                    )
+                )
+    return reports

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.schedule.base import IDLE, Policy, SimulationState
 
 __all__ = ["GreedyLRPolicy"]
 
 
+@register_policy("greedy", aliases=("greedy-lr", "lr"))
 class GreedyLRPolicy(Policy):
     """Per-step submodular greedy (the prior state of the art for SUU-I).
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.schedule.base import IDLE, Policy, SimulationState
 from repro.util.rng import ensure_rng
 
@@ -31,6 +32,7 @@ __all__ = [
 ]
 
 
+@register_policy("serial", aliases=("serial-all-machines",))
 class SerialAllMachinesPolicy(Policy):
     """All machines gang up on the first eligible job in topological order."""
 
@@ -49,6 +51,7 @@ class SerialAllMachinesPolicy(Policy):
         return self._idle
 
 
+@register_policy("round-robin", aliases=("rr",))
 class RoundRobinPolicy(Policy):
     """Machine ``i`` runs the ``(t + i) mod k``-th of the ``k`` eligible jobs."""
 
@@ -66,6 +69,7 @@ class RoundRobinPolicy(Policy):
         return targets[offsets]
 
 
+@register_policy("best-machine")
 class BestMachinePolicy(Policy):
     """Every machine picks its personal best eligible job (no coordination)."""
 
@@ -87,6 +91,7 @@ class BestMachinePolicy(Policy):
         return row
 
 
+@register_policy("random", aliases=("random-assignment",))
 class RandomAssignmentPolicy(Policy):
     """Every machine picks a uniformly random eligible job each step."""
 

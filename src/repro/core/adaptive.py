@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.lp1 import solve_lp1
 from repro.core.rounding import PAPER_SCALE, round_assignment
 from repro.schedule.base import IDLE, Policy, SimulationState
@@ -26,6 +27,7 @@ from repro.schedule.oblivious import FiniteObliviousSchedule
 __all__ = ["SUUIAdaptiveLPPolicy"]
 
 
+@register_policy("adapt", aliases=("suu-i-adapt", "adaptive"))
 class SUUIAdaptiveLPPolicy(Policy):
     """Re-solve the LP whenever enough jobs have completed.
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_i_sem import SUUISemPolicy
 from repro.errors import ReproError
@@ -24,6 +25,7 @@ from repro.schedule.base import IDLE, Policy, SimulationState
 __all__ = ["LayeredPolicy"]
 
 
+@register_policy("layered", default_for=("general",))
 class LayeredPolicy(Policy):
     """Sequential SUU-I-SEM over longest-path levels of any DAG.
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.lp2 import round_lp2, solve_lp2
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_i_sem import SUUISemPolicy
@@ -65,6 +66,7 @@ class _ChainState:
         return self.items[self.pos]
 
 
+@register_policy("suu-c", default_for=("chains",))
 class SUUCPolicy(Policy):
     """The chains algorithm of Theorem 9 as an adaptive policy.
 

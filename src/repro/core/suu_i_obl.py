@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.lp1 import solve_lp1
 from repro.core.rounding import PAPER_SCALE, round_assignment
 from repro.schedule.base import IDLE, Policy, SimulationState
@@ -33,6 +34,7 @@ def build_obl_schedule(
     return FiniteObliviousSchedule.from_assignment(assignment)
 
 
+@register_policy("obl", aliases=("suu-i-obl",))
 class SUUIOblPolicy(Policy):
     """Repeat the rounded LP1(J, 1/2) schedule until all jobs complete.
 

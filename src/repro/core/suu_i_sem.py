@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.lp1 import solve_lp1
 from repro.core.rounding import PAPER_SCALE, round_assignment
 from repro.schedule.base import IDLE, Policy, SimulationState
@@ -42,6 +43,7 @@ def paper_round_count(n_jobs: int, n_machines: int) -> int:
     return int(math.ceil(math.log2(math.log2(v)))) + 3
 
 
+@register_policy("sem", aliases=("suu-i-sem",), default_for=("independent",))
 class SUUISemPolicy(Policy):
     """The semioblivious doubling-rounds policy of Theorem 4.
 

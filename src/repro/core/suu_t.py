@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_c import SUUCPolicy
 from repro.errors import ReproError
@@ -27,6 +28,9 @@ from repro.schedule.base import IDLE, Policy, SimulationState
 __all__ = ["SUUTPolicy"]
 
 
+@register_policy(
+    "suu-t", default_for=("out_forest", "in_forest", "mixed_forest")
+)
 class SUUTPolicy(Policy):
     """Forest precedence: sequential SUU-C over heavy-path chain blocks.
 

@@ -15,6 +15,8 @@ __all__ = [
     "ScheduleViolationError",
     "SimulationHorizonError",
     "DecompositionError",
+    "UnknownPolicyError",
+    "InvalidScenarioError",
 ]
 
 
@@ -79,4 +81,30 @@ class DecompositionError(ReproError):
 
     For example, asking for the chain decomposition of a graph that is not a
     directed forest.
+    """
+
+
+class UnknownPolicyError(ReproError, KeyError):
+    """A policy name does not resolve in the :mod:`repro.api` registry.
+
+    Carries the set of known names so error messages (and ``repro policies``
+    CLI hints) can list what *is* available.  Subclasses :class:`KeyError`
+    because the registry is conceptually a mapping.
+    """
+
+    def __init__(self, name: str, known=()):
+        self.name = name
+        self.known = tuple(known)
+        hint = f"; known policies: {', '.join(self.known)}" if self.known else ""
+        super().__init__(f"unknown policy {name!r}{hint}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message tuple
+        return self.args[0]
+
+
+class InvalidScenarioError(ReproError):
+    """A declarative :class:`repro.api.Scenario` fails validation.
+
+    Raised when a scenario names an unknown shape or failure model, or when
+    its numeric parameters cannot produce a well-formed instance.
     """

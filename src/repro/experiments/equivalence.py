@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from scipy import stats as scipy_stats
 
-from repro.baselines.greedy_lr import GreedyLRPolicy
-from repro.core.suu_i_obl import SUUIOblPolicy
+from repro.api.registry import policy_factory
 from repro.experiments.common import ExperimentResult
 from repro.instance.generators import chain_instance, independent_instance
 from repro.sim.montecarlo import estimate_expected_makespan
@@ -47,11 +46,11 @@ def run_equivalence(
     workloads = {
         "independent": (
             independent_instance(n, m, "specialist", rng=rng.spawn(1)[0]),
-            SUUIOblPolicy,
+            policy_factory("obl"),
         ),
         "chains": (
             chain_instance(n, m, max(2, n // 6), "uniform", rng=rng.spawn(1)[0]),
-            GreedyLRPolicy,
+            policy_factory("greedy"),
         ),
     }
     for label, (inst, factory) in workloads.items():

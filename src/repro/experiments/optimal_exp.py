@@ -9,11 +9,9 @@ where that is computable at all.
 from __future__ import annotations
 
 from repro.analysis.bounds import lower_bound
-from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.api.registry import default_policy_for, policy_factory
 from repro.baselines.malewicz import optimal_chains_expected_makespan
 from repro.baselines.optimal import optimal_expected_makespan
-from repro.core.suu_c import SUUCPolicy
-from repro.core.suu_i_sem import SUUISemPolicy
 from repro.experiments.common import ExperimentResult
 from repro.instance.generators import chain_instance, independent_instance
 from repro.sim.montecarlo import estimate_expected_makespan
@@ -58,18 +56,18 @@ def run_opt_tiny(
     for kind, n, m in configs:
         if kind == "independent":
             inst = independent_instance(n, m, "uniform", rng=rng.spawn(1)[0])
-            paper_factory = SUUISemPolicy
+            paper_factory = policy_factory(default_policy_for(inst))
             opt = optimal_expected_makespan(inst)
         else:
             inst = chain_instance(n, m, 2, "uniform", rng=rng.spawn(1)[0])
-            paper_factory = SUUCPolicy
+            paper_factory = policy_factory(default_policy_for(inst))
             opt = optimal_chains_expected_makespan(inst)
         bound = lower_bound(inst)
         sem = estimate_expected_makespan(
             inst, paper_factory, n_trials, rng.spawn(1)[0], max_steps=max_steps
         )
         greedy = estimate_expected_makespan(
-            inst, GreedyLRPolicy, n_trials, rng.spawn(1)[0], max_steps=max_steps
+            inst, policy_factory("greedy"), n_trials, rng.spawn(1)[0], max_steps=max_steps
         )
         res.add(
             kind,

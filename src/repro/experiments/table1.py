@@ -25,10 +25,7 @@ from __future__ import annotations
 
 from repro.analysis.bounds import lower_bound
 from repro.analysis.ratios import measure_ratio
-from repro.baselines.greedy_lr import GreedyLRPolicy
-from repro.core.suu_c import SUUCPolicy
-from repro.core.suu_i_sem import SUUISemPolicy
-from repro.core.suu_t import SUUTPolicy
+from repro.api.registry import policy_factory
 from repro.experiments.common import ExperimentResult
 from repro.instance.generators import (
     chain_instance,
@@ -78,8 +75,8 @@ def run_table1(
         bound, r = _row(
             inst,
             {
-                "lr": GreedyLRPolicy,
-                "ours": SUUISemPolicy,
+                "lr": policy_factory("greedy"),
+                "ours": policy_factory("sem"),
             },
             n_trials,
             rng.spawn(1)[0],
@@ -93,8 +90,8 @@ def run_table1(
         bound, r = _row(
             inst,
             {
-                "lr": lambda: SUUCPolicy(inner="obl"),
-                "ours": SUUCPolicy,
+                "lr": policy_factory("suu-c", inner="obl"),
+                "ours": policy_factory("suu-c"),
             },
             n_trials,
             rng.spawn(1)[0],
@@ -108,8 +105,8 @@ def run_table1(
         bound, r = _row(
             inst,
             {
-                "lr": lambda: SUUTPolicy(inner="obl"),
-                "ours": SUUTPolicy,
+                "lr": policy_factory("suu-t", inner="obl"),
+                "ours": policy_factory("suu-t"),
             },
             n_trials,
             rng.spawn(1)[0],

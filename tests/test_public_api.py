@@ -10,6 +10,7 @@ import repro
 
 SUBPACKAGES = [
     "repro.analysis",
+    "repro.api",
     "repro.baselines",
     "repro.core",
     "repro.experiments",
