@@ -1,0 +1,26 @@
+# Developer entry points.  `make test` is the tier-1 gate; `make bench`
+# produces a pytest-benchmark json; `make bench-check` additionally fails
+# when the timing kernels regress >25% against the committed baseline
+# (the latest BENCH_<n>.json).
+
+PYTHON ?= python
+BENCH_JSON ?= bench_current.json
+BENCH_BASELINE ?= BENCH_2.json
+BENCH_TOLERANCE ?= 0.25
+
+.PHONY: test bench bench-check tables
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernels.py \
+		benchmarks/bench_batch.py --benchmark-json=$(BENCH_JSON) -q
+
+bench-check: bench
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_BASELINE) $(BENCH_JSON) \
+		--only bench_kernels --tolerance $(BENCH_TOLERANCE)
+
+# Regenerate every experiment table at bench size (slow).
+tables:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and fail on regressions.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json \
+        [--tolerance 0.25] [--only bench_kernels]
+
+Benchmarks are matched by fully-qualified test name; a benchmark present
+in the baseline but missing from the current run is an error (a silently
+dropped kernel looks like a speedup).  A current mean more than
+``tolerance`` above the baseline mean fails the check.  New benchmarks
+(present only in the current run) are reported but never fail — that is
+how the perf trajectory grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {b["fullname"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_<n>.json baseline")
+    ap.add_argument("current", help="freshly produced benchmark json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean regression (default 0.25 = +25%%)",
+    )
+    ap.add_argument(
+        "--only",
+        default=None,
+        help="restrict the comparison to fullnames containing this substring",
+    )
+    args = ap.parse_args(argv)
+
+    base = load_means(args.baseline)
+    cur = load_means(args.current)
+    if args.only:
+        base = {k: v for k, v in base.items() if args.only in k}
+        cur_scope = {k: v for k, v in cur.items() if args.only in k}
+    else:
+        cur_scope = cur
+
+    failures: list[str] = []
+    for name, old in sorted(base.items()):
+        new = cur.get(name)
+        if new is None:
+            failures.append(f"MISSING  {name} (in baseline, not in current run)")
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.tolerance:
+            status = "REGRESSED"
+            failures.append(
+                f"{status}  {name}: {old * 1e3:.2f} ms -> {new * 1e3:.2f} ms "
+                f"({ratio:.2f}x, tolerance {1.0 + args.tolerance:.2f}x)"
+            )
+        print(f"{status:9s} {name}: {old * 1e3:.2f} ms -> {new * 1e3:.2f} ms "
+              f"({ratio:.2f}x)")
+    for name in sorted(set(cur_scope) - set(base)):
+        print(f"new       {name}: {cur_scope[name] * 1e3:.2f} ms (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

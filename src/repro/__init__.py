@@ -129,15 +129,19 @@ from repro.instance import (
 )
 from repro.schedule import (
     IDLE,
+    BatchSimulationState,
     FiniteObliviousSchedule,
     IntegralAssignment,
     Policy,
     RepeatingObliviousPolicy,
     SimulationState,
+    VectorizedPolicy,
     congestion_profile,
     draw_delays,
+    supports_batch,
 )
 from repro.sim import (
+    BatchSimResult,
     ExecutionTrace,
     MakespanStats,
     SimResult,
@@ -146,6 +150,7 @@ from repro.sim import (
     estimate_expected_makespan,
     render_gantt,
     run_policy,
+    run_policy_batch,
     sample_oblivious_repeat_makespans,
 )
 
@@ -221,16 +226,21 @@ __all__ = [
     "exact_policy_expected_makespan",
     # Simulation
     "run_policy",
+    "run_policy_batch",
     "estimate_expected_makespan",
     "compare_policies",
     "sample_oblivious_repeat_makespans",
     "SimResult",
+    "BatchSimResult",
     "MakespanStats",
     "TracingPolicy",
     "ExecutionTrace",
     "render_gantt",
     "Policy",
+    "VectorizedPolicy",
+    "supports_batch",
     "SimulationState",
+    "BatchSimulationState",
     "IDLE",
     "FiniteObliviousSchedule",
     "RepeatingObliviousPolicy",

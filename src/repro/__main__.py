@@ -125,13 +125,14 @@ def _cmd_policies(args) -> int:
             info.name,
             ", ".join(info.aliases) or "-",
             ", ".join(info.default_for) or "-",
+            "yes" if info.vectorized else "-",
             info.cls.__name__,
             info.summary,
         ]
         for info in list_policies()
     ]
     print(format_table(
-        ["name", "aliases", "default for", "class", "summary"],
+        ["name", "aliases", "default for", "batched", "class", "summary"],
         rows,
         title="registered policies",
     ))

@@ -75,6 +75,18 @@ class PolicyInfo:
     default_for: tuple[str, ...] = ()
 
     @property
+    def vectorized(self) -> bool:
+        """True when the policy implements the batched-assignment protocol.
+
+        Vectorized policies are dispatched to the trial-batched simulation
+        kernel (:func:`repro.sim.batch.run_policy_batch`) by the Monte
+        Carlo front ends; others run through the per-trial fallback.
+        """
+        from repro.schedule.base import supports_batch  # deferred: layer-free
+
+        return supports_batch(self.cls)
+
+    @property
     def summary(self) -> str:
         """First line of the policy class docstring."""
         doc = self.cls.__doc__ or ""

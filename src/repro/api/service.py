@@ -30,7 +30,7 @@ import numpy as np
 from repro.api.registry import default_policy_for, policy_factory, policy_info
 from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
 from repro.instance.instance import SUUInstance
-from repro.sim.engine import run_policy
+from repro.sim.batch import run_policy_batch
 from repro.sim.results import MakespanStats
 from repro.util.rng import ensure_rng, spawn_rngs
 
@@ -108,14 +108,16 @@ def run_trial_batch(instance, factory, rngs, semantics, max_steps) -> np.ndarray
     Module-level (rather than a closure) so the process backend can ship it
     to ``spawn``-ed workers.  ``factory`` must therefore be picklable — the
     registry's :func:`~repro.api.registry.policy_factory` partials are.
+
+    The trial-vectorized kernel owns all dispatch: batch-capable policies
+    drive the whole chunk at once, the rest loop the scalar engine — and
+    because the kernel replays this chunk's RNG streams exactly, chunking,
+    backends, and vectorization all produce bit-identical samples.
     """
-    samples = np.empty(len(rngs), dtype=np.int64)
-    for k, rng in enumerate(rngs):
-        result = run_policy(
-            instance, factory(), rng, semantics=semantics, max_steps=max_steps
-        )
-        samples[k] = result.makespan
-    return samples
+    return run_policy_batch(
+        instance, factory, trial_rngs=rngs, semantics=semantics,
+        max_steps=max_steps,
+    ).makespans
 
 
 def _resolve_policy(policy, instance, policy_kwargs):

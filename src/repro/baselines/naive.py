@@ -21,7 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import register_policy
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import (
+    IDLE,
+    BatchSimulationState,
+    Policy,
+    SimulationState,
+    VectorizedPolicy,
+)
 from repro.util.rng import ensure_rng
 
 __all__ = [
@@ -33,13 +39,15 @@ __all__ = [
 
 
 @register_policy("serial", aliases=("serial-all-machines",))
-class SerialAllMachinesPolicy(Policy):
+class SerialAllMachinesPolicy(VectorizedPolicy):
     """All machines gang up on the first eligible job in topological order."""
 
     name = "serial-all-machines"
 
     def start(self, instance, rng) -> None:
         self._topo = instance.graph.topological_order()
+        self._topo_arr = np.asarray(self._topo, dtype=np.int64)
+        self._m = instance.n_machines
         self._row = np.empty(instance.n_machines, dtype=np.int64)
         self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
 
@@ -50,9 +58,16 @@ class SerialAllMachinesPolicy(Policy):
                 return self._row
         return self._idle
 
+    def assign_batch(self, state: BatchSimulationState) -> np.ndarray:
+        elig_topo = state.eligible[:, self._topo_arr]
+        # argmax over booleans = first True = first eligible in topo order.
+        first = self._topo_arr[np.argmax(elig_topo, axis=1)]
+        job = np.where(elig_topo.any(axis=1), first, IDLE)
+        return np.repeat(job[:, None], self._m, axis=1)
+
 
 @register_policy("round-robin", aliases=("rr",))
-class RoundRobinPolicy(Policy):
+class RoundRobinPolicy(VectorizedPolicy):
     """Machine ``i`` runs the ``(t + i) mod k``-th of the ``k`` eligible jobs."""
 
     name = "round-robin"
@@ -60,6 +75,7 @@ class RoundRobinPolicy(Policy):
     def start(self, instance, rng) -> None:
         self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
         self._m = instance.n_machines
+        self._arange_m = np.arange(instance.n_machines)
 
     def assign(self, state: SimulationState) -> np.ndarray:
         targets = np.nonzero(state.eligible)[0]
@@ -68,15 +84,31 @@ class RoundRobinPolicy(Policy):
         offsets = (state.t + np.arange(self._m)) % targets.size
         return targets[offsets]
 
+    def assign_batch(self, state: BatchSimulationState) -> np.ndarray:
+        elig = state.eligible
+        counts = elig.sum(axis=1)  # k_b eligible jobs per trial
+        _, cols = np.nonzero(elig)  # trial-major, jobs ascending
+        if cols.size == 0:
+            return np.full((elig.shape[0], self._m), IDLE, dtype=np.int64)
+        # Flat offset of each trial's first eligible entry in cols.
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        # Machine i wants the ((t + i) mod k_b)-th eligible job of trial b;
+        # trials with no eligible jobs idle (their clamped gather is junk).
+        want = (state.t + self._arange_m[None, :]) % np.maximum(counts, 1)[:, None]
+        out = cols[np.minimum(starts[:, None] + want, cols.size - 1)]
+        out[counts == 0] = IDLE
+        return out
+
 
 @register_policy("best-machine")
-class BestMachinePolicy(Policy):
+class BestMachinePolicy(VectorizedPolicy):
     """Every machine picks its personal best eligible job (no coordination)."""
 
     name = "best-machine"
 
     def start(self, instance, rng) -> None:
         self._ell = instance.ell
+        self._m = instance.n_machines
         self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
 
     def assign(self, state: SimulationState) -> np.ndarray:
@@ -89,6 +121,19 @@ class BestMachinePolicy(Policy):
         useless = sub[np.arange(row.size), best] <= 0.0
         row[useless] = IDLE
         return row
+
+    def assign_batch(self, state: BatchSimulationState) -> np.ndarray:
+        B = state.n_trials
+        out = np.empty((B, self._m), dtype=np.int64)
+        elig = state.eligible
+        # One (B, n) pass per machine: argmax's first-max tie-break matches
+        # the scalar path (eligible jobs are scanned in ascending id order).
+        for i in range(self._m):
+            masked = np.where(elig, self._ell[i], -1.0)
+            best = np.argmax(masked, axis=1)
+            vals = np.take_along_axis(masked, best[:, None], axis=1)[:, 0]
+            out[:, i] = np.where(vals > 0.0, best, IDLE)
+        return out
 
 
 @register_policy("random", aliases=("random-assignment",))

@@ -15,7 +15,12 @@ import numpy as np
 from repro.api.registry import register_policy
 from repro.core.lp1 import solve_lp1
 from repro.core.rounding import PAPER_SCALE, round_assignment
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import (
+    IDLE,
+    BatchSimulationState,
+    SimulationState,
+    VectorizedPolicy,
+)
 from repro.schedule.oblivious import FiniteObliviousSchedule
 
 __all__ = ["SUUIOblPolicy", "build_obl_schedule"]
@@ -35,7 +40,7 @@ def build_obl_schedule(
 
 
 @register_policy("obl", aliases=("suu-i-obl",))
-class SUUIOblPolicy(Policy):
+class SUUIOblPolicy(VectorizedPolicy):
     """Repeat the rounded LP1(J, 1/2) schedule until all jobs complete.
 
     Parameters
@@ -74,3 +79,14 @@ class SUUIOblPolicy(Policy):
         row = self._schedule.assignment_at(self._step % self._schedule.length)
         self._step += 1
         return row
+
+    def assign_batch(self, state: BatchSimulationState) -> np.ndarray:
+        # The LP solve + rounding in start() is trial-independent, so a
+        # batch run pays for it once instead of once per trial; the
+        # assignment itself is oblivious (a function of the timestep only).
+        if self._schedule is None:
+            raise RuntimeError("policy used before start()")
+        if self._schedule.length == 0:
+            return np.broadcast_to(self._idle, (state.n_trials, self._idle.size))
+        row = self._schedule.assignment_at(state.t % self._schedule.length)
+        return np.broadcast_to(row, (state.n_trials, row.size))

@@ -64,6 +64,9 @@ class PrecedenceGraph:
     _preds: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
     _succs: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
     _topo: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _succ_csr: tuple[np.ndarray, np.ndarray] | None = field(
+        init=False, repr=False, compare=False
+    )
 
     def __init__(self, n_jobs: int, edges=()):
         if n_jobs < 0:
@@ -93,6 +96,7 @@ class PrecedenceGraph:
         object.__setattr__(self, "_preds", tuple(tuple(p) for p in preds))
         object.__setattr__(self, "_succs", tuple(tuple(s) for s in succs))
         object.__setattr__(self, "_topo", self._toposort(n_jobs, preds, succs))
+        object.__setattr__(self, "_succ_csr", None)  # built lazily
 
     @staticmethod
     def _toposort(n, preds, succs) -> tuple[int, ...]:
@@ -147,6 +151,55 @@ class PrecedenceGraph:
     def in_degree_array(self) -> np.ndarray:
         """In-degrees as an int64 array (used by the simulator)."""
         return np.array([len(p) for p in self._preds], dtype=np.int64)
+
+    def successors_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Successor adjacency in CSR form: ``(indptr, indices)``.
+
+        ``indices[indptr[j]:indptr[j + 1]]`` are the direct successors of
+        job ``j`` (ascending).  Both arrays are int64, read-only, cached on
+        first use: the simulators use them to update in-degrees for whole
+        completion sets with one vectorized scatter instead of a Python
+        loop per completed job.
+        """
+        cached = self._succ_csr
+        if cached is None:
+            counts = np.fromiter(
+                (len(s) for s in self._succs), dtype=np.int64, count=self.n_jobs
+            )
+            indptr = np.zeros(self.n_jobs + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.array(
+                [w for succs in self._succs for w in sorted(succs)], dtype=np.int64
+            )
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            cached = (indptr, indices)
+            object.__setattr__(self, "_succ_csr", cached)
+        return cached
+
+    def successors_flat(self, jobs) -> tuple[np.ndarray, np.ndarray]:
+        """Successors of every job in ``jobs``, flattened and vectorized.
+
+        Returns ``(origins, successors)`` where ``successors[k]`` is a direct
+        successor of ``jobs[origins[k]]``; jobs appearing multiple times in
+        ``jobs`` contribute their successor lists multiple times.  This is
+        the CSR gather both engines use on each completion event:
+        ``np.subtract.at(indeg, successors, 1)`` replaces the old
+        per-completion ``graph.successors(j)`` Python loop.
+        """
+        indptr, indices = self.successors_csr()
+        jobs = np.asarray(jobs, dtype=np.int64)
+        counts = indptr[jobs + 1] - indptr[jobs]
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        origins = np.repeat(np.arange(jobs.size, dtype=np.int64), counts)
+        # Position of each output inside its origin's successor run.
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        return origins, indices[indptr[jobs][origins] + within]
 
     # ------------------------------------------------------------------
     # Structure

@@ -1,6 +1,14 @@
 """Schedule representations: policies, oblivious tables, pseudoschedules."""
 
-from repro.schedule.base import IDLE, IntegralAssignment, Policy, SimulationState
+from repro.schedule.base import (
+    IDLE,
+    BatchSimulationState,
+    IntegralAssignment,
+    Policy,
+    SimulationState,
+    VectorizedPolicy,
+    supports_batch,
+)
 from repro.schedule.oblivious import FiniteObliviousSchedule, RepeatingObliviousPolicy
 from repro.schedule.pseudo import (
     ChainProgram,
@@ -15,7 +23,10 @@ from repro.schedule.pseudo import (
 __all__ = [
     "IDLE",
     "Policy",
+    "VectorizedPolicy",
+    "supports_batch",
     "SimulationState",
+    "BatchSimulationState",
     "IntegralAssignment",
     "FiniteObliviousSchedule",
     "RepeatingObliviousPolicy",

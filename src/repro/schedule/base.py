@@ -19,6 +19,25 @@ Contract
   the paper's ``⊥`` convention for concise schedules).  Assigning to a job
   whose predecessors are incomplete raises
   :class:`~repro.errors.ScheduleViolationError` in the engine.
+* State snapshots are **live read-only views**: the engine mutates the
+  underlying buffers in place between steps, so a snapshot is only valid
+  *during* the ``assign`` call it was passed to.  Policies that need
+  history must copy what they keep (``state.remaining.copy()``); writing
+  to a snapshot raises (``writeable=False``).
+
+Batched execution
+-----------------
+:class:`VectorizedPolicy` extends the contract to the trial-vectorized
+kernel in :mod:`repro.sim.batch`: ``assign_batch`` receives a
+:class:`BatchSimulationState` holding ``(n_trials, n_jobs)`` masks and
+returns an ``(n_trials, m)`` assignment — one row per concurrently
+simulated trial, all at the same global timestep.  A policy advertising
+batch support must be a *deterministic* function of the instance and the
+state it is shown; that is what makes the batch kernel's makespans
+trial-for-trial identical to the scalar SUU* engine under shared
+thresholds (the rng passed to ``start_batch`` exists for forward
+compatibility and must not influence assignments if that guarantee is to
+hold).
 """
 
 from __future__ import annotations
@@ -28,7 +47,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["IDLE", "SimulationState", "Policy", "IntegralAssignment"]
+__all__ = [
+    "IDLE",
+    "SimulationState",
+    "BatchSimulationState",
+    "Policy",
+    "VectorizedPolicy",
+    "supports_batch",
+    "IntegralAssignment",
+]
 
 #: Assignment value meaning "machine stays idle this step".
 IDLE: int = -1
@@ -37,6 +64,11 @@ IDLE: int = -1
 @dataclass(frozen=True)
 class SimulationState:
     """Snapshot of an execution the policy may condition on.
+
+    The arrays are *live read-only views* of the engine's buffers
+    (``writeable=False``): they reflect the current step during the
+    ``assign`` call and are mutated in place afterwards.  Copy anything
+    you keep across steps.
 
     Attributes
     ----------
@@ -66,6 +98,38 @@ class SimulationState:
         return int(self.remaining.sum())
 
 
+@dataclass(frozen=True)
+class BatchSimulationState:
+    """Snapshot of ``n_trials`` lock-stepped executions at one timestep.
+
+    The batched analogue of :class:`SimulationState`: every per-job array
+    gains a leading trial axis.  Snapshots are live read-only views with
+    the same lifetime rule — valid only during the ``assign_batch`` call.
+
+    Attributes
+    ----------
+    t:
+        Current global timestep (all trials advance in lock step; trials
+        whose jobs have all completed are frozen but still shown).
+    remaining / eligible / mass_accrued:
+        Shape ``(n_trials, n_jobs)`` — row ``b`` is trial ``b``'s view.
+    active:
+        Shape ``(n_trials,)`` — True while trial ``b`` has remaining jobs.
+        Assignments returned for inactive trials are ignored.
+    """
+
+    t: int
+    remaining: np.ndarray
+    eligible: np.ndarray
+    mass_accrued: np.ndarray
+    active: np.ndarray
+
+    @property
+    def n_trials(self) -> int:
+        """Number of concurrently simulated trials."""
+        return int(self.remaining.shape[0])
+
+
 class Policy(abc.ABC):
     """Base class for scheduling policies.
 
@@ -91,6 +155,50 @@ class Policy(abc.ABC):
         or :data:`IDLE`.
         """
         raise NotImplementedError
+
+
+class VectorizedPolicy(Policy):
+    """A policy that can drive many trials at once (the batch protocol).
+
+    Subclasses implement :meth:`assign_batch`; :meth:`start_batch` defaults
+    to the scalar :meth:`Policy.start` because the preparation work
+    (LP solves, schedule layout, instance caching) is trial-independent for
+    every vectorizable policy — doing it *once* per batch rather than once
+    per trial is a large part of the batch kernel's speedup.
+
+    Determinism contract: assignments must be a pure function of
+    ``(instance, state)``.  The batch kernel relies on this to guarantee
+    that, under SUU* semantics with a shared threshold matrix, batched
+    makespans equal the scalar engine's trial for trial.  Capability
+    detection is structural (:func:`supports_batch`), so third-party
+    policies may implement the two methods without subclassing.
+    """
+
+    def start_batch(self, instance, rng: np.random.Generator, n_trials: int) -> None:
+        """Prepare for a fresh batch of ``n_trials`` lock-stepped trials."""
+        self.start(instance, rng)
+
+    @abc.abstractmethod
+    def assign_batch(self, state: BatchSimulationState) -> np.ndarray:
+        """Return assignments for every trial: shape ``(n_trials, m)``.
+
+        Row ``b``, entry ``i`` is the job machine ``i`` runs during step
+        ``state.t`` of trial ``b``, or :data:`IDLE`.  Rows of inactive
+        trials are ignored by the engine.
+        """
+        raise NotImplementedError
+
+
+def supports_batch(policy) -> bool:
+    """True when ``policy`` implements the batched-assignment protocol.
+
+    Structural check (not ``isinstance``): any object with callable
+    ``assign_batch`` and ``start_batch`` attributes qualifies, so the
+    protocol can be adopted without inheriting :class:`VectorizedPolicy`.
+    """
+    return callable(getattr(policy, "assign_batch", None)) and callable(
+        getattr(policy, "start_batch", None)
+    )
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.schedule.base import IDLE, IntegralAssignment, Policy, SimulationState
+from repro.schedule.base import (
+    IDLE,
+    BatchSimulationState,
+    IntegralAssignment,
+    SimulationState,
+    VectorizedPolicy,
+)
 
 __all__ = ["FiniteObliviousSchedule", "RepeatingObliviousPolicy"]
 
@@ -90,12 +96,16 @@ class FiniteObliviousSchedule:
         return out
 
 
-class RepeatingObliviousPolicy(Policy):
+class RepeatingObliviousPolicy(VectorizedPolicy):
     """Run a finite oblivious schedule in a loop until all jobs complete.
 
     This is the execution model of SUU-I-OBL (Theorem 3): the schedule from
     the rounded LP1 solution is repeated; each full pass gives every job a
     constant success probability, so ``O(log n)`` passes suffice whp.
+
+    Oblivious schedules are the canonical vectorizable family: the
+    assignment depends only on the timestep, so the batched form is one
+    broadcast row shared by every trial.
     """
 
     name = "repeat-oblivious"
@@ -118,3 +128,9 @@ class RepeatingObliviousPolicy(Policy):
         row = self.schedule.assignment_at(self._step % self.schedule.length)
         self._step += 1
         return row
+
+    def assign_batch(self, state: BatchSimulationState) -> np.ndarray:
+        # Lock-stepped trials all sit at global time state.t, so the scalar
+        # step counter is simply the timestep.
+        row = self.schedule.assignment_at(state.t % self.schedule.length)
+        return np.broadcast_to(row, (state.n_trials, row.size))

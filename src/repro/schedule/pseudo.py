@@ -188,33 +188,30 @@ def congestion_profile(
         raise ValueError(
             f"need one delay per chain, got {delays.shape} for {len(programs)} chains"
         )
-    # events[s][i] = number of jobs machine i is asked to run at superstep s.
-    per_machine: dict[int, np.ndarray] = {}
-
-    def bump(s: int, machine: int) -> None:
-        row = per_machine.get(s)
-        if row is None:
-            row = np.zeros(n_machines, dtype=np.int64)
-            per_machine[s] = row
-        row[machine] += 1
-
+    # Each (machine, step-count) entry of a block is one busy interval
+    # [start, start + cnt) for that machine; collect the intervals and
+    # resolve per-step occupancy with a vectorized difference array
+    # instead of bumping a counter per (superstep, machine) pair.
+    starts: list[int] = []
+    ends: list[int] = []
+    machines: list[int] = []
     for prog, delay in zip(programs, delays):
         s = int(delay)
         for item in prog.items:
-            if isinstance(item, Pause):
-                s += item.length
-                continue
-            for i, cnt in item.steps:
-                for tau in range(cnt):
-                    bump(s + tau, i)
+            if not isinstance(item, Pause):
+                for i, cnt in item.steps:
+                    starts.append(s)
+                    ends.append(s + cnt)
+                    machines.append(i)
             s += item.length
-    if not per_machine:
+    if not starts:
         return np.zeros(0, dtype=np.int64)
-    horizon = max(per_machine) + 1
-    out = np.zeros(horizon, dtype=np.int64)
-    for s, row in per_machine.items():
-        out[s] = row.max()
-    return out
+    horizon = max(ends)  # ends are exclusive: last busy superstep + 1
+    diff = np.zeros((horizon + 1, n_machines), dtype=np.int64)
+    np.add.at(diff, (np.asarray(starts), machines), 1)
+    np.add.at(diff, (np.asarray(ends), machines), -1)
+    occupancy = np.cumsum(diff[:-1], axis=0)
+    return occupancy.max(axis=1)
 
 
 def flattened_length(congestion: np.ndarray) -> int:

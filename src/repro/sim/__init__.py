@@ -1,5 +1,6 @@
-"""Simulation substrate: the SUU/SUU* engine and Monte Carlo estimators."""
+"""Simulation substrate: the SUU/SUU* engines and Monte Carlo estimators."""
 
+from repro.sim.batch import BatchSimResult, run_policy_batch
 from repro.sim.engine import DEFAULT_MAX_STEPS, draw_thresholds, run_policy
 from repro.sim.montecarlo import (
     compare_policies,
@@ -14,6 +15,7 @@ __all__ = [
     "ExecutionTrace",
     "render_gantt",
     "run_policy",
+    "run_policy_batch",
     "draw_thresholds",
     "DEFAULT_MAX_STEPS",
     "estimate_expected_makespan",
@@ -21,4 +23,5 @@ __all__ = [
     "sample_oblivious_repeat_makespans",
     "MakespanStats",
     "SimResult",
+    "BatchSimResult",
 ]

@@ -1,0 +1,369 @@
+"""The trial-vectorized batch simulation kernel.
+
+:func:`run_policy_batch` advances *all* Monte Carlo trials of one policy
+simultaneously: the execution state becomes ``(n_trials, n_jobs)`` arrays,
+every step does whole-batch numpy work, and the per-step Python overhead —
+the thing that made ``run_policy``-in-a-loop scale as
+``O(trials x steps)`` in interpreter time — is paid once per *timestep*
+instead of once per trial-step.
+
+Why this is sound
+-----------------
+The paper's SUU* reformulation (Appendix A / Theorem 10) makes every
+execution a *deterministic* function of the pre-drawn thresholds
+``theta_j = -log2 r_j``.  Trials therefore never interact: stacking them
+along a leading axis and advancing in lock step computes exactly the same
+per-trial trajectories as running them one at a time — provided the policy
+itself is a deterministic function of the state it is shown, which is the
+:class:`~repro.schedule.base.VectorizedPolicy` contract.  Common-random-
+number pairing (`compare_policies`) survives unchanged because the shared
+thresholds remain the coupling variable.
+
+RNG discipline (bit-identity with the serial path)
+--------------------------------------------------
+The kernel consumes randomness *exactly* like the serial estimators: one
+child generator per trial (``rng.spawn(n_trials)``), and per trial the
+engine's ``spawn(2) -> (policy_rng, outcome_rng)`` split.  Under
+``suu_star``, trial ``k``'s thresholds are drawn from its own
+``outcome_rng``; under ``suu``, each trial's per-step uniforms are drawn
+from its ``outcome_rng`` in the engine's order (scheduled jobs ascending).
+Serial and batched execution therefore produce **bit-identical** makespan
+samples for deterministic policies, and the Monte Carlo front ends route
+through this kernel transparently whenever the policy supports it.
+
+Policies that cannot batch (adaptive or internally randomized ones) fall
+back to a per-trial loop over :func:`~repro.sim.engine.run_policy` with the
+same RNG tree, so :func:`run_policy_batch` is safe to call with any policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleViolationError, SimulationHorizonError
+from repro.instance.instance import SUUInstance
+from repro.schedule.base import IDLE, BatchSimulationState, Policy, supports_batch
+from repro.sim.engine import (
+    DEFAULT_MAX_STEPS,
+    _readonly_view,
+    draw_thresholds,
+    run_policy,
+)
+from repro.sim.results import MakespanStats
+from repro.util.rng import ensure_rng
+
+__all__ = ["BatchSimResult", "run_policy_batch"]
+
+
+@dataclass(frozen=True)
+class BatchSimResult:
+    """Outcome of ``n_trials`` simulated executions of one policy.
+
+    The batched analogue of :class:`~repro.sim.results.SimResult`: every
+    scalar field gains a leading trial axis.
+
+    Attributes
+    ----------
+    makespans:
+        Per-trial makespan, shape ``(n_trials,)``, int64.
+    completion_times:
+        Per-trial, per-job completion step (1-based), shape
+        ``(n_trials, n_jobs)``.
+    busy_machine_steps:
+        Per-trial machine-steps spent on uncompleted jobs.
+    semantics:
+        ``"suu"`` or ``"suu_star"``.
+    policy_name:
+        The executing policy's ``name``.
+    vectorized:
+        True when the batch kernel ran; False when the per-trial scalar
+        fallback was used (policy without batch support).
+    """
+
+    makespans: np.ndarray
+    completion_times: np.ndarray
+    busy_machine_steps: np.ndarray
+    semantics: str
+    policy_name: str
+    vectorized: bool
+
+    @property
+    def n_trials(self) -> int:
+        """Number of simulated trials."""
+        return int(self.makespans.size)
+
+    def stats(self, label: str | None = None) -> MakespanStats:
+        """The makespan samples as :class:`~repro.sim.results.MakespanStats`."""
+        return MakespanStats(
+            samples=self.makespans, policy_name=label or self.policy_name
+        )
+
+
+def run_policy_batch(
+    instance: SUUInstance,
+    policy,
+    n_trials: int | None = None,
+    rng=None,
+    *,
+    semantics: str = "suu",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    thresholds: np.ndarray | None = None,
+    trial_rngs=None,
+) -> BatchSimResult:
+    """Execute ``n_trials`` independent runs of ``policy``, vectorized.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`~repro.schedule.base.Policy` instance, a ``Policy``
+        subclass, or a zero-argument factory.  Batch-capable policies (see
+        :func:`~repro.schedule.base.supports_batch`) drive all trials at
+        once; others run through the transparent per-trial fallback (which
+        needs a class/factory, or a policy whose ``start`` fully resets it).
+    n_trials:
+        Number of trials; may be omitted when ``trial_rngs`` is given.
+    rng:
+        Seed or generator for the per-trial RNG tree (ignored when
+        ``trial_rngs`` is given).
+    semantics:
+        ``"suu"`` or ``"suu_star"``, with the same meaning as
+        :func:`~repro.sim.engine.run_policy`.
+    thresholds:
+        Optional pre-drawn SUU* threshold matrix, shape
+        ``(n_trials, n_jobs)`` (ignored under ``"suu"``); row ``k`` plays
+        the role of scalar ``run_policy``'s ``thresholds`` for trial ``k``.
+    trial_rngs:
+        Optional pre-spawned per-trial generators (one per trial), exactly
+        the ``rng.spawn(n_trials)`` list the serial estimators build.  This
+        is how the Monte Carlo front ends keep batched results bit-identical
+        to their serial paths.
+
+    Raises
+    ------
+    ScheduleViolationError
+        If the policy assigns a machine to a job whose predecessors have
+        not all completed (in any trial).
+    SimulationHorizonError
+        If any trial exceeds ``max_steps``.
+    """
+    if semantics not in ("suu", "suu_star"):
+        raise ValueError(f"unknown semantics {semantics!r}")
+    if trial_rngs is not None:
+        trial_rngs = list(trial_rngs)
+        if n_trials is not None and n_trials != len(trial_rngs):
+            raise ValueError(
+                f"n_trials={n_trials} disagrees with {len(trial_rngs)} trial_rngs"
+            )
+        n_trials = len(trial_rngs)
+    if n_trials is None or n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if trial_rngs is None:
+        trial_rngs = list(ensure_rng(rng).spawn(n_trials))
+
+    n = instance.n_jobs
+    if thresholds is not None:
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.shape != (n_trials, n):
+            raise ValueError(
+                f"thresholds must have shape ({n_trials}, {n}), "
+                f"got {thresholds.shape}"
+            )
+
+    if isinstance(policy, Policy):
+        probe, factory = policy, None
+    else:
+        factory = policy
+        probe = factory()
+    if not supports_batch(probe):
+        return _run_fallback(
+            instance, probe, factory, trial_rngs, semantics, max_steps, thresholds
+        )
+    return _run_vectorized(
+        instance, probe, trial_rngs, semantics, max_steps, thresholds
+    )
+
+
+def _run_fallback(
+    instance, probe, factory, trial_rngs, semantics, max_steps, thresholds
+) -> BatchSimResult:
+    """Per-trial scalar loop for policies without batch support."""
+    B, n = len(trial_rngs), instance.n_jobs
+    makespans = np.empty(B, dtype=np.int64)
+    completion = np.empty((B, n), dtype=np.int64)
+    busy = np.empty(B, dtype=np.int64)
+    name = probe.name
+    for k, trial_rng in enumerate(trial_rngs):
+        p = factory() if factory is not None else probe
+        result = run_policy(
+            instance,
+            p,
+            trial_rng,
+            semantics=semantics,
+            max_steps=max_steps,
+            thresholds=None if thresholds is None else thresholds[k],
+        )
+        makespans[k] = result.makespan
+        completion[k] = result.completion_times
+        busy[k] = result.busy_machine_steps
+    return BatchSimResult(
+        makespans=makespans,
+        completion_times=completion,
+        busy_machine_steps=busy,
+        semantics=semantics,
+        policy_name=name,
+        vectorized=False,
+    )
+
+
+def _run_vectorized(
+    instance, policy, trial_rngs, semantics, max_steps, thresholds
+) -> BatchSimResult:
+    """The lock-stepped all-trials engine (see module docstring)."""
+    B, n, m = len(trial_rngs), instance.n_jobs, instance.n_machines
+    ell = instance.ell
+    graph = instance.graph
+
+    # Mirror run_policy's per-trial ``spawn(2) -> (policy_rng, outcome_rng)``
+    # split.  When thresholds are supplied (the common-random-number path),
+    # no outcome randomness is consumed at all — exactly like the scalar
+    # engine — so only the lead trial's policy_rng needs spawning.
+    outcome_rngs = None
+    if semantics == "suu_star" and thresholds is not None:
+        theta = thresholds
+        policy.start_batch(instance, trial_rngs[0].spawn(2)[0], B)
+    else:
+        pairs = [r.spawn(2) for r in trial_rngs]
+        policy.start_batch(instance, pairs[0][0], B)
+        if semantics == "suu_star":
+            theta = np.empty((B, n), dtype=np.float64)
+            for k, (_, outcome_rng) in enumerate(pairs):
+                theta[k] = draw_thresholds(n, outcome_rng)
+        else:
+            theta = None
+            outcome_rngs = [outcome for _, outcome in pairs]
+
+    remaining = np.ones((B, n), dtype=bool)
+    indeg = np.repeat(graph.in_degree_array()[None, :], B, axis=0)
+    eligible = remaining & (indeg == 0)
+    mass_accrued = np.zeros((B, n), dtype=np.float64)
+    completion_times = np.zeros((B, n), dtype=np.int64)
+    busy = np.zeros(B, dtype=np.int64)
+    active = np.ones(B, dtype=bool)
+    # Independent instances can never trip the precedence check (eligible
+    # is identically remaining), so the per-step validation gather and the
+    # in-degree bookkeeping collapse away.
+    independent = graph.n_edges == 0
+    flat_base = (np.arange(B, dtype=np.int64) * n)[:, None]  # (B, 1)
+    ell_flat = ell.ravel()
+    machine_base = (np.arange(m, dtype=np.int64) * n)[None, :]  # (1, m)
+    remaining_flat = remaining.ravel()  # shared memory with `remaining`
+    eligible_flat = eligible.ravel()
+
+    state = BatchSimulationState(
+        t=0,
+        remaining=_readonly_view(remaining),
+        eligible=_readonly_view(eligible),
+        mass_accrued=_readonly_view(mass_accrued),
+        active=_readonly_view(active),
+    )
+
+    t = 0
+    while active.any():
+        if t >= max_steps:
+            raise SimulationHorizonError(
+                f"{policy.name!r} exceeded max_steps={max_steps} with "
+                f"{int(active.sum())} of {B} trials unfinished",
+                steps=t,
+            )
+        object.__setattr__(state, "t", t)
+        a = np.asarray(policy.assign_batch(state))
+        if a.shape != (B, m):
+            raise ScheduleViolationError(
+                f"{policy.name!r} returned batch assignment of shape "
+                f"{a.shape}, expected ({B}, {m})"
+            )
+        if a.dtype.kind not in "iu":
+            raise ScheduleViolationError(
+                f"{policy.name!r} returned non-integer assignment dtype {a.dtype}"
+            )
+        if (a >= n).any() or (a < IDLE).any():
+            raise ScheduleViolationError(
+                f"{policy.name!r} assigned an out-of-range job id"
+            )
+
+        assigned = a >= 0
+        clipped = np.maximum(a, 0)  # IDLE -> job 0 with zero weight below
+        flat_all = flat_base + clipped  # (B, m) indices into (B*n,) planes
+        # As in the scalar engine: assignments to completed jobs idle
+        # silently, assignments to remaining-but-ineligible jobs are
+        # precedence violations.  Inactive trials have remaining all-False,
+        # so they can never trip the check.
+        effective = assigned & remaining_flat[flat_all]
+        if not independent:
+            bad = effective & ~eligible_flat[flat_all]
+            if bad.any():
+                b, i = np.argwhere(bad)[0]
+                raise ScheduleViolationError(
+                    f"{policy.name!r} assigned machine {int(i)} to job "
+                    f"{int(a[b, i])} whose predecessors are incomplete "
+                    f"(t={t}, trial={int(b)})"
+                )
+
+        weights = ell_flat[machine_base + clipped] * effective
+        step_mass = np.bincount(
+            flat_all.ravel(), weights=weights.ravel(), minlength=B * n
+        ).reshape(B, n)
+        busy += effective.sum(axis=1)
+
+        if semantics == "suu":
+            done_now = _draw_suu_completions(step_mass, outcome_rngs)
+        else:
+            done_now = (step_mass > 0.0) & (mass_accrued + step_mass >= theta)
+        mass_accrued += step_mass
+
+        t += 1
+        if done_now.any():
+            completion_times[done_now] = t
+            remaining &= ~done_now
+            if independent:
+                np.copyto(eligible, remaining)
+            else:
+                done_trials, done_jobs = np.nonzero(done_now)
+                origins, successors = graph.successors_flat(done_jobs)
+                if successors.size:
+                    np.subtract.at(indeg, (done_trials[origins], successors), 1)
+                np.logical_and(remaining, indeg == 0, out=eligible)
+            np.any(remaining, axis=1, out=active)
+
+    return BatchSimResult(
+        makespans=completion_times.max(axis=1),
+        completion_times=completion_times,
+        busy_machine_steps=busy,
+        semantics=semantics,
+        policy_name=policy.name,
+        vectorized=True,
+    )
+
+
+def _draw_suu_completions(step_mass, outcome_rngs) -> np.ndarray:
+    """Per-step SUU coin flips, consuming each trial's rng like the scalar
+    engine (one ``random(k)`` call over that trial's scheduled jobs,
+    ascending) so batched ``suu`` runs stay bit-identical to serial ones."""
+    scheduled = step_mass > 0.0
+    counts = scheduled.sum(axis=1)
+    total = int(counts.sum())
+    done_now = np.zeros_like(scheduled)
+    if total == 0:
+        return done_now
+    u = np.empty(total, dtype=np.float64)
+    offset = 0
+    for b in np.flatnonzero(counts):
+        k = int(counts[b])
+        u[offset : offset + k] = outcome_rngs[b].random(k)
+        offset += k
+    rows, cols = np.nonzero(scheduled)  # row-major: trial-major, jobs ascending
+    failed = u >= np.power(2.0, -step_mass[rows, cols])
+    done_now[rows[failed], cols[failed]] = True
+    return done_now

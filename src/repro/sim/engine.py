@@ -13,6 +13,17 @@ distributions), and is verified statistically in the test suite.
 * **SUU\\*** (Appendix A): one hidden threshold ``theta_j = -log2 r_j`` with
   ``r_j ~ U(0,1)`` is drawn up front; the job completes on the first step
   its cumulative delivered log mass reaches ``theta_j``.
+
+Hot-loop discipline: all per-job buffers (remaining/eligible/mass/step
+mass) are allocated once and mutated in place; the
+:class:`~repro.schedule.base.SimulationState` handed to the policy wraps
+*read-only views* of those buffers and is reused across steps.  Snapshots
+are therefore only valid during the ``assign`` call — the documented
+policy contract — which is what lets the loop drop the per-completion
+defensive copies it used to make.  In-degree updates go through the
+precedence graph's CSR successor structure
+(:meth:`~repro.instance.precedence.PrecedenceGraph.successors_flat`)
+instead of a Python loop over completed jobs.
 """
 
 from __future__ import annotations
@@ -33,6 +44,13 @@ __all__ = ["run_policy", "draw_thresholds", "DEFAULT_MAX_STEPS"]
 DEFAULT_MAX_STEPS: int = 1_000_000
 
 _LN2 = math.log(2.0)
+
+
+def _readonly_view(arr: np.ndarray) -> np.ndarray:
+    """A non-writable view of ``arr`` (the engine keeps the writable base)."""
+    view = arr.view()
+    view.flags.writeable = False
+    return view
 
 
 def draw_thresholds(n_jobs: int, rng) -> np.ndarray:
@@ -99,8 +117,19 @@ def run_policy(
     eligible = remaining & (indeg == 0)
     mass_accrued = np.zeros(n, dtype=np.float64)
     completion_times = np.zeros(n, dtype=np.int64)
+    step_mass = np.zeros(n, dtype=np.float64)
     busy = 0
     machine_ids = np.arange(m)
+
+    # One state object for the whole run, wrapping read-only views of the
+    # live buffers (see module docstring: snapshots are only valid during
+    # the assign call, so no per-step copies are needed).
+    state = SimulationState(
+        t=0,
+        remaining=_readonly_view(remaining),
+        eligible=_readonly_view(eligible),
+        mass_accrued=_readonly_view(mass_accrued),
+    )
 
     t = 0
     while remaining.any():
@@ -110,9 +139,7 @@ def run_policy(
                 f"{int(remaining.sum())} jobs remaining",
                 steps=t,
             )
-        state = SimulationState(
-            t=t, remaining=remaining, eligible=eligible, mass_accrued=mass_accrued
-        )
+        object.__setattr__(state, "t", t)
         a = np.asarray(policy.assign(state))
         if a.shape != (m,):
             raise ScheduleViolationError(
@@ -142,7 +169,7 @@ def run_policy(
         effective = active.copy()
         effective[active] = remaining[targets]
 
-        step_mass = np.zeros(n, dtype=np.float64)
+        step_mass[:] = 0.0
         if effective.any():
             jobs_hit = a[effective]
             np.add.at(step_mass, jobs_hit, ell[machine_ids[effective], jobs_hit])
@@ -160,18 +187,16 @@ def run_policy(
             done_now = scheduled[
                 mass_accrued[scheduled] + step_mass[scheduled] >= theta[scheduled]
             ]
-        mass_accrued = mass_accrued + step_mass
+        mass_accrued += step_mass
 
         t += 1
         if done_now.size:
-            remaining = remaining.copy()
             remaining[done_now] = False
             completion_times[done_now] = t
-            indeg = indeg.copy()
-            for j in done_now:
-                for w in graph.successors(int(j)):
-                    indeg[w] -= 1
-            eligible = remaining & (indeg == 0)
+            _, successors = graph.successors_flat(done_now)
+            if successors.size:
+                np.subtract.at(indeg, successors, 1)
+            np.logical_and(remaining, indeg == 0, out=eligible)
 
     return SimResult(
         makespan=t,

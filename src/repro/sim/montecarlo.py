@@ -9,6 +9,12 @@ Three estimators:
   trial.  By Theorem 10 this changes no marginal distribution, but it
   cancels the shared threshold noise out of makespan *differences*, making
   head-to-head experiments far sharper at equal trial counts.
+All estimators route through the trial-vectorized kernel
+(:func:`repro.sim.batch.run_policy_batch`) whenever the policy implements
+the batched-assignment protocol; the kernel replays the exact RNG tree of
+the per-trial path, so routing never changes a single sample — it only
+changes wall-clock time.
+
 * :func:`sample_oblivious_repeat_makespans` — an exact *closed-form sampler*
   for the special case of a finite oblivious schedule repeated until all
   jobs complete (the SUU-I-OBL execution model).  Using the SUU* view, job
@@ -24,7 +30,8 @@ import numpy as np
 
 from repro.instance.instance import SUUInstance
 from repro.schedule.oblivious import FiniteObliviousSchedule
-from repro.sim.engine import DEFAULT_MAX_STEPS, draw_thresholds, run_policy
+from repro.sim.batch import run_policy_batch
+from repro.sim.engine import DEFAULT_MAX_STEPS, draw_thresholds
 from repro.sim.results import MakespanStats
 from repro.util.rng import ensure_rng
 
@@ -51,21 +58,23 @@ def estimate_expected_makespan(
     policy_factory:
         Zero-argument callable returning a *fresh* policy per trial
         (policies are stateful across a single execution).
+
+    All dispatch lives in :func:`~repro.sim.batch.run_policy_batch`:
+    batch-capable policies drive every trial at once, the rest loop the
+    scalar engine.  Both paths consume the same RNG tree (one spawned
+    generator per trial), so the samples are bit-identical either way.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
-    rng = ensure_rng(rng)
-    trial_rngs = rng.spawn(n_trials)
-    samples = np.empty(n_trials, dtype=np.int64)
-    name = "policy"
-    for k in range(n_trials):
-        policy = policy_factory()
-        name = policy.name
-        result = run_policy(
-            instance, policy, trial_rngs[k], semantics=semantics, max_steps=max_steps
-        )
-        samples[k] = result.makespan
-    return MakespanStats(samples=samples, policy_name=name)
+    batch = run_policy_batch(
+        instance,
+        policy_factory,
+        n_trials,
+        rng,
+        semantics=semantics,
+        max_steps=max_steps,
+    )
+    return batch.stats()
 
 
 def compare_policies(
@@ -93,27 +102,34 @@ def compare_policies(
     -------
     Mapping label -> :class:`MakespanStats`; sample arrays are aligned
     trial-by-trial, so ``a.samples - b.samples`` is the paired difference.
+
+    Every policy runs through :func:`~repro.sim.batch.run_policy_batch`
+    against the whole threshold matrix at once (vectorized or via its
+    per-trial fallback); the thresholds and per-run generators are
+    pre-drawn in the serial loop's exact order, so mixing batched and
+    non-batched policies changes no sample.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     rng = ensure_rng(rng)
     labels = list(policy_factories)
-    samples = {label: np.empty(n_trials, dtype=np.int64) for label in labels}
+    # Pre-draw the common thresholds and per-(trial, policy) generators in
+    # the historical trial-major order, preserving bit-identical streams.
+    thetas = np.empty((n_trials, instance.n_jobs), dtype=np.float64)
+    run_rngs = {label: [] for label in labels}
     for t in range(n_trials):
-        theta = draw_thresholds(instance.n_jobs, rng)
+        thetas[t] = draw_thresholds(instance.n_jobs, rng)
         for label in labels:
-            policy = policy_factories[label]()
-            result = run_policy(
-                instance,
-                policy,
-                rng.spawn(1)[0],
-                semantics="suu_star",
-                thresholds=theta,
-                max_steps=max_steps,
-            )
-            samples[label][t] = result.makespan
+            run_rngs[label].append(rng.spawn(1)[0])
     return {
-        label: MakespanStats(samples=samples[label], policy_name=label)
+        label: run_policy_batch(
+            instance,
+            policy_factories[label],
+            trial_rngs=run_rngs[label],
+            semantics="suu_star",
+            thresholds=thetas,
+            max_steps=max_steps,
+        ).stats(label)
         for label in labels
     }
 

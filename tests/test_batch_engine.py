@@ -1,0 +1,382 @@
+"""Tests for the trial-vectorized batch kernel (repro.sim.batch).
+
+The load-bearing property is *serial equivalence*: for every policy that
+implements the batched-assignment protocol, the batch kernel must produce
+makespans that are trial-for-trial identical to the scalar SUU* engine
+under shared thresholds — and, because the kernel replays the serial RNG
+tree, identical to the serial Monte Carlo estimators under both semantics.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.api.registry import policy_info
+from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.baselines.naive import (
+    BestMachinePolicy,
+    RandomAssignmentPolicy,
+    RoundRobinPolicy,
+    SerialAllMachinesPolicy,
+)
+from repro.core.suu_i_obl import SUUIOblPolicy, build_obl_schedule
+from repro.errors import ScheduleViolationError, SimulationHorizonError
+from repro.instance import (
+    PrecedenceGraph,
+    SUUInstance,
+    chain_instance,
+    independent_instance,
+)
+from repro.instance.generators import random_dag_instance
+from repro.schedule.base import IDLE, Policy, VectorizedPolicy, supports_batch
+from repro.schedule.oblivious import RepeatingObliviousPolicy
+from repro.sim import (
+    compare_policies,
+    draw_thresholds,
+    estimate_expected_makespan,
+    run_policy,
+    run_policy_batch,
+)
+from repro.util.rng import ensure_rng
+
+VECTORIZABLE = [
+    SerialAllMachinesPolicy,
+    RoundRobinPolicy,
+    BestMachinePolicy,
+    GreedyLRPolicy,
+    SUUIOblPolicy,
+]
+
+
+def scalar_samples(instance, factory, n_trials, seed, semantics):
+    """The pre-batch serial Monte Carlo loop, verbatim."""
+    rngs = ensure_rng(seed).spawn(n_trials)
+    return np.array(
+        [
+            run_policy(instance, factory(), r, semantics=semantics).makespan
+            for r in rngs
+        ],
+        dtype=np.int64,
+    )
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("policy_cls", VECTORIZABLE)
+    @pytest.mark.parametrize("semantics", ["suu", "suu_star"])
+    def test_independent_bit_identical(self, policy_cls, semantics):
+        inst = independent_instance(10, 4, "uniform", rng=3)
+        expect = scalar_samples(inst, policy_cls, 40, 21, semantics)
+        got = run_policy_batch(inst, policy_cls, 40, rng=21, semantics=semantics)
+        assert got.vectorized
+        assert np.array_equal(expect, got.makespans)
+
+    @pytest.mark.parametrize(
+        "policy_cls",
+        [SerialAllMachinesPolicy, RoundRobinPolicy, BestMachinePolicy,
+         GreedyLRPolicy],
+    )
+    @pytest.mark.parametrize("semantics", ["suu", "suu_star"])
+    def test_precedence_bit_identical(self, policy_cls, semantics):
+        inst = random_dag_instance(12, 4, rng=5)
+        expect = scalar_samples(inst, policy_cls, 30, 22, semantics)
+        got = run_policy_batch(inst, policy_cls, 30, rng=22, semantics=semantics)
+        assert got.vectorized
+        assert np.array_equal(expect, got.makespans)
+
+    def test_shared_thresholds_trial_for_trial(self, small_independent):
+        """Fixed theta matrix: batched run == one scalar run per row."""
+        n_trials = 12
+        theta = draw_thresholds(
+            small_independent.n_jobs * n_trials, np.random.default_rng(9)
+        ).reshape(n_trials, small_independent.n_jobs)
+        batch = run_policy_batch(
+            small_independent,
+            GreedyLRPolicy,
+            n_trials,
+            rng=0,
+            semantics="suu_star",
+            thresholds=theta,
+        )
+        for k in range(n_trials):
+            res = run_policy(
+                small_independent,
+                GreedyLRPolicy(),
+                np.random.default_rng(k),  # rng must be irrelevant
+                semantics="suu_star",
+                thresholds=theta[k],
+            )
+            assert res.makespan == batch.makespans[k]
+            assert np.array_equal(res.completion_times, batch.completion_times[k])
+
+    def test_completion_times_and_busy_match_scalar(self):
+        inst = chain_instance(9, 3, 3, "uniform", rng=4)
+        rngs = ensure_rng(17).spawn(8)
+        batch = run_policy_batch(
+            inst, SerialAllMachinesPolicy, trial_rngs=rngs, semantics="suu_star"
+        )
+        rngs = ensure_rng(17).spawn(8)
+        for k in range(8):
+            res = run_policy(
+                inst, SerialAllMachinesPolicy(), rngs[k], semantics="suu_star"
+            )
+            assert np.array_equal(res.completion_times, batch.completion_times[k])
+            assert res.busy_machine_steps == batch.busy_machine_steps[k]
+
+    def test_repeating_oblivious_vectorizes(self, small_independent):
+        schedule = build_obl_schedule(small_independent)
+        factory = lambda: RepeatingObliviousPolicy(schedule)  # noqa: E731
+        expect = scalar_samples(small_independent, factory, 25, 31, "suu_star")
+        got = run_policy_batch(
+            small_independent, factory, 25, rng=31, semantics="suu_star"
+        )
+        assert got.vectorized
+        assert np.array_equal(expect, got.makespans)
+
+
+class TestEstimatorRouting:
+    """The Monte Carlo front ends must not change a single sample."""
+
+    def test_estimate_matches_serial_loop(self, small_independent):
+        for semantics in ("suu", "suu_star"):
+            stats = estimate_expected_makespan(
+                small_independent, GreedyLRPolicy, 30, rng=11, semantics=semantics
+            )
+            expect = scalar_samples(
+                small_independent, GreedyLRPolicy, 30, 11, semantics
+            )
+            assert np.array_equal(stats.samples, expect)
+
+    def test_compare_policies_mixed_batch_and_fallback(self, small_independent):
+        """Batched + fallback policies share thresholds; deterministic
+        policies stay perfectly paired with themselves."""
+        out = compare_policies(
+            small_independent,
+            {
+                "g1": GreedyLRPolicy,
+                "rand": RandomAssignmentPolicy,
+                "g2": GreedyLRPolicy,
+            },
+            20,
+            rng=12,
+        )
+        assert np.array_equal(out["g1"].samples, out["g2"].samples)
+        assert out["rand"].n_trials == 20
+
+    def test_fallback_path_identical_to_serial(self, small_independent):
+        batch = run_policy_batch(
+            small_independent, RandomAssignmentPolicy, 25, rng=14, semantics="suu"
+        )
+        assert not batch.vectorized
+        expect = scalar_samples(
+            small_independent, RandomAssignmentPolicy, 25, 14, "suu"
+        )
+        assert np.array_equal(batch.makespans, expect)
+
+    def test_fallback_distribution_agrees(self, small_independent):
+        """KS: fallback (random policy) vs an independent serial estimate."""
+        a = run_policy_batch(
+            small_independent, RandomAssignmentPolicy, 150, rng=101
+        ).makespans
+        b = scalar_samples(
+            small_independent, RandomAssignmentPolicy, 150, 202, "suu"
+        )
+        assert scipy_stats.ks_2samp(a, b).pvalue > 0.001
+
+
+class TestCSRPrecedence:
+    def test_csr_matches_adjacency(self):
+        g = PrecedenceGraph(6, [(0, 2), (0, 3), (1, 3), (2, 4), (3, 4), (3, 5)])
+        indptr, indices = g.successors_csr()
+        for j in range(6):
+            assert sorted(g.successors(j)) == sorted(
+                indices[indptr[j] : indptr[j + 1]].tolist()
+            )
+
+    def test_csr_arrays_read_only(self):
+        g = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        indptr, indices = g.successors_csr()
+        with pytest.raises(ValueError):
+            indptr[0] = 7
+        with pytest.raises(ValueError):
+            indices[0] = 7
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_indegree_updates_match_successor_loop(self, seed):
+        """CSR scatter == the engine's old per-completion Python loop."""
+        rng = np.random.default_rng(seed)
+        n = 30
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.15
+        ]
+        g = PrecedenceGraph(n, edges)
+        done = rng.permutation(n)[: rng.integers(1, n)]
+
+        old = g.in_degree_array()
+        for j in done:
+            for w in g.successors(int(j)):
+                old[w] -= 1
+
+        new = g.in_degree_array()
+        _, successors = g.successors_flat(done)
+        if successors.size:
+            np.subtract.at(new, successors, 1)
+        assert np.array_equal(old, new)
+
+    def test_successors_flat_origins(self):
+        g = PrecedenceGraph(4, [(0, 1), (0, 2), (1, 3)])
+        origins, successors = g.successors_flat(np.array([1, 0]))
+        # Job 1 (position 0) contributes [3]; job 0 (position 1) -> [1, 2].
+        assert origins.tolist() == [0, 1, 1]
+        assert successors.tolist() == [3, 1, 2]
+
+    def test_successors_flat_empty(self):
+        g = PrecedenceGraph(3, ())
+        origins, successors = g.successors_flat(np.array([0, 1, 2]))
+        assert origins.size == 0 and successors.size == 0
+
+
+class _WritingPolicy(Policy):
+    """Tries to mutate the (read-only) state snapshot."""
+
+    name = "writer"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):
+        state.remaining[0] = False  # must raise: snapshots are read-only
+        return np.zeros(self._m, dtype=np.int64)
+
+
+class _BatchWritingPolicy(VectorizedPolicy):
+    name = "batch-writer"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):  # pragma: no cover - scalar path unused
+        return np.zeros(self._m, dtype=np.int64)
+
+    def assign_batch(self, state):
+        state.eligible[0, 0] = False
+        return np.zeros((state.n_trials, self._m), dtype=np.int64)
+
+
+class _BadShapeBatchPolicy(VectorizedPolicy):
+    name = "bad-shape-batch"
+
+    def assign(self, state):  # pragma: no cover - scalar path unused
+        raise NotImplementedError
+
+    def assign_batch(self, state):
+        return np.zeros((state.n_trials, 1), dtype=np.int64)
+
+
+class _IneligibleBatchPolicy(VectorizedPolicy):
+    """Assigns the last job immediately (violating precedence)."""
+
+    name = "ineligible-batch"
+
+    def start(self, instance, rng):
+        self._shape = (None, instance.n_machines)
+        self._n = instance.n_jobs
+
+    def assign(self, state):  # pragma: no cover - scalar path unused
+        raise NotImplementedError
+
+    def assign_batch(self, state):
+        return np.full(
+            (state.n_trials, self._shape[1]), self._n - 1, dtype=np.int64
+        )
+
+
+class _IdleBatchPolicy(VectorizedPolicy):
+    name = "idle-batch"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):  # pragma: no cover - scalar path unused
+        raise NotImplementedError
+
+    def assign_batch(self, state):
+        return np.full((state.n_trials, self._m), IDLE, dtype=np.int64)
+
+
+class TestStateInvariants:
+    def test_scalar_state_views_read_only(self, tiny_instance):
+        with pytest.raises(ValueError, match="read-only"):
+            run_policy(tiny_instance, _WritingPolicy(), rng=0)
+
+    def test_batch_state_views_read_only(self, tiny_instance):
+        with pytest.raises(ValueError, match="read-only"):
+            run_policy_batch(tiny_instance, _BatchWritingPolicy(), 4, rng=0)
+
+
+class TestBatchValidation:
+    def test_bad_shape(self, tiny_instance):
+        with pytest.raises(ScheduleViolationError, match="shape"):
+            run_policy_batch(tiny_instance, _BadShapeBatchPolicy(), 3, rng=0)
+
+    def test_precedence_violation(self):
+        graph = PrecedenceGraph(3, [(0, 1), (1, 2)])
+        inst = SUUInstance(np.full((2, 3), 0.5), graph)
+        with pytest.raises(ScheduleViolationError, match="predecessors"):
+            run_policy_batch(inst, _IneligibleBatchPolicy(), 3, rng=0)
+
+    def test_horizon(self, tiny_instance):
+        with pytest.raises(SimulationHorizonError, match="unfinished"):
+            run_policy_batch(
+                tiny_instance, _IdleBatchPolicy(), 3, rng=0, max_steps=10
+            )
+
+    def test_bad_semantics(self, tiny_instance):
+        with pytest.raises(ValueError, match="semantics"):
+            run_policy_batch(
+                tiny_instance, GreedyLRPolicy, 3, rng=0, semantics="nope"
+            )
+
+    def test_rejects_zero_trials(self, tiny_instance):
+        with pytest.raises(ValueError, match="n_trials"):
+            run_policy_batch(tiny_instance, GreedyLRPolicy, 0, rng=0)
+
+    def test_rejects_trial_count_mismatch(self, tiny_instance):
+        rngs = ensure_rng(0).spawn(4)
+        with pytest.raises(ValueError, match="disagrees"):
+            run_policy_batch(tiny_instance, GreedyLRPolicy, 3, trial_rngs=rngs)
+
+    def test_rejects_bad_threshold_shape(self, tiny_instance):
+        with pytest.raises(ValueError, match="thresholds"):
+            run_policy_batch(
+                tiny_instance,
+                GreedyLRPolicy,
+                4,
+                rng=0,
+                semantics="suu_star",
+                thresholds=np.ones(3),
+            )
+
+
+class TestProtocol:
+    def test_supports_batch_detection(self):
+        assert supports_batch(GreedyLRPolicy())
+        assert supports_batch(SUUIOblPolicy())
+        assert not supports_batch(RandomAssignmentPolicy())
+
+    def test_registry_capability_flag(self):
+        assert policy_info("greedy").vectorized
+        assert policy_info("obl").vectorized
+        assert policy_info("serial").vectorized
+        assert not policy_info("random").vectorized
+        assert not policy_info("suu-c").vectorized
+
+    def test_batch_result_consistency(self, small_independent):
+        res = run_policy_batch(small_independent, BestMachinePolicy, 10, rng=2)
+        assert res.n_trials == 10
+        assert np.array_equal(res.makespans, res.completion_times.max(axis=1))
+        stats = res.stats()
+        assert stats.policy_name == "best-machine"
+        assert stats.n_trials == 10
