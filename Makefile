@@ -1,11 +1,13 @@
 # Developer entry points.  `make test` is the tier-1 gate; `make bench`
 # produces a pytest-benchmark json; `make bench-check` additionally fails
-# when the timing kernels regress >25% against the committed baseline
-# (the latest BENCH_<n>.json).
+# when the scalar-vs-batch speedup ratios regress >25% against the
+# committed baseline (the latest BENCH_<n>.json).  Ratios are machine-
+# independent — both sides of each ratio are measured in the same run —
+# so the gate holds on slow shared runners where absolute means drift.
 
 PYTHON ?= python
 BENCH_JSON ?= bench_current.json
-BENCH_BASELINE ?= BENCH_2.json
+BENCH_BASELINE ?= BENCH_3.json
 BENCH_TOLERANCE ?= 0.25
 
 .PHONY: test bench bench-check tables
@@ -15,11 +17,12 @@ test:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernels.py \
-		benchmarks/bench_batch.py --benchmark-json=$(BENCH_JSON) -q
+		benchmarks/bench_batch.py benchmarks/bench_adaptive.py \
+		--benchmark-json=$(BENCH_JSON) -q
 
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_BASELINE) $(BENCH_JSON) \
-		--only bench_kernels --tolerance $(BENCH_TOLERANCE)
+		--mode ratio --tolerance $(BENCH_TOLERANCE)
 
 # Regenerate every experiment table at bench size (slow).
 tables:

@@ -54,6 +54,7 @@ from repro.api import (
 )
 
 from repro.analysis import (
+    PerJobStats,
     RatioMeasurement,
     critical_path_lower_bound,
     format_markdown_table,
@@ -62,6 +63,7 @@ from repro.analysis import (
     lp1_lower_bound,
     lp2_lower_bound,
     measure_ratio,
+    per_job_stats,
     single_job_lower_bound,
 )
 from repro.baselines import (
@@ -249,6 +251,8 @@ __all__ = [
     "draw_delays",
     # Analysis
     "lower_bound",
+    "PerJobStats",
+    "per_job_stats",
     "lp1_lower_bound",
     "lp2_lower_bound",
     "single_job_lower_bound",

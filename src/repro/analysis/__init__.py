@@ -7,10 +7,13 @@ from repro.analysis.bounds import (
     lp2_lower_bound,
     single_job_lower_bound,
 )
+from repro.analysis.perjob import PerJobStats, per_job_stats
 from repro.analysis.ratios import RatioMeasurement, measure_ratio
 from repro.analysis.tables import format_markdown_table, format_table
 
 __all__ = [
+    "PerJobStats",
+    "per_job_stats",
     "lower_bound",
     "lp1_lower_bound",
     "lp2_lower_bound",

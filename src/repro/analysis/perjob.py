@@ -1,0 +1,133 @@
+"""Per-job completion-time statistics across Monte Carlo trials.
+
+:class:`~repro.sim.batch.BatchSimResult` carries the full
+``(n_trials, n_jobs)`` completion matrix, but the summary layer only ever
+reduced it to makespans.  This module exploits the matrix: per-job mean
+completion steps, tail-latency quantiles, and "which jobs dominate the
+makespan" attribution — the questions a capacity planner asks of a
+scheduler, not just the approximation-ratio question the paper asks.
+
+Build one with :func:`per_job_stats` from a batch result (or a raw
+completion matrix), or ask :func:`repro.api.simulate` for it directly
+with ``per_job=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PerJobStats", "per_job_stats"]
+
+
+@dataclass(frozen=True)
+class PerJobStats:
+    """Completion-time distribution of every job across trials.
+
+    Attributes
+    ----------
+    completion_times:
+        Shape ``(n_trials, n_jobs)``, 1-based completion steps (the same
+        convention as :class:`~repro.sim.results.SimResult`).
+    policy_name:
+        Label of the policy that produced the executions.
+    """
+
+    completion_times: np.ndarray
+    policy_name: str = "policy"
+
+    def __post_init__(self):
+        ct = np.asarray(self.completion_times)
+        if ct.ndim != 2:
+            raise ValueError(
+                f"completion_times must be 2-D (trials, jobs), got {ct.shape}"
+            )
+
+    @property
+    def n_trials(self) -> int:
+        """Number of Monte Carlo trials."""
+        return int(self.completion_times.shape[0])
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs per trial."""
+        return int(self.completion_times.shape[1])
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-job mean completion step, shape ``(n_jobs,)``."""
+        return self.completion_times.mean(axis=0)
+
+    def quantile(self, q: float) -> np.ndarray:
+        """Per-job ``q``-quantile of the completion step, shape ``(n_jobs,)``.
+
+        ``quantile(0.99)`` is the per-job p99 tail latency (in unit steps).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        return np.quantile(self.completion_times, q, axis=0)
+
+    def tail_latency(self, q: float = 0.99) -> np.ndarray:
+        """Alias for :meth:`quantile` with tail-latency framing."""
+        return self.quantile(q)
+
+    @property
+    def critical_fraction(self) -> np.ndarray:
+        """Fraction of trials in which each job finished *last*.
+
+        Ties split the credit across the tied jobs, so the fractions sum
+        to 1: this is makespan attribution — which jobs the policy should
+        work on to shrink ``E[T]``.
+        """
+        ct = self.completion_times
+        is_max = ct == ct.max(axis=1, keepdims=True)
+        weights = is_max / is_max.sum(axis=1, keepdims=True)
+        return weights.mean(axis=0)
+
+    def slowest_jobs(self, k: int = 5, q: float = 0.9) -> list[tuple[int, float]]:
+        """The ``k`` jobs with the largest ``q``-quantile completion step.
+
+        Returns ``(job id, quantile value)`` pairs, slowest first.
+        """
+        values = self.quantile(q)
+        order = np.argsort(values)[::-1][: max(0, int(k))]
+        return [(int(j), float(values[j])) for j in order]
+
+    def to_dict(self, quantiles=(0.5, 0.9, 0.99)) -> dict:
+        """JSON-compatible summary (no raw matrix; means and quantiles)."""
+        return {
+            "policy": self.policy_name,
+            "n_trials": self.n_trials,
+            "n_jobs": self.n_jobs,
+            "mean": self.mean.tolist(),
+            "quantiles": {
+                str(q): self.quantile(q).tolist() for q in quantiles
+            },
+            "critical_fraction": self.critical_fraction.tolist(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PerJobStats({self.policy_name}: {self.n_jobs} jobs x "
+            f"{self.n_trials} trials, worst p99={self.quantile(0.99).max():.1f})"
+        )
+
+
+def per_job_stats(source, policy_name: str | None = None) -> PerJobStats:
+    """Build :class:`PerJobStats` from a batch result or completion matrix.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.sim.batch.BatchSimResult` (its
+        ``completion_times`` and ``policy_name`` are used) or any
+        ``(n_trials, n_jobs)`` array of completion steps.
+    policy_name:
+        Label override (defaults to the result's name, or ``"policy"``).
+    """
+    matrix = getattr(source, "completion_times", source)
+    label = policy_name or getattr(source, "policy_name", None) or "policy"
+    return PerJobStats(
+        completion_times=np.asarray(matrix), policy_name=str(label)
+    )

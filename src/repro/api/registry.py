@@ -80,11 +80,38 @@ class PolicyInfo:
 
         Vectorized policies are dispatched to the trial-batched simulation
         kernel (:func:`repro.sim.batch.run_policy_batch`) by the Monte
-        Carlo front ends; others run through the per-trial fallback.
+        Carlo front ends as one broadcast ``assign_batch`` call per step.
         """
         from repro.schedule.base import supports_batch  # deferred: layer-free
 
         return supports_batch(self.cls)
+
+    @property
+    def phased(self) -> bool:
+        """True when the policy implements phase-grouped batch dispatch.
+
+        Phased (adaptive) policies run through the same batch kernel, with
+        live trials partitioned by phase key and one ``assign_group`` call
+        per distinct key each step.
+        """
+        from repro.schedule.base import supports_phased  # deferred: layer-free
+
+        return supports_phased(self.cls)
+
+    @property
+    def batch_dispatch(self) -> str:
+        """How the batch kernel drives this policy.
+
+        ``"vectorized"`` (one broadcast call for all trials),
+        ``"phased"`` (grouped dispatch by phase key), or ``"fallback"``
+        (per-trial scalar loop).  This is what the ``repro policies``
+        CLI's "batched" column shows.
+        """
+        if self.vectorized:
+            return "vectorized"
+        if self.phased:
+            return "phased"
+        return "fallback"
 
     @property
     def summary(self) -> str:

@@ -24,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import get_context
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.instance.instance import SUUInstance
 from repro.sim.batch import run_policy_batch
 from repro.sim.results import MakespanStats
 from repro.util.rng import ensure_rng, spawn_rngs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (deferred: layer cycle)
+    from repro.analysis.perjob import PerJobStats
 
 __all__ = ["Report", "simulate", "evaluate_grid", "run_trial_batch"]
 
@@ -61,6 +65,10 @@ class Report:
         Provable lower bound on ``E[T_OPT]`` for the instance.
     config:
         The :class:`~repro.api.scenario.SimConfig` the trials used.
+    per_job:
+        Per-job completion statistics
+        (:class:`~repro.analysis.perjob.PerJobStats`) when the simulation
+        was asked for them (``per_job=True``); ``None`` otherwise.
     """
 
     scenario: Scenario | None
@@ -68,6 +76,7 @@ class Report:
     stats: MakespanStats
     lower_bound: float
     config: SimConfig
+    per_job: "PerJobStats | None" = None
 
     @property
     def mean(self) -> float:
@@ -92,6 +101,7 @@ class Report:
             "lower_bound": self.lower_bound,
             "ratio": self.ratio,
             "config": self.config.to_dict(),
+            "per_job": self.per_job.to_dict() if self.per_job else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -102,7 +112,9 @@ class Report:
         )
 
 
-def run_trial_batch(instance, factory, rngs, semantics, max_steps) -> np.ndarray:
+def run_trial_batch(
+    instance, factory, rngs, semantics, max_steps, want_completions=False
+):
     """Run one chunk of Monte Carlo trials; returns the makespans.
 
     Module-level (rather than a closure) so the process backend can ship it
@@ -110,14 +122,22 @@ def run_trial_batch(instance, factory, rngs, semantics, max_steps) -> np.ndarray
     registry's :func:`~repro.api.registry.policy_factory` partials are.
 
     The trial-vectorized kernel owns all dispatch: batch-capable policies
-    drive the whole chunk at once, the rest loop the scalar engine — and
-    because the kernel replays this chunk's RNG streams exactly, chunking,
-    backends, and vectorization all produce bit-identical samples.
+    drive the whole chunk at once, phased (adaptive) policies go through
+    grouped dispatch, the rest loop the scalar engine — and because the
+    kernel replays this chunk's RNG streams exactly, chunking, backends,
+    and dispatch mode all produce bit-identical samples.
+
+    With ``want_completions=True`` the chunk's ``(n_trials, n_jobs)``
+    completion matrix rides along as a second return value (the raw
+    material of :func:`repro.analysis.per_job_stats`).
     """
-    return run_policy_batch(
+    batch = run_policy_batch(
         instance, factory, trial_rngs=rngs, semantics=semantics,
         max_steps=max_steps,
-    ).makespans
+    )
+    if want_completions:
+        return batch.makespans, batch.completion_times
+    return batch.makespans
 
 
 def _resolve_policy(policy, instance, policy_kwargs):
@@ -140,9 +160,31 @@ def _with_kwargs(fn, kwargs):
     return functools.partial(fn, **kwargs) if kwargs else fn
 
 
+#: Below this many trials the process backend runs the batch kernel
+#: in-process: with the kernel paying its per-step cost once per timestep,
+#: a small batch finishes faster than worker dispatch + pickling even
+#: starts.  Chunk layout never changes samples (the per-trial RNG tree is
+#: spawned up-front), so the fast path is bit-identical by construction.
+SERIAL_BATCH_THRESHOLD = 256
+
+#: Minimum trials per process-backend chunk.  One chunk per worker was
+#: tuned for the scalar loop; the batch kernel amortizes per-step work
+#: over the whole chunk, so many tiny chunks waste kernel efficiency and
+#: IPC — fewer, larger chunks win once workers outnumber the trials'
+#: useful parallelism.
+MIN_CHUNK_TRIALS = 64
+
+
 def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
-    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous spans."""
-    n_chunks = max(1, min(n_chunks, n_items))
+    """Split ``range(n_items)`` into contiguous batch-kernel-sized spans.
+
+    At most ``n_chunks`` spans (one per worker), but never more than
+    ``n_items / MIN_CHUNK_TRIALS`` — the auto heuristic that keeps every
+    chunk large enough for the vectorized kernel to amortize its per-step
+    cost.  Chunk layout is invisible in the results (samples concatenate
+    in trial order with pre-spawned RNG streams).
+    """
+    n_chunks = max(1, min(n_chunks, n_items, n_items // MIN_CHUNK_TRIALS or 1))
     base, extra = divmod(n_items, n_chunks)
     bounds, start = [], 0
     for k in range(n_chunks):
@@ -152,23 +194,85 @@ def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
     return bounds
 
 
-def _map_chunks(pool, n_workers, instance, factory, rngs, config) -> np.ndarray:
+def _map_chunks(pool, n_workers, instance, factory, rngs, config,
+                want_completions=False):
     """Fan trial chunks out over ``pool`` and reassemble them in order."""
     bounds = _chunk_bounds(config.n_trials, n_workers)
-    chunks = pool.map(
+    chunks = list(pool.map(
         run_trial_batch,
         *zip(
             *[
-                (instance, factory, rngs[lo:hi], config.semantics, config.max_steps)
+                (instance, factory, rngs[lo:hi], config.semantics,
+                 config.max_steps, want_completions)
                 for lo, hi in bounds
             ]
         ),
+    ))
+    if want_completions:
+        return (
+            np.concatenate([c[0] for c in chunks]),
+            np.concatenate([c[1] for c in chunks]),
+        )
+    return np.concatenate(chunks)
+
+
+def _fast_path_eligible(factory) -> bool:
+    """True when small batches of this policy should skip the pool.
+
+    Only policies for which in-process batching genuinely amortizes:
+    vectorized ones and *keyed* phased ones (trials share rows and LP
+    solves).  Fallback-dispatch policies gain nothing from in-process
+    batching — for them ``run_trial_batch`` is literally the old scalar
+    loop — and replica-phased ones (``phase_grouping == "replica"``, e.g.
+    SUU-C) only share their start-up work, so an explicit process request
+    stands for both.
+    """
+    from repro.schedule.base import supports_batch, supports_phased
+
+    try:
+        probe = factory()
+    except Exception:
+        return False
+    if supports_batch(probe):
+        return True
+    return (
+        supports_phased(probe)
+        and getattr(probe, "phase_grouping", "keyed") != "replica"
     )
-    return np.concatenate(list(chunks))
+
+
+def _small_batch(config: SimConfig) -> bool:
+    """Whether the trial count is below the serial fast-path threshold.
+
+    One predicate shared by :func:`_run_batched` (take the fast path) and
+    :func:`evaluate_grid` (skip building a pool) so the two sites cannot
+    drift apart.
+    """
+    return config.n_trials < SERIAL_BATCH_THRESHOLD
+
+
+def _spec_fast_path_eligible(spec) -> bool:
+    """Fast-path eligibility for a policy *spec* as :func:`evaluate_grid`
+    receives it (registry name, ``"auto"``, class, or factory).
+
+    ``"auto"`` resolves per scenario — some precedence-class defaults are
+    replica-phased (suu-c, suu-t) — so it conservatively reports False:
+    the sweep builds its shared pool, and cells that do take the fast
+    path simply never touch it.
+    """
+    if isinstance(spec, str):
+        if spec == "auto":
+            return False
+        try:
+            spec = policy_factory(spec)
+        except Exception:
+            return False
+    return _fast_path_eligible(spec)
 
 
 def _run_batched(
-    instance, factory, config: SimConfig, backend: str, n_workers, pool=None
+    instance, factory, config: SimConfig, backend: str, n_workers, pool=None,
+    want_completions=False,
 ):
     """Dispatch the trials on the requested backend; returns all samples.
 
@@ -181,17 +285,29 @@ def _run_batched(
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
     rngs = spawn_rngs(ensure_rng(config.seed), config.n_trials)
-    if backend == "serial":
+    # Serial-batch fast path: for fast-path-eligible policies, small
+    # batches lose more to pool dispatch than they gain from parallelism.
+    # Identical samples either way — only the transport changes.
+    # Fallback- and replica-dispatch policies keep their explicit process
+    # request regardless of size.
+    if backend == "serial" or (
+        _small_batch(config) and _fast_path_eligible(factory)
+    ):
         return run_trial_batch(
-            instance, factory, rngs, config.semantics, config.max_steps
+            instance, factory, rngs, config.semantics, config.max_steps,
+            want_completions,
         )
     n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
     if pool is not None:
-        return _map_chunks(pool, n_workers, instance, factory, rngs, config)
+        return _map_chunks(
+            pool, n_workers, instance, factory, rngs, config, want_completions
+        )
     with ProcessPoolExecutor(
         max_workers=n_workers, mp_context=get_context(_MP_START_METHOD)
     ) as pool:
-        return _map_chunks(pool, n_workers, instance, factory, rngs, config)
+        return _map_chunks(
+            pool, n_workers, instance, factory, rngs, config, want_completions
+        )
 
 
 def simulate(
@@ -201,6 +317,7 @@ def simulate(
     *,
     backend: str = "serial",
     n_workers: int | None = None,
+    per_job: bool = False,
     **policy_kwargs,
 ) -> Report:
     """Measure ``policy`` on ``scenario`` and return a :class:`Report`.
@@ -222,6 +339,11 @@ def simulate(
     n_workers:
         Process-backend pool size (default: CPU count, capped at the
         trial count).
+    per_job:
+        Also collect the per-trial completion matrix and attach
+        :class:`~repro.analysis.perjob.PerJobStats` to the report
+        (``report.per_job``: per-job tail latencies, completion
+        quantiles, makespan attribution).
     **policy_kwargs:
         Extra constructor arguments for the policy (e.g.
         ``inner="obl"`` for SUU-C ablations).
@@ -232,7 +354,8 @@ def simulate(
     else:
         declarative, instance = scenario, scenario.to_instance()
     return _simulate_instance(
-        declarative, instance, policy, config, backend, n_workers, policy_kwargs
+        declarative, instance, policy, config, backend, n_workers,
+        policy_kwargs, per_job=per_job,
     )
 
 
@@ -246,6 +369,7 @@ def _simulate_instance(
     policy_kwargs,
     pool=None,
     bound=None,
+    per_job=False,
 ):
     """Shared core of :func:`simulate` / :func:`evaluate_grid`.
 
@@ -253,7 +377,20 @@ def _simulate_instance(
     LP lower-bound solve across the cells that share a scenario.
     """
     label, factory = _resolve_policy(policy, instance, policy_kwargs)
-    samples = _run_batched(instance, factory, config, backend, n_workers, pool=pool)
+    out = _run_batched(
+        instance, factory, config, backend, n_workers, pool=pool,
+        want_completions=per_job,
+    )
+    job_stats = None
+    if per_job:
+        # Deferred import: analysis -> core -> api is a cycle at package
+        # init time (see _lower_bound).
+        from repro.analysis.perjob import per_job_stats
+
+        samples, completions = out
+        job_stats = per_job_stats(completions, policy_name=label)
+    else:
+        samples = out
     if bound is None:
         bound = _lower_bound(instance)
     return Report(
@@ -262,6 +399,7 @@ def _simulate_instance(
         stats=MakespanStats(samples=samples, policy_name=label),
         lower_bound=bound,
         config=config,
+        per_job=job_stats,
     )
 
 
@@ -280,6 +418,7 @@ def evaluate_grid(
     config: SimConfig | None = None,
     backend: str = "serial",
     n_workers: int | None = None,
+    per_job: bool = False,
 ) -> list[Report]:
     """Measure every policy on every scenario of a sweep.
 
@@ -296,7 +435,14 @@ def evaluate_grid(
         policies = (policies,)
     config = config or SimConfig()
     pool_cm = nullcontext(None)
-    if backend == "process":
+    # Skip the shared pool only when *every* cell will take the serial-
+    # batch fast path; one fallback/replica-dispatch policy in the sweep
+    # keeps the single shared pool (per-cell pools would pay spawn-method
+    # worker start-up once per cell).
+    if backend == "process" and not (
+        _small_batch(config)
+        and all(_spec_fast_path_eligible(p) for p in policies)
+    ):
         n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
         pool_cm = ProcessPoolExecutor(
             max_workers=n_workers, mp_context=get_context(_MP_START_METHOD)
@@ -311,6 +457,7 @@ def evaluate_grid(
                     _simulate_instance(
                         scenario, instance, policy, config, backend,
                         n_workers, {}, pool=pool, bound=bound,
+                        per_job=per_job,
                     )
                 )
     return reports

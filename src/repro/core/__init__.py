@@ -4,6 +4,7 @@ from repro.core.adaptive import SUUIAdaptiveLPPolicy
 from repro.core.layered import LayeredPolicy
 from repro.core.lp1 import LP1Relaxation, solve_lp1
 from repro.core.lp2 import LP2Relaxation, round_lp2, solve_lp2
+from repro.core.phased import RoundScheduleCache
 from repro.core.rounding import PAPER_SCALE, round_assignment
 from repro.core.suu_c import SUUCPolicy
 from repro.core.suu_i_obl import SUUIOblPolicy, build_obl_schedule
@@ -19,6 +20,7 @@ __all__ = [
     "round_lp2",
     "round_assignment",
     "PAPER_SCALE",
+    "RoundScheduleCache",
     "SUUIOblPolicy",
     "build_obl_schedule",
     "SUUISemPolicy",

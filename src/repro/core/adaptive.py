@@ -20,15 +20,16 @@ import numpy as np
 
 from repro.api.registry import register_policy
 from repro.core.lp1 import solve_lp1
+from repro.core.phased import RoundScheduleCache
 from repro.core.rounding import PAPER_SCALE, round_assignment
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import IDLE, PhasedPolicy, SimulationState
 from repro.schedule.oblivious import FiniteObliviousSchedule
 
 __all__ = ["SUUIAdaptiveLPPolicy"]
 
 
 @register_policy("adapt", aliases=("suu-i-adapt", "adaptive"))
-class SUUIAdaptiveLPPolicy(Policy):
+class SUUIAdaptiveLPPolicy(PhasedPolicy):
     """Re-solve the LP whenever enough jobs have completed.
 
     Parameters
@@ -64,14 +65,16 @@ class SUUIAdaptiveLPPolicy(Policy):
         self.lp_solves = 0
         self._instance = None
 
+    def _universe_mask(self, n: int) -> np.ndarray:
+        if self.jobs is None:
+            return np.ones(n, dtype=bool)
+        mask = np.zeros(n, dtype=bool)
+        mask[list(self.jobs)] = True
+        return mask
+
     def start(self, instance, rng) -> None:
         self._instance = instance
-        n = instance.n_jobs
-        if self.jobs is None:
-            self._universe = np.ones(n, dtype=bool)
-        else:
-            self._universe = np.zeros(n, dtype=bool)
-            self._universe[list(self.jobs)] = True
+        self._universe = self._universe_mask(instance.n_jobs)
         self.lp_solves = 0
         self._schedule: FiniteObliviousSchedule | None = None
         self._step = 0
@@ -103,4 +106,54 @@ class SUUIAdaptiveLPPolicy(Policy):
             self._resolve(remaining)
         row = self._schedule.assignment_at(self._step)
         self._step += 1
+        return row
+
+    # ------------------------------------------------------------------
+    # Grouped batch dispatch (PhasedPolicy protocol)
+    # ------------------------------------------------------------------
+    def start_phased(self, instance, trial_rngs) -> None:
+        # start() never touches its rng; trials keep a (schedule id, step,
+        # solved-count) cursor each and share one memoized solve cache.
+        # Re-solves hit the cache whenever another trial already adapted
+        # to the same survivor set, so self.lp_solves counts *distinct*
+        # LPs solved across the batch (the scalar count is per trial).
+        self._instance = instance
+        self._universe = self._universe_mask(instance.n_jobs)
+        self._cache = RoundScheduleCache(instance, self.scale)
+        B = len(list(trial_rngs))
+        self._sid = [None] * B
+        self._pos = [0] * B
+        self._solved_counts = [-1] * B
+        self._pending = [None] * B
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+
+    def phase_key(self, trial: int, state):
+        remaining = np.flatnonzero(state.remaining[trial] & self._universe)
+        if remaining.size == 0:
+            key = ("idle",)
+        else:
+            sid = self._sid[trial]
+            stale = (
+                sid is None
+                or self._pos[trial] >= self._cache.schedule(sid).length
+                or remaining.size * self.resolve_factor
+                <= self._solved_counts[trial]
+            )
+            if stale:
+                sid = self._cache.schedule_id(self.target, remaining)
+                self._sid[trial] = sid
+                self._pos[trial] = 0
+                self._solved_counts[trial] = remaining.size
+                self.lp_solves = self._cache.solves
+            key = ("row", sid, self._pos[trial])
+        self._pending[trial] = key
+        return key
+
+    def assign_group(self, state, trials) -> np.ndarray:
+        key = self._pending[trials[0]]
+        if key[0] == "idle":
+            return self._idle
+        row = self._cache.schedule(key[1]).assignment_at(key[2])
+        for k in trials:
+            self._pos[k] += 1
         return row

@@ -17,22 +17,31 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import register_policy
+from repro.core.phased import (
+    RoundScheduleCache,
+    SemCursor,
+    sem_advance,
+    sem_phase_key,
+    sem_row_for_key,
+)
 from repro.core.rounding import PAPER_SCALE
-from repro.core.suu_i_sem import SUUISemPolicy
+from repro.core.suu_i_sem import SUUISemPolicy, paper_round_count
 from repro.errors import ReproError
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import IDLE, PhasedPolicy, SimulationState
 
 __all__ = ["LayeredPolicy"]
 
 
 @register_policy("layered", default_for=("general",))
-class LayeredPolicy(Policy):
+class LayeredPolicy(PhasedPolicy):
     """Sequential SUU-I-SEM over longest-path levels of any DAG.
 
     Attributes
     ----------
     stats:
-        ``n_levels`` and per-level SEM round counts for the last execution.
+        ``n_levels`` and per-level SEM round counts for the last *scalar*
+        execution (grouped batch dispatch drives many trials at once and
+        does not populate it).
     """
 
     name = "SUU-LAYERED"
@@ -74,3 +83,73 @@ class LayeredPolicy(Policy):
                 jobs=self._level_jobs[nxt].tolist(), scale=self.scale
             )
             self._sub.start(self._instance, self._rng.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # Grouped batch dispatch (PhasedPolicy protocol)
+    # ------------------------------------------------------------------
+    def start_phased(self, instance, trial_rngs) -> None:
+        self._instance = instance
+        levels = instance.graph.levels()
+        self._level_jobs = [
+            np.nonzero(levels == lvl)[0] for lvl in range(int(levels.max()) + 1)
+        ]
+        # One boolean universe mask per level, shared by every trial's
+        # cursor for that level; one solve cache across all levels (keys
+        # embed the level's job set, so levels can never collide).
+        n = instance.n_jobs
+        self._level_masks = []
+        for jobs in self._level_jobs:
+            mask = np.zeros(n, dtype=bool)
+            mask[jobs] = True
+            self._level_masks.append(mask)
+        self._cache = RoundScheduleCache(instance, self.scale)
+        self._policy_rngs = list(trial_rngs)
+        B = len(self._policy_rngs)
+        self._trial_level = [-1] * B
+        self._trial_cursor: list[SemCursor | None] = [None] * B
+        self._pending = [None] * B
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+        self._all_machines = np.empty(instance.n_machines, dtype=np.int64)
+
+    def _enter_level(self, trial: int, level: int) -> SemCursor:
+        """Fresh per-level SEM cursor, replaying the scalar rng spawn."""
+        # The scalar path hands each level's sub-policy a spawned child;
+        # SEM ignores it, but the spawn is replayed so the trial's policy
+        # generator stays stream-for-stream identical to a scalar run.
+        self._policy_rngs[trial].spawn(1)
+        self._trial_level[trial] = level
+        cursor = SemCursor(
+            self._level_masks[level],
+            paper_round_count(
+                self._level_jobs[level].size, self._instance.n_machines
+            ),
+            fallback=True,
+        )
+        self._trial_cursor[trial] = cursor
+        return cursor
+
+    def phase_key(self, trial: int, state):
+        remaining_row = state.remaining[trial]
+        level, cursor = self._trial_level[trial], self._trial_cursor[trial]
+        while cursor is None or not remaining_row[self._level_jobs[level]].any():
+            level += 1
+            if level >= len(self._level_jobs):
+                if remaining_row.any():
+                    raise ReproError("layered policy ran out of levels early")
+                self._pending[trial] = ("idle",)
+                return self._pending[trial]
+            cursor = self._enter_level(trial, level)
+        key = sem_phase_key(
+            cursor, self._cache, remaining_row, self._instance.n_machines
+        )
+        self._pending[trial] = key
+        return key
+
+    def assign_group(self, state, trials) -> np.ndarray:
+        key = self._pending[trials[0]]
+        row = sem_row_for_key(key, self._cache, self._idle, self._all_machines)
+        for k in trials:
+            cursor = self._trial_cursor[k]
+            if cursor is not None:
+                sem_advance(cursor, key)
+        return row

@@ -1,0 +1,240 @@
+"""Shared phase bookkeeping for grouped batch dispatch of adaptive policies.
+
+The LP-round family (``sem``, ``adapt``, ``layered``, and SUU-C's segment
+runs) shares one execution skeleton: solve ``LP1(remaining, target)``,
+round it, lay the result out as a :class:`~repro.schedule.oblivious.
+FiniteObliviousSchedule`, and walk that schedule row by row until it is
+exhausted or the covered jobs complete.  Under grouped dispatch
+(:class:`~repro.schedule.base.PhasedPolicy`) that skeleton splits into two
+shareable pieces:
+
+* :class:`RoundScheduleCache` — the *expensive* piece, shared across all
+  lock-stepped trials of one batch.  Round schedules are memoized by
+  ``(target, remaining-set)``; the LP solve / rounding / layout pipeline is
+  deterministic (no RNG anywhere in it), so every trial entering a round
+  with the same survivor set replays one solve.  Each distinct schedule
+  gets a small-integer id, which is what phase keys embed: two trials with
+  the same ``(schedule id, step)`` are provably about to receive the same
+  assignment row.
+* :class:`SemCursor` — the *cheap* per-trial piece: a faithful replica of
+  :class:`~repro.core.suu_i_sem.SUUISemPolicy`'s control state (mode,
+  round index, schedule id, step cursor).  :func:`sem_phase_key` advances
+  a cursor through exactly the scalar policy's control flow (doubling
+  rounds, the serial and repeat-last fallbacks) and returns the trial's
+  phase key; :func:`sem_row_for_key` maps a key to its assignment row;
+  :func:`sem_advance` bumps the step cursor after the row executes.
+
+Bit-identity rests on the determinism of the solve pipeline: a memoized
+schedule is byte-for-byte the schedule the scalar policy would have built
+for the same (target, survivor set), so cursor-driven trials reproduce the
+scalar assignment sequence exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lp1 import solve_lp1
+from repro.core.rounding import round_assignment
+from repro.schedule.base import SimulationState
+from repro.schedule.oblivious import FiniteObliviousSchedule
+
+__all__ = [
+    "RoundScheduleCache",
+    "ReplicaGroupedDispatch",
+    "SemCursor",
+    "sem_phase_key",
+    "sem_row_for_key",
+    "sem_advance",
+]
+
+#: Phase key of a trial whose covered jobs have all completed (idle row).
+IDLE_KEY = ("idle",)
+
+
+class RoundScheduleCache:
+    """Memoized LP1-round schedules, shared across lock-stepped trials.
+
+    One cache serves one batch execution of one policy (phase keys embed
+    its schedule ids, which are only meaningful within it).
+
+    Attributes
+    ----------
+    solves:
+        Number of cache misses, i.e. actual LP solves performed.  The
+        scalar loop would have paid one solve per (trial, round); the
+        difference is the dominant part of the grouped-dispatch speedup.
+    hits:
+        Number of lookups served from the cache.
+    """
+
+    def __init__(self, instance, scale: int):
+        self.instance = instance
+        self.scale = int(scale)
+        self.schedules: list[FiniteObliviousSchedule] = []
+        self._memo: dict = {}
+        self.solves = 0
+        self.hits = 0
+
+    def schedule_id(self, target: float, jobs: np.ndarray) -> int:
+        """Schedule id for ``LP1(jobs, target)`` rounded at ``self.scale``.
+
+        ``jobs`` is the sorted array of still-remaining covered jobs (what
+        the scalar policies pass to ``solve_lp1``).
+        """
+        jobs = np.ascontiguousarray(jobs, dtype=np.int64)
+        key = (float(target), jobs.tobytes())
+        sid = self._memo.get(key)
+        if sid is None:
+            relaxation = solve_lp1(self.instance, jobs=jobs, target=target)
+            assignment = round_assignment(relaxation, scale=self.scale)
+            schedule = FiniteObliviousSchedule.from_assignment(assignment)
+            sid = len(self.schedules)
+            self.schedules.append(schedule)
+            self._memo[key] = sid
+            self.solves += 1
+        else:
+            self.hits += 1
+        return sid
+
+    def schedule(self, sid: int) -> FiniteObliviousSchedule:
+        """The schedule registered under ``sid``."""
+        return self.schedules[sid]
+
+
+class ReplicaGroupedDispatch:
+    """``phase_key``/``assign_group`` via per-trial scalar replicas.
+
+    The degenerate end of the phased protocol, for policies whose
+    assignment rows depend on per-trial randomness (SUU-C's chain delays):
+    every trial keeps a full scalar policy replica, phase keys are the
+    trial indices, and the batch win comes from the shared ``start_phased``
+    preparation plus the vectorized engine — not from row sharing.
+
+    A policy mixes this in and calls :meth:`_init_replica_dispatch` with
+    its started replicas at the end of ``start_phased``.
+    """
+
+    phase_grouping = "replica"
+
+    def _init_replica_dispatch(self, replicas) -> None:
+        self._replicas = list(replicas)
+        self._pending_rows = [None] * len(self._replicas)
+
+    def phase_key(self, trial: int, state):
+        view = SimulationState(
+            t=state.t,
+            remaining=state.remaining[trial],
+            eligible=state.eligible[trial],
+            mass_accrued=state.mass_accrued[trial],
+        )
+        self._pending_rows[trial] = self._replicas[trial].assign(view)
+        return trial
+
+    def assign_group(self, state, trials) -> np.ndarray:
+        return self._pending_rows[trials[0]]
+
+
+class SemCursor:
+    """Per-trial replica of SUU-I-SEM's round state.
+
+    Mirrors the mutable fields of a scalar
+    :class:`~repro.core.suu_i_sem.SUUISemPolicy` execution — mode
+    (``rounds`` / ``serial`` / ``repeat``), round counter, and the cursor
+    into the current round's schedule — with the schedule itself replaced
+    by an id into a shared :class:`RoundScheduleCache`.
+
+    Parameters
+    ----------
+    universe_mask:
+        Boolean mask over all jobs: the cursor's job universe (SEM's
+        ``jobs`` argument; all jobs when None there).
+    n_rounds:
+        The round budget ``K`` after which the fallback modes engage.
+    fallback:
+        Mirror of the scalar policy's ``fallback`` flag.
+    """
+
+    __slots__ = ("universe_mask", "universe_size", "n_rounds", "fallback",
+                 "mode", "round", "sid", "step")
+
+    def __init__(self, universe_mask: np.ndarray, n_rounds: int, fallback: bool):
+        self.universe_mask = universe_mask
+        self.universe_size = int(universe_mask.sum())
+        self.n_rounds = int(n_rounds)
+        self.fallback = bool(fallback)
+        self.mode = "rounds"  # rounds | serial | repeat
+        self.round = 0
+        self.sid: int | None = None
+        self.step = 0
+
+
+def _begin_round(cursor: SemCursor, cache: RoundScheduleCache,
+                 remaining_jobs: np.ndarray) -> None:
+    """Advance to the next doubling round (scalar ``_begin_round``)."""
+    cursor.round += 1
+    target = 2.0 ** (cursor.round - 2)  # round 1 -> 1/2, doubling after
+    cursor.sid = cache.schedule_id(target, remaining_jobs)
+    cursor.step = 0
+
+
+def sem_phase_key(cursor: SemCursor, cache: RoundScheduleCache,
+                  remaining_row: np.ndarray, n_machines: int):
+    """The trial's phase key, advancing round/mode state exactly like the
+    scalar policy's ``assign`` would.
+
+    ``remaining_row`` is the trial's boolean remaining mask (one row of the
+    batch state).  May solve a new round's LP through ``cache`` (memoized);
+    must be called once per live trial per step, like the protocol says.
+    """
+    if cursor.mode == "serial":
+        remaining = np.flatnonzero(remaining_row & cursor.universe_mask)
+        if remaining.size == 0:
+            return IDLE_KEY
+        return ("serial", int(remaining[0]))
+
+    if cursor.mode == "repeat":
+        length = cache.schedule(cursor.sid).length
+        return ("row", cursor.sid, cursor.step % length)
+
+    # Round mode: advance to the next round when the current schedule is
+    # exhausted (or not yet built).
+    while cursor.sid is None or cursor.step >= cache.schedule(cursor.sid).length:
+        remaining = np.flatnonzero(remaining_row & cursor.universe_mask)
+        if remaining.size == 0:
+            return IDLE_KEY
+        if cursor.fallback and cursor.round >= cursor.n_rounds:
+            if cursor.universe_size <= n_machines:
+                cursor.mode = "serial"
+                return sem_phase_key(cursor, cache, remaining_row, n_machines)
+            # m < n: repeat the Kth round's schedule forever.
+            cursor.mode = "repeat"
+            cursor.step = 0
+            if cursor.sid is None or cache.schedule(cursor.sid).length == 0:
+                _begin_round(cursor, cache, remaining)  # degenerate guard
+                cursor.step = 0
+            return sem_phase_key(cursor, cache, remaining_row, n_machines)
+        _begin_round(cursor, cache, remaining)
+    return ("row", cursor.sid, cursor.step)
+
+
+def sem_row_for_key(key, cache: RoundScheduleCache, idle_row: np.ndarray,
+                    scratch_row: np.ndarray) -> np.ndarray:
+    """The shared ``(m,)`` assignment row for a phase key.
+
+    ``idle_row`` is a reusable all-IDLE row; ``scratch_row`` a reusable
+    buffer for serial-mode rows (all machines on one job).
+    """
+    tag = key[0]
+    if tag == "idle":
+        return idle_row
+    if tag == "serial":
+        scratch_row.fill(key[1])
+        return scratch_row
+    return cache.schedule(key[1]).assignment_at(key[2])
+
+
+def sem_advance(cursor: SemCursor, key) -> None:
+    """Post-dispatch cursor bump (the scalar ``self._step += 1``)."""
+    if key[0] == "row":
+        cursor.step += 1

@@ -36,14 +36,36 @@ import numpy as np
 
 from repro.api.registry import register_policy
 from repro.core.lp2 import round_lp2, solve_lp2
+from repro.core.phased import ReplicaGroupedDispatch
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_i_sem import SUUISemPolicy
 from repro.errors import ReproError
 from repro.instance.chains import extract_chains
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import IDLE, PhasedPolicy, SimulationState
 from repro.schedule.pseudo import JobBlock, Pause, build_chain_programs, draw_delays
 
 __all__ = ["SUUCPolicy"]
+
+
+@dataclass(frozen=True)
+class _ChainPlan:
+    """Trial-independent SUU-C preparation (everything before the delays).
+
+    The LP2 solve, Lemma 6 rounding, and chain-program compilation depend
+    only on the instance and the policy's configuration — no randomness —
+    so lock-stepped trials share one plan instead of re-solving per trial.
+    """
+
+    chains: tuple
+    t_star: float
+    gamma: int
+    unit: int
+    programs: tuple
+    horizon: int
+    n_long_jobs: int
+    congestion_limit: float
+    superstep_limit: float
+    topo: tuple
 
 
 @dataclass
@@ -67,7 +89,7 @@ class _ChainState:
 
 
 @register_policy("suu-c", default_for=("chains",))
-class SUUCPolicy(Policy):
+class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
     """The chains algorithm of Theorem 9 as an adaptive policy.
 
     Parameters
@@ -99,7 +121,9 @@ class SUUCPolicy(Policy):
     stats:
         Per-execution diagnostics (congestion profile, superstep count,
         number of SEM segment runs, fallback trigger), populated as the
-        execution proceeds; read by the experiment harness.
+        execution proceeds; read by the experiment harness.  Under grouped
+        batch dispatch the driving policy object never executes itself —
+        per-trial diagnostics live on its replicas.
     """
 
     name = "SUU-C"
@@ -128,41 +152,81 @@ class SUUCPolicy(Policy):
         self.explicit_chains = chains
         self.stats: dict = {}
         self._instance = None
+        #: Precomputed :class:`_ChainPlan` installed by grouped dispatch so
+        #: lock-stepped trial replicas skip the per-trial LP2 solve.
+        self._shared_plan: _ChainPlan | None = None
 
     # ------------------------------------------------------------------
-    def start(self, instance, rng) -> None:
-        self._instance = instance
-        self._rng = rng
+    def _prepare(self, instance) -> _ChainPlan:
+        """The trial-independent construction: LP2, rounding, programs.
+
+        Deterministic (consumes no randomness), so one plan can be shared
+        verbatim by every trial of a batch.
+        """
         n, m = instance.n_jobs, instance.n_machines
         if self.explicit_chains is not None:
             chains = [list(map(int, c)) for c in self.explicit_chains]
         else:
             chains = extract_chains(instance.graph)
-        self._chains = chains
 
         relaxation = solve_lp2(instance, chains)
         assignment = round_lp2(relaxation, scale=self.scale)
         t_star = relaxation.t_star
-        self._t_star = t_star
 
         log_nm = max(1.0, math.log2(n + m))
-        self._gamma = max(1, int(math.ceil(t_star / log_nm)))
-        gamma_for_programs = self._gamma if self.enable_segments else None
+        gamma = max(1, int(math.ceil(t_star / log_nm)))
+        gamma_for_programs = gamma if self.enable_segments else None
 
         poly_cap = n * m
-        self._unit = 1 if t_star <= poly_cap else int(math.ceil(t_star / poly_cap))
+        unit = 1 if t_star <= poly_cap else int(math.ceil(t_star / poly_cap))
 
         programs = build_chain_programs(
-            chains, assignment, gamma=gamma_for_programs, unit=self._unit
+            chains, assignment, gamma=gamma_for_programs, unit=unit
         )
-        self._programs = programs
         horizon = assignment.load
+        loglog = math.log2(max(2.0, math.log2(max(4.0, float(n + m)))))
+        congestion_limit = max(
+            4.0, self.congestion_factor * math.log2(n + m) / max(1.0, loglog)
+        )
+        superstep_limit = self.length_factor * (
+            t_star + horizon + gamma + n + m + 16.0
+        )
+        return _ChainPlan(
+            chains=tuple(tuple(c) for c in chains),
+            t_star=t_star,
+            gamma=gamma,
+            unit=unit,
+            programs=tuple(programs),
+            horizon=horizon,
+            n_long_jobs=sum(
+                1 for p in programs for it in p.items if isinstance(it, Pause)
+            ),
+            congestion_limit=congestion_limit,
+            superstep_limit=superstep_limit,
+            topo=tuple(instance.graph.topological_order()),
+        )
+
+    def start(self, instance, rng) -> None:
+        self._instance = instance
+        self._rng = rng
+        plan = self._shared_plan
+        if plan is None:
+            plan = self._prepare(instance)
+        self._plan = plan
+        self._programs = plan.programs
+        self._gamma = plan.gamma
+        self._unit = plan.unit
+        self._congestion_limit = plan.congestion_limit
+        self._superstep_limit = plan.superstep_limit
+        self._topo = plan.topo
+
         delays = draw_delays(
-            len(chains), horizon, rng, unit=self._unit, enabled=self.enable_delays
+            len(plan.chains), plan.horizon, rng, unit=plan.unit,
+            enabled=self.enable_delays,
         )
         self._delays = delays
 
-        self._chain_states = [_ChainState(items=p.items) for p in programs]
+        self._chain_states = [_ChainState(items=p.items) for p in plan.programs]
         self._s = 0  # next superstep to build
         self._expansion: list[np.ndarray] = []
         self._exp_ptr = 0
@@ -172,24 +236,14 @@ class SUUCPolicy(Policy):
         self._phase = "super"  # super | sem | fallback
         self._sem_policy: SUUISemPolicy | None = None
         self._sem_jobs: np.ndarray | None = None
-        self._idle = np.full(m, IDLE, dtype=np.int64)
-        self._topo = list(instance.graph.topological_order())
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
 
-        loglog = math.log2(max(2.0, math.log2(max(4.0, float(n + m)))))
-        self._congestion_limit = max(
-            4.0, self.congestion_factor * math.log2(n + m) / max(1.0, loglog)
-        )
-        self._superstep_limit = self.length_factor * (
-            t_star + horizon + self._gamma + n + m + 16.0
-        )
         self.stats = {
-            "t_star": t_star,
-            "gamma": self._gamma,
-            "unit": self._unit,
-            "horizon": horizon,
-            "n_long_jobs": sum(
-                1 for p in programs for it in p.items if isinstance(it, Pause)
-            ),
+            "t_star": plan.t_star,
+            "gamma": plan.gamma,
+            "unit": plan.unit,
+            "horizon": plan.horizon,
+            "n_long_jobs": plan.n_long_jobs,
             "max_congestion": 0,
             "supersteps": 0,
             "sem_runs": 0,
@@ -383,3 +437,37 @@ class SUUCPolicy(Policy):
         raise ReproError(
             f"SUU-C made no progress after {max_spins} internal transitions"
         )
+
+    # ------------------------------------------------------------------
+    # Grouped batch dispatch (PhasedPolicy protocol)
+    # ------------------------------------------------------------------
+    def _clone(self) -> "SUUCPolicy":
+        """A fresh, identically configured policy (one per trial replica)."""
+        return SUUCPolicy(
+            scale=self.scale,
+            enable_delays=self.enable_delays,
+            enable_segments=self.enable_segments,
+            enable_fallback=self.enable_fallback,
+            congestion_factor=self.congestion_factor,
+            length_factor=self.length_factor,
+            inner=self.inner,
+            chains=self.explicit_chains,
+        )
+
+    def start_phased(self, instance, trial_rngs) -> None:
+        # SUU-C's assignments depend on per-trial random chain delays, so
+        # trials keep full scalar replicas (ReplicaGroupedDispatch).  The
+        # batch win is elsewhere: the LP2 solve / rounding / chain-program
+        # pipeline — the bulk of start() — is computed once and shared,
+        # and the engine steps all trials as arrays.  Each replica draws
+        # its delays from its own trial generator, exactly like a scalar
+        # run, and per-trial diagnostics live on `self._replicas[k].stats`.
+        self._instance = instance
+        plan = self._prepare(instance)
+        replicas = []
+        for trial_rng in trial_rngs:
+            replica = self._clone()
+            replica._shared_plan = plan
+            replica.start(instance, trial_rng)
+            replicas.append(replica)
+        self._init_replica_dispatch(replicas)

@@ -28,8 +28,15 @@ import numpy as np
 
 from repro.api.registry import register_policy
 from repro.core.lp1 import solve_lp1
+from repro.core.phased import (
+    RoundScheduleCache,
+    SemCursor,
+    sem_advance,
+    sem_phase_key,
+    sem_row_for_key,
+)
 from repro.core.rounding import PAPER_SCALE, round_assignment
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import IDLE, PhasedPolicy, SimulationState
 from repro.schedule.oblivious import FiniteObliviousSchedule
 
 __all__ = ["SUUISemPolicy", "paper_round_count"]
@@ -44,7 +51,7 @@ def paper_round_count(n_jobs: int, n_machines: int) -> int:
 
 
 @register_policy("sem", aliases=("suu-i-sem",), default_for=("independent",))
-class SUUISemPolicy(Policy):
+class SUUISemPolicy(PhasedPolicy):
     """The semioblivious doubling-rounds policy of Theorem 4.
 
     Parameters
@@ -66,7 +73,9 @@ class SUUISemPolicy(Policy):
     ----------
     rounds_used:
         Number of LP rounds started during the last execution (diagnostic,
-        read by the experiment harness).
+        read by the experiment harness).  Under grouped batch dispatch the
+        policy drives many trials at once and this is the *maximum* round
+        any trial reached.
     """
 
     name = "SUU-I-SEM"
@@ -94,21 +103,27 @@ class SUUISemPolicy(Policy):
         self._all_machines: np.ndarray | None = None
 
     # ------------------------------------------------------------------
-    def start(self, instance, rng) -> None:
-        self._instance = instance
+    def _universe_and_rounds(self, instance) -> tuple[np.ndarray, int, int]:
+        """The (mask, size, round budget K) triple both entry points need."""
         n = instance.n_jobs
         if self.jobs is None:
-            self._universe = np.ones(n, dtype=bool)
+            universe = np.ones(n, dtype=bool)
             n_universe = n
         else:
-            self._universe = np.zeros(n, dtype=bool)
-            self._universe[list(self.jobs)] = True
+            universe = np.zeros(n, dtype=bool)
+            universe[list(self.jobs)] = True
             n_universe = len(self.jobs)
-        self._n_universe = n_universe
-        self._K = (
+        K = (
             self.n_rounds_override
             if self.n_rounds_override is not None
             else paper_round_count(n_universe, instance.n_machines)
+        )
+        return universe, n_universe, K
+
+    def start(self, instance, rng) -> None:
+        self._instance = instance
+        self._universe, self._n_universe, self._K = self._universe_and_rounds(
+            instance
         )
         self._round = 0
         self.rounds_used = 0
@@ -168,4 +183,43 @@ class SUUISemPolicy(Policy):
             self._begin_round(remaining)
         row = self._schedule.assignment_at(self._step)
         self._step += 1
+        return row
+
+    # ------------------------------------------------------------------
+    # Grouped batch dispatch (PhasedPolicy protocol)
+    # ------------------------------------------------------------------
+    def start_phased(self, instance, trial_rngs) -> None:
+        # The scalar start() never touches its rng, so there is no
+        # per-trial randomness to replay; all trials share one memoized
+        # round-schedule cache and keep only a SemCursor each.
+        self._instance = instance
+        universe, _, K = self._universe_and_rounds(instance)
+        self._universe = universe
+        self._cache = RoundScheduleCache(instance, self.scale)
+        self._cursors = [
+            SemCursor(universe, K, self.fallback) for _ in trial_rngs
+        ]
+        self._pending = [None] * len(self._cursors)
+        self.rounds_used = 0
+        self._idle = np.full(instance.n_machines, IDLE, dtype=np.int64)
+        self._all_machines = np.empty(instance.n_machines, dtype=np.int64)
+
+    def phase_key(self, trial: int, state):
+        cursor = self._cursors[trial]
+        key = sem_phase_key(
+            cursor,
+            self._cache,
+            state.remaining[trial],
+            self._instance.n_machines,
+        )
+        if cursor.round > self.rounds_used:
+            self.rounds_used = cursor.round
+        self._pending[trial] = key
+        return key
+
+    def assign_group(self, state, trials) -> np.ndarray:
+        key = self._pending[trials[0]]
+        row = sem_row_for_key(key, self._cache, self._idle, self._all_machines)
+        for k in trials:
+            sem_advance(self._cursors[k], key)
         return row

@@ -17,13 +17,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import register_policy
+from repro.core.phased import ReplicaGroupedDispatch
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_c import SUUCPolicy
 from repro.errors import ReproError
 from repro.instance.decomposition import decompose_forest
 from repro.instance.instance import SUUInstance
 from repro.instance.precedence import PrecedenceGraph
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import IDLE, PhasedPolicy, SimulationState
 
 __all__ = ["SUUTPolicy"]
 
@@ -31,7 +32,7 @@ __all__ = ["SUUTPolicy"]
 @register_policy(
     "suu-t", default_for=("out_forest", "in_forest", "mixed_forest")
 )
-class SUUTPolicy(Policy):
+class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
     """Forest precedence: sequential SUU-C over heavy-path chain blocks.
 
     Parameters are forwarded to the per-block :class:`SUUCPolicy`.
@@ -49,6 +50,9 @@ class SUUTPolicy(Policy):
         self.suu_c_kwargs = dict(suu_c_kwargs)
         self.stats: dict = {}
         self._instance = None
+        #: Per-block (sub-instance, chain plan) pairs precomputed by
+        #: grouped dispatch so trial replicas skip per-block LP2 solves.
+        self._shared_blocks: list | None = None
 
     def start(self, instance, rng) -> None:
         self._instance = instance
@@ -62,8 +66,8 @@ class SUUTPolicy(Policy):
         self._sub_t = 0
         self.stats = {"n_blocks": len(blocks), "blocks": []}
 
-    def _start_block(self, b: int) -> None:
-        """Build the block's sub-instance and a fresh SUU-C policy for it."""
+    def _block_sub_instance(self, b: int) -> tuple[SUUInstance, np.ndarray]:
+        """The block's jobs relabelled ``0..k-1`` with their chain edges."""
         block = self._blocks[b]
         jobs = sorted(j for chain in block for j in chain)
         index = {j: k for k, j in enumerate(jobs)}
@@ -74,11 +78,21 @@ class SUUTPolicy(Policy):
         ]
         sub_q = self._instance.q[:, jobs]
         sub_inst = SUUInstance(sub_q, PrecedenceGraph(len(jobs), edges))
+        return sub_inst, np.asarray(jobs, dtype=np.int64)
+
+    def _start_block(self, b: int) -> None:
+        """Build the block's sub-instance and a fresh SUU-C policy for it."""
+        if self._shared_blocks is not None:
+            sub_inst, jobs, plan = self._shared_blocks[b]
+        else:
+            sub_inst, jobs = self._block_sub_instance(b)
+            plan = None
         policy = SUUCPolicy(scale=self.scale, **self.suu_c_kwargs)
+        policy._shared_plan = plan
         policy.start(sub_inst, self._rng.spawn(1)[0])
         self._sub_policy = policy
         self._sub_instance = sub_inst
-        self._sub_jobs = np.asarray(jobs, dtype=np.int64)
+        self._sub_jobs = jobs
         self._sub_t = 0
         self._block_idx = b
 
@@ -126,3 +140,30 @@ class SUUTPolicy(Policy):
         active = sub_row >= 0
         row[active] = self._sub_jobs[sub_row[active]]
         return row
+
+    # ------------------------------------------------------------------
+    # Grouped batch dispatch (PhasedPolicy protocol)
+    # ------------------------------------------------------------------
+    def start_phased(self, instance, trial_rngs) -> None:
+        # Like SUU-C: assignments depend on per-trial chain delays, so
+        # trials keep scalar replicas (ReplicaGroupedDispatch).  The
+        # shared work is per-block — every trial walks the same block
+        # sequence, so the block sub-instances and their LP2 solves /
+        # rounded chain programs are computed once here instead of once
+        # per (trial, block).  Each replica still spawns its own rng child
+        # per block entered, in the scalar order, to keep delay streams
+        # bit-identical to per-trial runs.
+        self._instance = instance
+        self._blocks = decompose_forest(instance.graph)
+        probe = SUUCPolicy(scale=self.scale, **self.suu_c_kwargs)
+        shared = []
+        for b in range(len(self._blocks)):
+            sub_inst, jobs = self._block_sub_instance(b)
+            shared.append((sub_inst, jobs, probe._prepare(sub_inst)))
+        replicas = []
+        for trial_rng in trial_rngs:
+            replica = SUUTPolicy(scale=self.scale, **self.suu_c_kwargs)
+            replica.start(instance, trial_rng)
+            replica._shared_blocks = shared
+            replicas.append(replica)
+        self._init_replica_dispatch(replicas)

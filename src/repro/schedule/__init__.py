@@ -4,10 +4,12 @@ from repro.schedule.base import (
     IDLE,
     BatchSimulationState,
     IntegralAssignment,
+    PhasedPolicy,
     Policy,
     SimulationState,
     VectorizedPolicy,
     supports_batch,
+    supports_phased,
 )
 from repro.schedule.oblivious import FiniteObliviousSchedule, RepeatingObliviousPolicy
 from repro.schedule.pseudo import (
@@ -24,7 +26,9 @@ __all__ = [
     "IDLE",
     "Policy",
     "VectorizedPolicy",
+    "PhasedPolicy",
     "supports_batch",
+    "supports_phased",
     "SimulationState",
     "BatchSimulationState",
     "IntegralAssignment",

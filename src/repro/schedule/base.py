@@ -38,6 +38,19 @@ trial-for-trial identical to the scalar SUU* engine under shared
 thresholds (the rng passed to ``start_batch`` exists for forward
 compatibility and must not influence assignments if that guarantee is to
 hold).
+
+Phase-grouped execution
+-----------------------
+:class:`PhasedPolicy` is the middle ground for *adaptive* policies, whose
+assignments depend on which jobs completed in each trial and therefore
+cannot be one broadcast row.  Their per-trial control state is coarse — a
+round index, a segment index, a cursor into a solved schedule — so at any
+global timestep the live trials fall into a small number of *phases* that
+each map to one assignment row.  The batch kernel asks ``phase_key`` for
+every live trial, partitions trials by key, and calls ``assign_group``
+once per distinct key instead of once per trial; see
+:mod:`repro.sim.batch` for the dispatch loop and the RNG discipline the
+implementation must uphold.
 """
 
 from __future__ import annotations
@@ -53,7 +66,9 @@ __all__ = [
     "BatchSimulationState",
     "Policy",
     "VectorizedPolicy",
+    "PhasedPolicy",
     "supports_batch",
+    "supports_phased",
     "IntegralAssignment",
 ]
 
@@ -189,6 +204,73 @@ class VectorizedPolicy(Policy):
         raise NotImplementedError
 
 
+class PhasedPolicy(Policy):
+    """An adaptive policy whose trials can be *grouped by phase* each step.
+
+    Adaptive policies condition on per-trial completion history, so a
+    single broadcast ``assign_batch`` row cannot drive them.  But their
+    per-trial control state is typically coarse — SEM's round index and
+    cursor into the round's solved schedule, LAYERED's level, SUU-C's
+    superstep — so many lock-stepped trials share one assignment row at
+    any global timestep.  The phased protocol exposes exactly that
+    structure to the batch kernel:
+
+    * :meth:`start_phased` prepares per-trial replicas of the policy's
+      control state for ``len(trial_rngs)`` lock-stepped trials.
+      ``trial_rngs[k]`` is **the same policy generator** trial ``k``'s
+      scalar run would receive from the engine's
+      ``spawn(2) -> (policy_rng, outcome_rng)`` split; any internal
+      randomness (e.g. SUU-C's chain delays) must be drawn from it in the
+      scalar order so grouped runs stay bit-identical to the per-trial
+      loop.  Trial-independent preparation (LP solves, rounding, chain
+      programs) should be done once here, not once per trial.
+    * :meth:`phase_key` is called once per *live* trial per step, in
+      ascending trial order.  It returns a hashable key such that two
+      trials with equal keys receive identical assignment rows this step.
+      It may advance the trial's internal bookkeeping (begin a round,
+      enter a level) — the kernel guarantees the call order.
+    * :meth:`assign_group` is called once per distinct key with the trial
+      indices that returned it; it returns their assignments and advances
+      those trials' step cursors.
+
+    Keys never need to be comparable across policies — only within one
+    execution.  A policy may return a per-trial unique key (degenerate
+    grouping) when its rows depend on per-trial randomness; it still
+    benefits from shared ``start_phased`` work and the vectorized engine.
+    Such policies should set :attr:`phase_grouping` to ``"replica"`` so
+    schedulers (e.g. the process backend's serial fast path) know the
+    in-process batch win is modest.
+    """
+
+    #: Grouping structure: ``"keyed"`` (trials genuinely share rows) or
+    #: ``"replica"`` (per-trial keys; batch win limited to shared start
+    #: work + the vectorized engine).
+    phase_grouping: str = "keyed"
+
+    def start_phased(self, instance, trial_rngs) -> None:
+        """Prepare per-trial state for ``len(trial_rngs)`` lock-stepped trials."""
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def phase_key(self, trial: int, state: BatchSimulationState):
+        """Return trial ``trial``'s phase key for the current step.
+
+        Trials returning equal keys must produce identical assignment rows
+        this step.  Called exactly once per live trial per step, ascending.
+        """
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def assign_group(self, state: BatchSimulationState, trials: np.ndarray) -> np.ndarray:
+        """Assignments for one phase group.
+
+        ``trials`` holds the (ascending) indices that returned the same
+        :meth:`phase_key` this step.  Returns shape ``(len(trials), m)``,
+        or ``(m,)`` to broadcast one shared row to the whole group.
+        """
+        raise NotImplementedError
+
+
 def supports_batch(policy) -> bool:
     """True when ``policy`` implements the batched-assignment protocol.
 
@@ -198,6 +280,20 @@ def supports_batch(policy) -> bool:
     """
     return callable(getattr(policy, "assign_batch", None)) and callable(
         getattr(policy, "start_batch", None)
+    )
+
+
+def supports_phased(policy) -> bool:
+    """True when ``policy`` implements the phase-grouped dispatch protocol.
+
+    Structural, like :func:`supports_batch`: callable ``phase_key``,
+    ``assign_group`` and ``start_phased`` attributes qualify without
+    inheriting :class:`PhasedPolicy`.
+    """
+    return (
+        callable(getattr(policy, "phase_key", None))
+        and callable(getattr(policy, "assign_group", None))
+        and callable(getattr(policy, "start_phased", None))
     )
 
 

@@ -19,6 +19,23 @@ itself is a deterministic function of the state it is shown, which is the
 number pairing (`compare_policies`) survives unchanged because the shared
 thresholds remain the coupling variable.
 
+Grouped dispatch for adaptive policies
+--------------------------------------
+Adaptive policies (``sem``, ``suu-c``, ``suu-t``, ``layered``, ``adapt``)
+condition on per-trial completion history, so one broadcast
+``assign_batch`` row cannot drive them.  Their per-trial control state is
+nevertheless *coarse* — a round index, a level, a cursor into a solved
+round schedule — which is what the :class:`~repro.schedule.base.
+PhasedPolicy` protocol exposes.  Each step the kernel asks ``phase_key``
+for every live trial, partitions the live trials by key (the groups are a
+partition: every live trial lands in exactly one group), and calls
+``assign_group`` once per distinct key.  Trials in lock step through the
+same solved schedule therefore cost one row lookup instead of one policy
+call each, and — the dominant win — the per-trial LP solves collapse:
+trial-independent preparation happens once in ``start_phased``, and
+per-round LP solutions are memoized by (target, remaining-set) so every
+trial entering a round with the same survivor set reuses one solve.
+
 RNG discipline (bit-identity with the serial path)
 --------------------------------------------------
 The kernel consumes randomness *exactly* like the serial estimators: one
@@ -27,13 +44,18 @@ engine's ``spawn(2) -> (policy_rng, outcome_rng)`` split.  Under
 ``suu_star``, trial ``k``'s thresholds are drawn from its own
 ``outcome_rng``; under ``suu``, each trial's per-step uniforms are drawn
 from its ``outcome_rng`` in the engine's order (scheduled jobs ascending).
-Serial and batched execution therefore produce **bit-identical** makespan
-samples for deterministic policies, and the Monte Carlo front ends route
-through this kernel transparently whenever the policy supports it.
+Phased policies additionally receive the per-trial ``policy_rng`` list in
+``start_phased`` and must draw any internal randomness (SUU-C's chain
+delays, per-level/per-block spawns) from trial ``k``'s generator in the
+scalar order.  Serial, vectorized, and phase-grouped execution therefore
+produce **bit-identical** makespan samples, and the Monte Carlo front ends
+route through this kernel transparently whenever the policy supports
+either protocol.
 
-Policies that cannot batch (adaptive or internally randomized ones) fall
-back to a per-trial loop over :func:`~repro.sim.engine.run_policy` with the
-same RNG tree, so :func:`run_policy_batch` is safe to call with any policy.
+Policies that support neither protocol (e.g. internally randomized
+per-step ones) fall back to a per-trial loop over
+:func:`~repro.sim.engine.run_policy` with the same RNG tree, so
+:func:`run_policy_batch` is safe to call with any policy.
 """
 
 from __future__ import annotations
@@ -44,7 +66,13 @@ import numpy as np
 
 from repro.errors import ScheduleViolationError, SimulationHorizonError
 from repro.instance.instance import SUUInstance
-from repro.schedule.base import IDLE, BatchSimulationState, Policy, supports_batch
+from repro.schedule.base import (
+    IDLE,
+    BatchSimulationState,
+    Policy,
+    supports_batch,
+    supports_phased,
+)
 from repro.sim.engine import (
     DEFAULT_MAX_STEPS,
     _readonly_view,
@@ -78,8 +106,9 @@ class BatchSimResult:
     policy_name:
         The executing policy's ``name``.
     vectorized:
-        True when the batch kernel ran; False when the per-trial scalar
-        fallback was used (policy without batch support).
+        True when the lock-stepped batch kernel ran (broadcast or
+        phase-grouped dispatch); False when the per-trial scalar fallback
+        was used (policy supporting neither protocol).
     """
 
     makespans: np.ndarray
@@ -120,8 +149,10 @@ def run_policy_batch(
         A :class:`~repro.schedule.base.Policy` instance, a ``Policy``
         subclass, or a zero-argument factory.  Batch-capable policies (see
         :func:`~repro.schedule.base.supports_batch`) drive all trials at
-        once; others run through the transparent per-trial fallback (which
-        needs a class/factory, or a policy whose ``start`` fully resets it).
+        once; phased policies (:func:`~repro.schedule.base.supports_phased`)
+        go through grouped dispatch; the rest run through the transparent
+        per-trial fallback (which needs a class/factory, or a policy whose
+        ``start`` fully resets it).
     n_trials:
         Number of trials; may be omitted when ``trial_rngs`` is given.
     rng:
@@ -176,12 +207,16 @@ def run_policy_batch(
     else:
         factory = policy
         probe = factory()
-    if not supports_batch(probe):
-        return _run_fallback(
-            instance, probe, factory, trial_rngs, semantics, max_steps, thresholds
+    if supports_batch(probe):
+        return _run_vectorized(
+            instance, probe, trial_rngs, semantics, max_steps, thresholds
         )
-    return _run_vectorized(
-        instance, probe, trial_rngs, semantics, max_steps, thresholds
+    if supports_phased(probe):
+        return _run_phased(
+            instance, probe, trial_rngs, semantics, max_steps, thresholds
+        )
+    return _run_fallback(
+        instance, probe, factory, trial_rngs, semantics, max_steps, thresholds
     )
 
 
@@ -220,10 +255,8 @@ def _run_fallback(
 def _run_vectorized(
     instance, policy, trial_rngs, semantics, max_steps, thresholds
 ) -> BatchSimResult:
-    """The lock-stepped all-trials engine (see module docstring)."""
-    B, n, m = len(trial_rngs), instance.n_jobs, instance.n_machines
-    ell = instance.ell
-    graph = instance.graph
+    """The broadcast path: one ``assign_batch`` call drives all trials."""
+    B, n = len(trial_rngs), instance.n_jobs
 
     # Mirror run_policy's per-trial ``spawn(2) -> (policy_rng, outcome_rng)``
     # split.  When thresholds are supplied (the common-random-number path),
@@ -243,6 +276,92 @@ def _run_vectorized(
         else:
             theta = None
             outcome_rngs = [outcome for _, outcome in pairs]
+    return _drive_batch(
+        instance, policy.name, policy.assign_batch, B, semantics, max_steps,
+        theta, outcome_rngs,
+    )
+
+
+class _GroupedDispatch:
+    """Per-step phase grouping: one ``assign_group`` call per distinct key.
+
+    The kernel's assignment callable for phased policies.  Each step it
+    queries ``phase_key`` for every live trial (ascending order — part of
+    the protocol contract), partitions the live trials by key, and fills
+    one ``(n_trials, m)`` assignment buffer group by group.  Inactive
+    trials keep IDLE rows, which the engine ignores.
+    """
+
+    def __init__(self, policy, n_trials: int, n_machines: int):
+        self._policy = policy
+        self._out = np.empty((n_trials, n_machines), dtype=np.int64)
+
+    def __call__(self, state: BatchSimulationState) -> np.ndarray:
+        policy = self._policy
+        out = self._out
+        out.fill(IDLE)
+        groups: dict = {}
+        for k in np.flatnonzero(state.active):
+            k = int(k)
+            groups.setdefault(policy.phase_key(k, state), []).append(k)
+        for members in groups.values():
+            idx = np.asarray(members, dtype=np.int64)
+            rows = np.asarray(policy.assign_group(state, idx))
+            # Writing into the int64 buffer would silently truncate float
+            # job ids, so the dtype guard the driver applies to broadcast
+            # assignments must run here, pre-copy.
+            if rows.dtype.kind not in "iu":
+                raise ScheduleViolationError(
+                    f"{policy.name!r} returned non-integer group assignment "
+                    f"dtype {rows.dtype}"
+                )
+            # A single (m,) row broadcasts across the whole group.
+            out[idx] = rows
+        return out
+
+
+def _run_phased(
+    instance, policy, trial_rngs, semantics, max_steps, thresholds
+) -> BatchSimResult:
+    """The grouped-dispatch path for :class:`PhasedPolicy` implementations."""
+    B, n = len(trial_rngs), instance.n_jobs
+
+    # Phased policies consume per-trial policy randomness (e.g. SUU-C's
+    # chain delays), so the engine's per-trial spawn(2) split is replayed
+    # even on the common-random-number path where thresholds are given.
+    pairs = [r.spawn(2) for r in trial_rngs]
+    policy_rngs = [policy_rng for policy_rng, _ in pairs]
+    outcome_rngs = None
+    if semantics == "suu_star":
+        if thresholds is not None:
+            theta = thresholds
+        else:
+            theta = np.empty((B, n), dtype=np.float64)
+            for k, (_, outcome_rng) in enumerate(pairs):
+                theta[k] = draw_thresholds(n, outcome_rng)
+    else:
+        theta = None
+        outcome_rngs = [outcome for _, outcome in pairs]
+    policy.start_phased(instance, policy_rngs)
+    dispatch = _GroupedDispatch(policy, B, instance.n_machines)
+    return _drive_batch(
+        instance, policy.name, dispatch, B, semantics, max_steps, theta,
+        outcome_rngs,
+    )
+
+
+def _drive_batch(
+    instance, policy_name, assign, B, semantics, max_steps, theta, outcome_rngs
+) -> BatchSimResult:
+    """The lock-stepped all-trials engine (see module docstring).
+
+    ``assign`` is the per-step assignment callable — ``assign_batch`` for
+    vectorized policies, a :class:`_GroupedDispatch` for phased ones —
+    mapping the shared :class:`BatchSimulationState` to ``(B, m)`` job ids.
+    """
+    n, m = instance.n_jobs, instance.n_machines
+    ell = instance.ell
+    graph = instance.graph
 
     remaining = np.ones((B, n), dtype=bool)
     indeg = np.repeat(graph.in_degree_array()[None, :], B, axis=0)
@@ -273,24 +392,24 @@ def _run_vectorized(
     while active.any():
         if t >= max_steps:
             raise SimulationHorizonError(
-                f"{policy.name!r} exceeded max_steps={max_steps} with "
+                f"{policy_name!r} exceeded max_steps={max_steps} with "
                 f"{int(active.sum())} of {B} trials unfinished",
                 steps=t,
             )
         object.__setattr__(state, "t", t)
-        a = np.asarray(policy.assign_batch(state))
+        a = np.asarray(assign(state))
         if a.shape != (B, m):
             raise ScheduleViolationError(
-                f"{policy.name!r} returned batch assignment of shape "
+                f"{policy_name!r} returned batch assignment of shape "
                 f"{a.shape}, expected ({B}, {m})"
             )
         if a.dtype.kind not in "iu":
             raise ScheduleViolationError(
-                f"{policy.name!r} returned non-integer assignment dtype {a.dtype}"
+                f"{policy_name!r} returned non-integer assignment dtype {a.dtype}"
             )
         if (a >= n).any() or (a < IDLE).any():
             raise ScheduleViolationError(
-                f"{policy.name!r} assigned an out-of-range job id"
+                f"{policy_name!r} assigned an out-of-range job id"
             )
 
         assigned = a >= 0
@@ -306,7 +425,7 @@ def _run_vectorized(
             if bad.any():
                 b, i = np.argwhere(bad)[0]
                 raise ScheduleViolationError(
-                    f"{policy.name!r} assigned machine {int(i)} to job "
+                    f"{policy_name!r} assigned machine {int(i)} to job "
                     f"{int(a[b, i])} whose predecessors are incomplete "
                     f"(t={t}, trial={int(b)})"
                 )
@@ -342,7 +461,7 @@ def _run_vectorized(
         completion_times=completion_times,
         busy_machine_steps=busy,
         semantics=semantics,
-        policy_name=policy.name,
+        policy_name=policy_name,
         vectorized=True,
     )
 
