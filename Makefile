@@ -7,13 +7,19 @@
 
 PYTHON ?= python
 BENCH_JSON ?= bench_current.json
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_BASELINE ?= BENCH_4.json
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: test bench bench-check tables
+.PHONY: test test-v2 bench bench-check tables
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Tier-1 under RNG discipline v2 (env-selected default): exercises the
+# batch-native streams through every service/montecarlo test while the
+# pinned bit-identity suites keep checking v1.
+test-v2:
+	PYTHONPATH=src REPRO_DISCIPLINE=v2 $(PYTHON) -m pytest -x -q
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernels.py \

@@ -40,15 +40,15 @@ from repro.sim.trace import TracingPolicy, render_gantt
 
 
 def __getattr__(name: str):
-    # The hand-maintained POLICIES dict moved into the repro.api registry.
     if name == "POLICIES":
-        warnings.warn(
-            "repro.__main__.POLICIES moved to the repro.api registry; use "
-            "repro.api.get_policy / repro.api.list_policies instead",
-            DeprecationWarning,
-            stacklevel=2,
+        # The PR-1 deprecation shim is gone; the registry is the only
+        # source of truth.  (Raising AttributeError makes `from
+        # repro.__main__ import POLICIES` fail with an ImportError too.)
+        raise AttributeError(
+            "repro.__main__.POLICIES was removed: the policy table lives in "
+            "repro.api.registry — use repro.api.get_policy(name) / "
+            "repro.api.list_policies()"
         )
-        return {info.name: info.cls for info in list_policies()}
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -87,7 +87,8 @@ def _cmd_run(args) -> int:
     report = simulate(
         inst,
         name,
-        SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps),
+        SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps,
+                  discipline=args.discipline),
         backend=args.backend,
         n_workers=args.workers,
     )
@@ -150,7 +151,8 @@ def _cmd_sweep(args) -> int:
         model=args.model,
         seed=args.seed_instance,
     )
-    config = SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps)
+    config = SimConfig(n_trials=args.trials, seed=args.seed,
+                       max_steps=args.max_steps, discipline=args.discipline)
     reports = evaluate_grid(
         grid,
         args.policy or ("auto",),
@@ -181,7 +183,21 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _forward_experiments(rest) -> int:
+    # Forward to the experiment harness (`python -m repro.experiments`),
+    # so `repro experiments E-PERJOB` works from the installed entry point.
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(list(rest))
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `experiments` forwards wholesale before argparse sees the rest:
+    # REMAINDER cannot capture a leading option, so `repro experiments
+    # --help` / `--markdown out.md` must bypass the top-level parser.
+    if argv[:1] == ["experiments"]:
+        return _forward_experiments(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multiprocessor scheduling under uncertainty (SPAA 2008).",
@@ -209,6 +225,9 @@ def main(argv=None) -> int:
     r.add_argument("--max-steps", type=int, default=1_000_000)
     r.add_argument("--backend", choices=["serial", "process"], default="serial")
     r.add_argument("--workers", type=int, default=None)
+    r.add_argument("--discipline", choices=["v1", "v2"], default=None,
+                   help="RNG discipline (default: $REPRO_DISCIPLINE or v1; "
+                        "v2 = batch-native draws, statistically equivalent)")
     r.set_defaults(func=_cmd_run)
 
     ga = sub.add_parser("gantt", help="render one execution as ASCII")
@@ -245,8 +264,20 @@ def main(argv=None) -> int:
     s.add_argument("--edge-prob", type=float, default=0.1)
     s.add_argument("--backend", choices=["serial", "process"], default="serial")
     s.add_argument("--workers", type=int, default=None)
+    s.add_argument("--discipline", choices=["v1", "v2"], default=None,
+                   help="RNG discipline (default: $REPRO_DISCIPLINE or v1)")
     s.add_argument("--json", default=None, help="also dump reports to this file")
     s.set_defaults(func=_cmd_sweep)
+
+    # Listed here so `repro --help` shows it; actual dispatch happens in
+    # the pre-parse forward above (never through this parser).
+    e = sub.add_parser(
+        "experiments",
+        help="run the paper-reproduction experiment tables "
+             "(forwards to python -m repro.experiments)",
+    )
+    e.add_argument("rest", nargs=argparse.REMAINDER)
+    e.set_defaults(func=lambda args: _forward_experiments(args.rest))
 
     args = parser.parse_args(argv)
     if args.command == "sweep":

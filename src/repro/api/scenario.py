@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass
 
 from repro.errors import InvalidScenarioError
+from repro.util.rng import DISCIPLINES, resolve_discipline
 from repro.instance.generators import (
     chain_instance,
     forest_instance,
@@ -65,12 +66,19 @@ class SimConfig:
         thresholds); distributionally equivalent by Theorem 10.
     max_steps:
         Simulation horizon per trial.
+    discipline:
+        RNG discipline for the batch kernel: ``"v1"`` (serial replay,
+        bit-identical to the scalar path), ``"v2"`` (batch-native streams,
+        statistically equivalent), or ``None`` to resolve through the
+        ``REPRO_DISCIPLINE`` environment variable at run time (default
+        v1).  See :mod:`repro.util.rng`.
     """
 
     n_trials: int = 30
     seed: int = 0
     semantics: str = "suu"
     max_steps: int = DEFAULT_MAX_STEPS
+    discipline: str | None = None
 
     def __post_init__(self):
         if self.n_trials < 1:
@@ -79,6 +87,15 @@ class SimConfig:
             raise InvalidScenarioError(f"unknown semantics {self.semantics!r}")
         if self.max_steps < 1:
             raise InvalidScenarioError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.discipline is not None and self.discipline not in DISCIPLINES:
+            raise InvalidScenarioError(
+                f"unknown discipline {self.discipline!r}; expected one of "
+                f"{DISCIPLINES} (or None for the environment default)"
+            )
+
+    def resolved_discipline(self) -> str:
+        """The discipline trials will actually run under (env-resolved)."""
+        return resolve_discipline(self.discipline)
 
     def to_dict(self) -> dict:
         """JSON-compatible representation."""

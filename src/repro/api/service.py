@@ -13,7 +13,14 @@ backend dispatches contiguous chunks of trials across a
 ``multiprocessing`` pool; because every trial's RNG stream is spawned
 up-front from the config seed (the same ``Generator.spawn`` tree the
 serial loop walks), the two backends produce **bit-identical** makespan
-samples — parallelism never changes results, only wall-clock time.
+samples — parallelism never changes results, only wall-clock time.  That
+invariance holds under both RNG disciplines (``SimConfig.discipline``):
+v1 replays the serial tree, v2 addresses its batch-native streams by
+global trial index, so chunk layout is invisible either way.  Worker
+pools install the cross-batch solve cache
+(:func:`repro.core.phased.install_solve_cache`) through their
+initializer, so a grid sweep's shared round-1 LPs are solved once per
+worker process instead of once per chunk.
 """
 
 from __future__ import annotations
@@ -30,10 +37,16 @@ import numpy as np
 
 from repro.api.registry import default_policy_for, policy_factory, policy_info
 from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
+from repro.core.phased import install_solve_cache
 from repro.instance.instance import SUUInstance
 from repro.sim.batch import run_policy_batch
 from repro.sim.results import MakespanStats
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import (
+    BatchStreams,
+    ensure_rng,
+    run_seed_sequence,
+    spawn_rngs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (deferred: layer cycle)
     from repro.analysis.perjob import PerJobStats
@@ -113,19 +126,26 @@ class Report:
 
 
 def run_trial_batch(
-    instance, factory, rngs, semantics, max_steps, want_completions=False
+    instance, factory, rngs, semantics, max_steps, want_completions=False,
+    discipline="v1", streams=None,
 ):
     """Run one chunk of Monte Carlo trials; returns the makespans.
 
     Module-level (rather than a closure) so the process backend can ship it
     to ``spawn``-ed workers.  ``factory`` must therefore be picklable — the
-    registry's :func:`~repro.api.registry.policy_factory` partials are.
+    registry's :func:`~repro.api.registry.policy_factory` partials are (and
+    so are :class:`~repro.util.rng.BatchStreams`).
 
     The trial-vectorized kernel owns all dispatch: batch-capable policies
     drive the whole chunk at once, phased (adaptive) policies go through
-    grouped dispatch, the rest loop the scalar engine — and because the
-    kernel replays this chunk's RNG streams exactly, chunking, backends,
-    and dispatch mode all produce bit-identical samples.
+    grouped dispatch, the rest loop the scalar engine.  Under discipline
+    v1 the kernel replays this chunk's RNG streams exactly, so chunking,
+    backends, and dispatch mode all produce bit-identical samples; under
+    v2 the chunk reads its global rows of the run's batch streams
+    (``streams`` arrives offset-rebased), so samples are still invariant
+    to chunk layout — they are just v2 samples.  The discipline is
+    resolved by the *caller* and passed explicitly so workers never
+    consult their own environment.
 
     With ``want_completions=True`` the chunk's ``(n_trials, n_jobs)``
     completion matrix rides along as a second return value (the raw
@@ -133,7 +153,7 @@ def run_trial_batch(
     """
     batch = run_policy_batch(
         instance, factory, trial_rngs=rngs, semantics=semantics,
-        max_steps=max_steps,
+        max_steps=max_steps, discipline=discipline, streams=streams,
     )
     if want_completions:
         return batch.makespans, batch.completion_times
@@ -167,6 +187,12 @@ def _with_kwargs(fn, kwargs):
 #: spawned up-front), so the fast path is bit-identical by construction.
 SERIAL_BATCH_THRESHOLD = 256
 
+#: Solve-cache capacity installed into pool workers.  A worker serves
+#: many chunks and grid cells over its lifetime, so it gets a larger
+#: cache than the in-process default (the pool initializer is what makes
+#: the setting land in ``spawn``-ed processes).
+WORKER_SOLVE_CACHE_ENTRIES = 4096
+
 #: Minimum trials per process-backend chunk.  One chunk per worker was
 #: tuned for the scalar loop; the batch kernel amortizes per-step work
 #: over the whole chunk, so many tiny chunks waste kernel efficiency and
@@ -195,15 +221,21 @@ def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
 
 
 def _map_chunks(pool, n_workers, instance, factory, rngs, config,
-                want_completions=False):
-    """Fan trial chunks out over ``pool`` and reassemble them in order."""
+                want_completions=False, discipline="v1", streams=None):
+    """Fan trial chunks out over ``pool`` and reassemble them in order.
+
+    Under discipline v2 every chunk receives the run's streams re-based at
+    its global start index, so a chunk computes exactly the rows of the
+    whole-run draw it covers — chunk layout stays invisible in the samples.
+    """
     bounds = _chunk_bounds(config.n_trials, n_workers)
     chunks = list(pool.map(
         run_trial_batch,
         *zip(
             *[
                 (instance, factory, rngs[lo:hi], config.semantics,
-                 config.max_steps, want_completions)
+                 config.max_steps, want_completions, discipline,
+                 None if streams is None else streams.with_offset(lo))
                 for lo, hi in bounds
             ]
         ),
@@ -216,7 +248,7 @@ def _map_chunks(pool, n_workers, instance, factory, rngs, config,
     return np.concatenate(chunks)
 
 
-def _fast_path_eligible(factory) -> bool:
+def _fast_path_eligible(factory, discipline: str = "v1") -> bool:
     """True when small batches of this policy should skip the pool.
 
     Only policies for which in-process batching genuinely amortizes:
@@ -224,8 +256,11 @@ def _fast_path_eligible(factory) -> bool:
     solves).  Fallback-dispatch policies gain nothing from in-process
     batching — for them ``run_trial_batch`` is literally the old scalar
     loop — and replica-phased ones (``phase_grouping == "replica"``, e.g.
-    SUU-C) only share their start-up work, so an explicit process request
-    stands for both.
+    SUU-C under discipline v1) only share their start-up work, so an
+    explicit process request stands for both.  Under discipline v2 a
+    policy's ``phase_grouping_v2`` wins: SUU-C/SUU-T become keyed
+    (array-based cursors share rows), so their small batches stay
+    in-process too.
     """
     from repro.schedule.base import supports_batch, supports_phased
 
@@ -235,10 +270,20 @@ def _fast_path_eligible(factory) -> bool:
         return False
     if supports_batch(probe):
         return True
-    return (
-        supports_phased(probe)
-        and getattr(probe, "phase_grouping", "keyed") != "replica"
-    )
+    if not supports_phased(probe):
+        return False
+    grouping = getattr(probe, "phase_grouping", "keyed")
+    if discipline == "v2":
+        # phase_grouping_v2 only counts when this *configuration* will
+        # actually take the v2 path — SUU-C with inner="obl" declines at
+        # start_phased_v2 and falls back to replica dispatch, so its
+        # explicit process request must stand.  (Instance-dependent
+        # declines — prelude plans with unit > 1 — cannot be seen here
+        # and are accepted as a rare misroute.)
+        accepts = getattr(probe, "accepts_discipline_v2", None)
+        if accepts is None or accepts():
+            grouping = getattr(probe, "phase_grouping_v2", None) or grouping
+    return grouping != "replica"
 
 
 def _small_batch(config: SimConfig) -> bool:
@@ -251,14 +296,14 @@ def _small_batch(config: SimConfig) -> bool:
     return config.n_trials < SERIAL_BATCH_THRESHOLD
 
 
-def _spec_fast_path_eligible(spec) -> bool:
+def _spec_fast_path_eligible(spec, discipline: str = "v1") -> bool:
     """Fast-path eligibility for a policy *spec* as :func:`evaluate_grid`
     receives it (registry name, ``"auto"``, class, or factory).
 
     ``"auto"`` resolves per scenario — some precedence-class defaults are
-    replica-phased (suu-c, suu-t) — so it conservatively reports False:
-    the sweep builds its shared pool, and cells that do take the fast
-    path simply never touch it.
+    replica-phased under discipline v1 (suu-c, suu-t) — so it
+    conservatively reports False: the sweep builds its shared pool, and
+    cells that do take the fast path simply never touch it.
     """
     if isinstance(spec, str):
         if spec == "auto":
@@ -267,7 +312,7 @@ def _spec_fast_path_eligible(spec) -> bool:
             spec = policy_factory(spec)
         except Exception:
             return False
-    return _fast_path_eligible(spec)
+    return _fast_path_eligible(spec, discipline)
 
 
 def _run_batched(
@@ -284,6 +329,13 @@ def _run_batched(
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+    # Resolve the discipline here, once, so workers never consult their
+    # own environment; under v2 the whole run shares one stream root
+    # addressed by global trial index (chunk-layout invariant).
+    discipline = config.resolved_discipline()
+    streams = None
+    if discipline == "v2":
+        streams = BatchStreams(run_seed_sequence(config.seed))
     rngs = spawn_rngs(ensure_rng(config.seed), config.n_trials)
     # Serial-batch fast path: for fast-path-eligible policies, small
     # batches lose more to pool dispatch than they gain from parallelism.
@@ -291,22 +343,26 @@ def _run_batched(
     # Fallback- and replica-dispatch policies keep their explicit process
     # request regardless of size.
     if backend == "serial" or (
-        _small_batch(config) and _fast_path_eligible(factory)
+        _small_batch(config) and _fast_path_eligible(factory, discipline)
     ):
         return run_trial_batch(
             instance, factory, rngs, config.semantics, config.max_steps,
-            want_completions,
+            want_completions, discipline, streams,
         )
     n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
     if pool is not None:
         return _map_chunks(
-            pool, n_workers, instance, factory, rngs, config, want_completions
+            pool, n_workers, instance, factory, rngs, config,
+            want_completions, discipline, streams,
         )
     with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=get_context(_MP_START_METHOD)
+        max_workers=n_workers, mp_context=get_context(_MP_START_METHOD),
+        initializer=install_solve_cache,
+        initargs=(WORKER_SOLVE_CACHE_ENTRIES,),
     ) as pool:
         return _map_chunks(
-            pool, n_workers, instance, factory, rngs, config, want_completions
+            pool, n_workers, instance, factory, rngs, config,
+            want_completions, discipline, streams,
         )
 
 
@@ -434,18 +490,23 @@ def evaluate_grid(
     if isinstance(policies, str):
         policies = (policies,)
     config = config or SimConfig()
+    discipline = config.resolved_discipline()
     pool_cm = nullcontext(None)
     # Skip the shared pool only when *every* cell will take the serial-
     # batch fast path; one fallback/replica-dispatch policy in the sweep
     # keeps the single shared pool (per-cell pools would pay spawn-method
-    # worker start-up once per cell).
+    # worker start-up once per cell).  Workers get the process-wide solve
+    # cache installed up front, so the round-1 LPs shared by a sweep's
+    # cells are solved once per worker, not once per chunk.
     if backend == "process" and not (
         _small_batch(config)
-        and all(_spec_fast_path_eligible(p) for p in policies)
+        and all(_spec_fast_path_eligible(p, discipline) for p in policies)
     ):
         n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
         pool_cm = ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=get_context(_MP_START_METHOD)
+            max_workers=n_workers, mp_context=get_context(_MP_START_METHOD),
+            initializer=install_solve_cache,
+            initargs=(WORKER_SOLVE_CACHE_ENTRIES,),
         )
     reports = []
     with pool_cm as pool:

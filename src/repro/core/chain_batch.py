@@ -1,0 +1,501 @@
+"""Array-based chain cursors: batch-native SUU-C execution (discipline v2).
+
+Under RNG discipline v1, SUU-C and SUU-T run grouped batch dispatch with
+*per-trial scalar replicas* (:class:`~repro.core.phased.
+ReplicaGroupedDispatch`): bit-identity with the serial path forces each
+trial to replay its own ``_ChainState`` objects, so a batch of ``B``
+trials pays ``B`` full Python policy steps per timestep and — the real
+cost — ``B`` independent LP1 solves for every segment SEM run.  That is
+why BENCH_3 measured ``suu-c`` at ~1x while ``sem`` hit 25x.
+
+Discipline v2 drops the bit-identity constraint (statistical equivalence
+only), which unlocks the batch-native layout this module implements:
+
+* **Chain cursors as matrices.**  Per-trial ``_ChainState`` objects become
+  ``(n_trials, n_chains)`` int arrays — ``chain_pos`` (current item),
+  ``tau`` (supersteps into the current block), ``delay_remaining`` (pause
+  countdowns), plus per-trial superstep/phase vectors.  Chain start delays
+  arrive as one ``(n_trials, n_chains)`` matrix drawn from the batch's
+  :class:`~repro.util.rng.BatchStreams`.
+* **Signature-grouped superstep expansions.**  A superstep's flattened
+  rows depend only on the (chain → block item, tau) signature, not on the
+  trial, so expansions are memoized by signature and shared across trials
+  *and* timesteps: grouped dispatch is no longer degenerate — trials with
+  equal ``(delays, chain-position)`` signatures receive one shared row.
+* **Shared segment SEM runs.**  The segment-boundary SUU-I-SEM runs on
+  long-job groups are driven by lightweight per-trial cursors over one
+  shared :class:`~repro.core.phased.RoundScheduleCache` (itself backed by
+  the cross-batch process cache), replacing per-trial ``SUUISemPolicy``
+  replicas and collapsing the per-(trial, segment, round) LP solves into
+  one solve per distinct (target, survivor set).
+
+The execution semantics replicate the scalar :class:`~repro.core.suu_c.
+SUUCPolicy` transition for transition — same superstep builds, same pause
+registration segments, same fallback triggers, same inner-SEM round
+doubling — so that given equal delays and equal thresholds, array cursors
+and object cursors produce *identical* executions (the test suite checks
+exactly this), and under fresh v2 randomness the makespan distribution
+matches v1's.
+
+Plans with preludes (the non-polynomial ``t_LP2`` rounding trick,
+``unit > 1``) or a non-SEM inner policy keep the v1 replica path; the
+policies decline ``start_phased_v2`` for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phased import RoundScheduleCache
+from repro.core.suu_i_sem import paper_round_count
+from repro.errors import ReproError
+from repro.schedule.base import IDLE
+from repro.schedule.pseudo import Pause
+
+__all__ = ["ChainCursorBatch"]
+
+# Per-trial phase codes.
+_SUPER = 0
+_SEM = 1
+_FALLBACK = 2
+
+
+class _SegmentSemCursor:
+    """One trial's cursor through a segment SUU-I-SEM run.
+
+    A faithful replica of :class:`~repro.core.suu_i_sem.SUUISemPolicy`'s
+    control state (doubling rounds, serial/repeat-last fallbacks) over the
+    long jobs of one segment, with schedules shared through the batch's
+    :class:`RoundScheduleCache`.  ``jobs_local`` are ids in the cache's
+    (sub-)instance — what LP1 is solved on — and ``jobs_global`` are the
+    corresponding engine ids; both ascending, index-aligned.
+    """
+
+    __slots__ = (
+        "jobs_global", "jobs_local", "universe_size", "n_rounds",
+        "mode", "round", "sid", "step",
+    )
+
+    def __init__(self, jobs_global, jobs_local, n_machines):
+        self.jobs_global = jobs_global
+        self.jobs_local = jobs_local
+        self.universe_size = int(jobs_local.size)
+        self.n_rounds = paper_round_count(self.universe_size, n_machines)
+        self.mode = "rounds"  # rounds | serial | repeat
+        self.round = 0
+        self.sid: int | None = None
+        self.step = 0
+
+
+class ChainCursorBatch:
+    """Array-based cursors driving ``n_trials`` lock-stepped SUU-C runs.
+
+    One instance serves one batch execution of one chain plan (for SUU-T,
+    one per forest block).  The owning policy calls :meth:`row_key` from
+    ``phase_key`` and :meth:`dispatch` from ``assign_group``.
+
+    Parameters
+    ----------
+    plan:
+        The shared, trial-independent ``_ChainPlan`` (no preludes:
+        ``plan.unit == 1``).
+    instance:
+        The (sub-)instance the plan was prepared on — LP1 segment solves
+        run against it.
+    delays:
+        ``(n_trials, n_chains)`` chain start delays (already scaled by the
+        plan's unit).
+    n_machines:
+        Engine machine count (equals the sub-instance's for SUU-T blocks).
+    job_map:
+        Maps the plan's job ids to engine job ids (identity for SUU-C;
+        the block's global ids for SUU-T).
+    n_engine_jobs:
+        Width of the engine's job axis (the *global* job count — larger
+        than the plan's for SUU-T blocks).
+    scale:
+        LP1 rounding scale for segment SEM runs.
+    enable_segments / enable_fallback:
+        The owning policy's ablation flags (delays are already drawn).
+    """
+
+    def __init__(
+        self,
+        plan,
+        instance,
+        delays: np.ndarray,
+        *,
+        n_machines: int,
+        job_map: np.ndarray,
+        n_engine_jobs: int,
+        scale: int,
+        enable_segments: bool = True,
+        enable_fallback: bool = True,
+    ):
+        B, C = delays.shape
+        if C != len(plan.programs):
+            raise ValueError(
+                f"delays have {C} chains but the plan has {len(plan.programs)}"
+            )
+        self.plan = plan
+        self.delays = np.ascontiguousarray(delays, dtype=np.int64)
+        self.n_trials = B
+        self.n_chains = C
+        self.m = int(n_machines)
+        self.job_map = np.ascontiguousarray(job_map, dtype=np.int64)
+        self.gamma = int(plan.gamma)
+        self.enable_segments = bool(enable_segments)
+        self.enable_fallback = bool(enable_fallback)
+        self.congestion_limit = float(plan.congestion_limit)
+        self.superstep_limit = float(plan.superstep_limit)
+        self.topo_global = self.job_map[np.asarray(plan.topo, dtype=np.int64)]
+
+        self._items = [p.items for p in plan.programs]
+        self._n_items = [len(p.items) for p in plan.programs]
+
+        # The ISSUE's matrices: chain cursors as (n_trials, n_chains) ints.
+        self.chain_pos = np.zeros((B, C), dtype=np.int64)
+        self.tau = np.zeros((B, C), dtype=np.int64)
+        self.delay_remaining = np.zeros((B, C), dtype=np.int64)  # pause countdowns
+        self.started = np.zeros((B, C), dtype=bool)
+        self.superstep = np.zeros(B, dtype=np.int64)
+        self.phase = np.zeros(B, dtype=np.int8)
+        self.sig = np.full(B, -1, dtype=np.int64)  # current expansion id
+        self.ptr = np.zeros(B, dtype=np.int64)
+
+        # Superstep expansions memoized by (chain -> item, tau) signature,
+        # shared across trials and timesteps.
+        self._sig_ids: dict[tuple, int] = {}
+        self._sig_rows: list[list[np.ndarray]] = []
+        self._sig_len: list[int] = []
+        self._sig_congestion: list[int] = []
+
+        # Segment bookkeeping: per trial, segment -> pending long jobs
+        # (global ids), and the trial's active segment-SEM cursor.
+        self._pending: list[dict[int, list[int]]] = [dict() for _ in range(B)]
+        self._sem: list[_SegmentSemCursor | None] = [None] * B
+        self.sem_left = np.zeros(B, dtype=np.int64)
+        self._in_sem = np.zeros((B, int(n_engine_jobs)), dtype=bool)
+        self._prev_remaining: np.ndarray | None = None
+        self._seen_t = -1
+
+        self._cache = RoundScheduleCache(instance, scale)
+        self._row_memo: dict[tuple, np.ndarray] = {}
+        self._idle_row = np.full(self.m, IDLE, dtype=np.int64)
+        self._max_spins = int(self.superstep_limit) + self.gamma + 1_000
+
+        self.stats = {
+            "t_star": plan.t_star,
+            "gamma": plan.gamma,
+            "unit": plan.unit,
+            "horizon": plan.horizon,
+            "n_long_jobs": plan.n_long_jobs,
+            "max_congestion": 0,
+            "supersteps": 0,
+            "sem_runs": 0,
+            "fallback": False,
+        }
+
+        # Local→global lookup for signature job translation.
+        self._g2l = None
+
+    # ------------------------------------------------------------------
+    # Per-step batch bookkeeping
+    # ------------------------------------------------------------------
+    def _batch_step_update(self, state) -> None:
+        """Fold the last step's completions into the SEM-run counters.
+
+        Runs once per engine step (lazily, on the first ``row_key`` call
+        that sees the new ``state.t``): one vectorized diff of the batch
+        remaining matrix replaces a per-trial ``remaining[jobs].any()``
+        scan per step.
+        """
+        cur = state.remaining
+        if self._prev_remaining is None:
+            self._prev_remaining = np.array(cur, dtype=bool)
+            self._seen_t = state.t
+            return
+        completed = self._prev_remaining & ~cur
+        if completed.any():
+            rows, cols = np.nonzero(completed & self._in_sem)
+            if rows.size:
+                np.subtract.at(self.sem_left, rows, 1)
+                self._in_sem[rows, cols] = False
+        np.copyto(self._prev_remaining, cur)
+        self._seen_t = state.t
+
+    # ------------------------------------------------------------------
+    # Chain bookkeeping (the scalar policy's transitions, on arrays)
+    # ------------------------------------------------------------------
+    def _enter(self, b: int, c: int, deferred: list[int]) -> None:
+        """Initialize chain ``c``'s current item after entering it."""
+        p = self.chain_pos[b, c]
+        if p >= self._n_items[c]:
+            return
+        item = self._items[c][p]
+        if isinstance(item, Pause):
+            self.delay_remaining[b, c] = item.length
+            deferred.append(int(self.job_map[item.job]))
+        else:
+            self.tau[b, c] = 0
+
+    def _register(self, b: int, jobs: list[int], superstep: int) -> None:
+        if not jobs:
+            return
+        segment = superstep // self.gamma
+        self._pending[b].setdefault(segment, []).extend(jobs)
+
+    def _signature(self, b: int) -> tuple:
+        """The (chain → block item, tau) signature of trial ``b``'s next
+        superstep, after starting newly-due chains and recovering expired
+        pauses (the scalar ``_build_superstep`` preamble)."""
+        s = int(self.superstep[b])
+        deferred: list[int] = []
+        remaining = self._prev_remaining[b]
+        parts = []
+        for c in range(self.n_chains):
+            p = self.chain_pos[b, c]
+            if not self.started[b, c]:
+                if self.delays[b, c] <= s:
+                    self.started[b, c] = True
+                    self._enter(b, c, deferred)
+                    p = self.chain_pos[b, c]
+                else:
+                    continue
+            if p >= self._n_items[c]:
+                continue
+            item = self._items[c][p]
+            if isinstance(item, Pause):
+                # Re-check pauses that expired while their job was
+                # incomplete (resolved by the segment-boundary SEM run).
+                if (
+                    self.delay_remaining[b, c] == 0
+                    and not remaining[self.job_map[item.job]]
+                ):
+                    self.chain_pos[b, c] = p + 1
+                    self._enter(b, c, deferred)
+                    p = self.chain_pos[b, c]
+                    if p < self._n_items[c]:
+                        item = self._items[c][p]
+                        if not isinstance(item, Pause):
+                            parts.append((c, int(p), 0))
+                continue
+            parts.append((c, int(p), int(self.tau[b, c])))
+        self._register(b, deferred, s)
+        return tuple(parts)
+
+    def _chains_done(self, b: int) -> bool:
+        return all(
+            self.chain_pos[b, c] >= self._n_items[c]
+            for c in range(self.n_chains)
+        )
+
+    def _build_superstep(self, b: int) -> None:
+        # The scalar loop's pre-build check: a live trial whose chains
+        # have all finished is an inconsistent execution.
+        if self._chains_done(b):
+            raise ReproError(
+                "SUU-C chains all finished but jobs remain; "
+                "inconsistent execution state"
+            )
+        sig_key = self._signature(b)
+        sid = self._sig_ids.get(sig_key)
+        if sid is None:
+            sid = self._compile_signature(sig_key)
+        congestion = self._sig_congestion[sid]
+        if congestion > self.stats["max_congestion"]:
+            self.stats["max_congestion"] = congestion
+        if self.enable_fallback and congestion > self.congestion_limit:
+            self.stats["fallback"] = True
+            self.phase[b] = _FALLBACK
+            return
+        self.sig[b] = sid
+        self.ptr[b] = 0
+
+    def _compile_signature(self, sig_key: tuple) -> int:
+        """Flatten one distinct superstep signature into shared rows."""
+        per_machine: list[list[int]] = [[] for _ in range(self.m)]
+        for c, p, tu in sig_key:
+            item = self._items[c][p]
+            job = int(self.job_map[item.job])
+            for i in item.machines_at(tu):
+                per_machine[i].append(job)
+        congestion = max((len(lst) for lst in per_machine), default=0)
+        rows = []
+        for r in range(congestion):
+            row = self._idle_row.copy()
+            for i in range(self.m):
+                if r < len(per_machine[i]):
+                    row[i] = per_machine[i][r]
+            rows.append(row)
+        sid = len(self._sig_rows)
+        self._sig_ids[sig_key] = sid
+        self._sig_rows.append(rows)
+        self._sig_len.append(congestion)
+        self._sig_congestion.append(congestion)
+        return sid
+
+    def _finish_superstep(self, b: int, remaining: np.ndarray) -> None:
+        """Advance trial ``b``'s cursors after its superstep executed."""
+        deferred: list[int] = []
+        for c in range(self.n_chains):
+            if not self.started[b, c]:
+                continue
+            p = self.chain_pos[b, c]
+            if p >= self._n_items[c]:
+                continue
+            item = self._items[c][p]
+            if isinstance(item, Pause):
+                if self.delay_remaining[b, c] > 0:
+                    self.delay_remaining[b, c] -= 1
+                if (
+                    self.delay_remaining[b, c] == 0
+                    and not remaining[self.job_map[item.job]]
+                ):
+                    self.chain_pos[b, c] = p + 1
+                    self._enter(b, c, deferred)
+            else:
+                t = self.tau[b, c] + 1
+                if t >= max(1, item.length):
+                    if remaining[self.job_map[item.job]]:
+                        self.tau[b, c] = 0  # retry the block
+                    else:
+                        self.chain_pos[b, c] = p + 1
+                        self._enter(b, c, deferred)
+                else:
+                    self.tau[b, c] = t
+        s = int(self.superstep[b]) + 1
+        self.superstep[b] = s
+        if s > self.stats["supersteps"]:
+            self.stats["supersteps"] = s
+        self.sig[b] = -1
+        self.ptr[b] = 0
+        self._register(b, deferred, s)
+
+        if self.enable_fallback and s > self.superstep_limit:
+            self.stats["fallback"] = True
+            self.phase[b] = _FALLBACK
+            return
+        if self.enable_segments and s % self.gamma == 0:
+            segment = s // self.gamma - 1
+            pending = [
+                j for j in self._pending[b].pop(segment, []) if remaining[j]
+            ]
+            if pending:
+                self._start_sem(b, pending)
+
+    def _start_sem(self, b: int, jobs_global: list[int]) -> None:
+        jobs_global = np.array(sorted(jobs_global), dtype=np.int64)
+        if self._g2l is None:
+            g2l = np.full(int(self.job_map.max()) + 1, -1, dtype=np.int64)
+            g2l[self.job_map] = np.arange(self.job_map.size)
+            self._g2l = g2l
+        jobs_local = self._g2l[jobs_global]
+        self._sem[b] = _SegmentSemCursor(jobs_global, jobs_local, self.m)
+        self.sem_left[b] = jobs_global.size
+        self._in_sem[b, jobs_global] = True
+        self.phase[b] = _SEM
+        self.stats["sem_runs"] += 1
+
+    # ------------------------------------------------------------------
+    # Segment SEM cursor stepping (SUUISemPolicy's control flow)
+    # ------------------------------------------------------------------
+    def _sem_begin_round(self, cur: _SegmentSemCursor, remaining_local) -> None:
+        cur.round += 1
+        target = 2.0 ** (cur.round - 2)  # round 1 -> 1/2, doubling after
+        cur.sid = self._cache.schedule_id(target, remaining_local)
+        cur.step = 0
+
+    def _sem_key(self, b: int, remaining_row: np.ndarray):
+        cur = self._sem[b]
+        if cur.mode == "serial":
+            for gj in cur.jobs_global:
+                if remaining_row[gj]:
+                    return ("sem-serial", int(gj))
+            return ("idle",)  # unreachable while sem_left > 0
+        if cur.mode == "repeat":
+            length = self._cache.schedule(cur.sid).length
+            return ("sem-row", cur.sid, cur.step % length)
+        while cur.sid is None or cur.step >= self._cache.schedule(cur.sid).length:
+            remaining_local = cur.jobs_local[remaining_row[cur.jobs_global]]
+            if remaining_local.size == 0:
+                return ("idle",)
+            if cur.round >= cur.n_rounds:
+                if cur.universe_size <= self.m:
+                    cur.mode = "serial"
+                    return self._sem_key(b, remaining_row)
+                cur.mode = "repeat"
+                cur.step = 0
+                if cur.sid is None or self._cache.schedule(cur.sid).length == 0:
+                    self._sem_begin_round(cur, remaining_local)
+                    cur.step = 0
+                return self._sem_key(b, remaining_row)
+            self._sem_begin_round(cur, remaining_local)
+        return ("sem-row", cur.sid, cur.step)
+
+    # ------------------------------------------------------------------
+    # The phased-protocol surface
+    # ------------------------------------------------------------------
+    def row_key(self, b: int, state):
+        """Advance trial ``b`` to its next emitted row; return its key.
+
+        Keys group trials receiving identical rows this step:
+        ``("x", sig, ptr)`` for superstep expansion rows, ``("sem-row",
+        sid, step)`` / ``("sem-serial", job)`` for segment SEM rows,
+        ``("fb", job)`` for the serial fallback, ``("idle",)`` otherwise.
+        """
+        if state.t != self._seen_t:
+            self._batch_step_update(state)
+        remaining_row = state.remaining[b]
+        for _ in range(self._max_spins):
+            ph = self.phase[b]
+            if ph == _FALLBACK:
+                return self._fallback_key(b, state, remaining_row)
+            if ph == _SEM:
+                if self.sem_left[b] > 0:
+                    return self._sem_key(b, remaining_row)
+                self.phase[b] = _SUPER
+                continue
+            sid = self.sig[b]
+            if sid >= 0:
+                if self.ptr[b] < self._sig_len[sid]:
+                    return ("x", int(sid), int(self.ptr[b]))
+                self._finish_superstep(b, remaining_row)
+                continue
+            self._build_superstep(b)
+        raise ReproError(
+            f"SUU-C made no progress after {self._max_spins} internal transitions"
+        )
+
+    def _fallback_key(self, b: int, state, remaining_row: np.ndarray):
+        eligible_row = state.eligible[b]
+        for gj in self.topo_global:
+            if remaining_row[gj] and eligible_row[gj]:
+                return ("fb", int(gj))
+        return ("idle",)
+
+    def dispatch(self, key, trials) -> np.ndarray:
+        """The shared row for ``key``; advances the member trials' cursors."""
+        tag = key[0]
+        if tag == "x":
+            _, sid, ptr = key
+            for b in trials:
+                self.ptr[b] += 1
+            return self._sig_rows[sid][ptr]
+        if tag == "sem-row":
+            for b in trials:
+                self._sem[b].step += 1
+            row = self._row_memo.get(key)
+            if row is None:
+                local = self._cache.schedule(key[1]).assignment_at(key[2])
+                row = np.where(local >= 0, self.job_map[np.maximum(local, 0)], IDLE)
+                self._row_memo[key] = row
+            return row
+        if tag == "idle":
+            return self._idle_row
+        # "sem-serial" / "fb": every machine on one job.
+        row = self._row_memo.get(key)
+        if row is None:
+            row = np.full(self.m, key[1], dtype=np.int64)
+            self._row_memo[key] = row
+        return row

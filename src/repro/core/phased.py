@@ -32,6 +32,9 @@ scalar assignment sequence exactly.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.lp1 import solve_lp1
@@ -40,6 +43,11 @@ from repro.schedule.base import SimulationState
 from repro.schedule.oblivious import FiniteObliviousSchedule
 
 __all__ = [
+    "ProcessSolveCache",
+    "shared_solve_cache",
+    "install_solve_cache",
+    "clear_solve_cache",
+    "solve_cache_stats",
     "RoundScheduleCache",
     "ReplicaGroupedDispatch",
     "SemCursor",
@@ -52,20 +60,117 @@ __all__ = [
 IDLE_KEY = ("idle",)
 
 
+class ProcessSolveCache:
+    """Process-wide memo for deterministic solve pipelines.
+
+    :class:`RoundScheduleCache` (and SUU-C's chain-plan preparation) are
+    deterministic functions of ``(instance, configuration)``; within one
+    batch they are already memoized, but every batch — and, under the
+    process backend, every worker *chunk* — used to start cold and
+    re-solve the shared round-1 LP.  This cache outlives batches: entries
+    are keyed by ``(instance digest, *configuration)``, so a grid sweep's
+    cells (and all chunks a worker handles) share one solve per distinct
+    key.
+
+    Sharing never changes results: the pipelines behind every entry are
+    RNG-free, so a cached value is byte-for-byte what a fresh solve would
+    produce — v1 bit-identity is preserved.  Bounded FIFO eviction keeps
+    long-lived workers from accumulating unbounded schedules.
+
+    The cache is per *process*.  Worker pools install (size) it through
+    their initializer (:func:`install_solve_cache`); in-process use hits
+    the module-level instance directly.  ``REPRO_SOLVE_CACHE=0`` disables
+    it entirely.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict = OrderedDict()
+        self.solves = 0  # misses that ran a real solve pipeline
+        self.hits = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when disabled via ``REPRO_SOLVE_CACHE=0`` or size 0."""
+        return self.max_entries > 0 and os.environ.get(
+            "REPRO_SOLVE_CACHE", "1"
+        ) != "0"
+
+    def lookup(self, key, compute):
+        """``compute()`` memoized under ``key`` (straight call if disabled)."""
+        if not self.enabled:
+            self.solves += 1
+            return compute()
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        value = compute()
+        self.solves += 1
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.solves = 0
+        self.hits = 0
+
+
+_SHARED_SOLVE_CACHE = ProcessSolveCache()
+
+
+def shared_solve_cache() -> ProcessSolveCache:
+    """This process's cross-batch solve cache."""
+    return _SHARED_SOLVE_CACHE
+
+
+def install_solve_cache(max_entries: int = 512) -> None:
+    """Size the process-wide solve cache (worker-pool initializer target).
+
+    Module-level so ``ProcessPoolExecutor(initializer=...)`` can ship it
+    to ``spawn``-ed workers; each worker then keeps one warm cache across
+    every chunk and grid cell it handles.
+    """
+    _SHARED_SOLVE_CACHE.max_entries = int(max_entries)
+
+
+def clear_solve_cache() -> None:
+    """Reset the process-wide solve cache (test isolation)."""
+    _SHARED_SOLVE_CACHE.clear()
+
+
+def solve_cache_stats() -> dict:
+    """Counters of the process-wide cache: entries / solves / hits."""
+    return {
+        "entries": len(_SHARED_SOLVE_CACHE._entries),
+        "solves": _SHARED_SOLVE_CACHE.solves,
+        "hits": _SHARED_SOLVE_CACHE.hits,
+    }
+
+
 class RoundScheduleCache:
     """Memoized LP1-round schedules, shared across lock-stepped trials.
 
     One cache serves one batch execution of one policy (phase keys embed
-    its schedule ids, which are only meaningful within it).
+    its schedule ids, which are only meaningful within it).  Local misses
+    consult the cross-batch :func:`shared_solve_cache` before solving, so
+    grid sweeps and process-backend worker chunks pay the shared round-1
+    LP once per (instance, target, survivor set) per process rather than
+    once per batch.
 
     Attributes
     ----------
     solves:
-        Number of cache misses, i.e. actual LP solves performed.  The
-        scalar loop would have paid one solve per (trial, round); the
+        Number of *local* cache misses — lookups this batch had not seen
+        before (some may be served by the process-wide cache without an
+        actual LP solve; see :func:`solve_cache_stats` for that split).
+        The scalar loop would have paid one solve per (trial, round); the
         difference is the dominant part of the grouped-dispatch speedup.
     hits:
-        Number of lookups served from the cache.
+        Number of lookups served from this batch's own table.
     """
 
     def __init__(self, instance, scale: int):
@@ -75,6 +180,11 @@ class RoundScheduleCache:
         self._memo: dict = {}
         self.solves = 0
         self.hits = 0
+
+    def _solve(self, target: float, jobs: np.ndarray) -> FiniteObliviousSchedule:
+        relaxation = solve_lp1(self.instance, jobs=jobs, target=target)
+        assignment = round_assignment(relaxation, scale=self.scale)
+        return FiniteObliviousSchedule.from_assignment(assignment)
 
     def schedule_id(self, target: float, jobs: np.ndarray) -> int:
         """Schedule id for ``LP1(jobs, target)`` rounded at ``self.scale``.
@@ -86,9 +196,10 @@ class RoundScheduleCache:
         key = (float(target), jobs.tobytes())
         sid = self._memo.get(key)
         if sid is None:
-            relaxation = solve_lp1(self.instance, jobs=jobs, target=target)
-            assignment = round_assignment(relaxation, scale=self.scale)
-            schedule = FiniteObliviousSchedule.from_assignment(assignment)
+            schedule = shared_solve_cache().lookup(
+                ("lp1-round", self.instance.digest(), self.scale) + key,
+                lambda: self._solve(target, jobs),
+            )
             sid = len(self.schedules)
             self.schedules.append(schedule)
             self._memo[key] = sid

@@ -35,8 +35,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.registry import register_policy
+from repro.core.chain_batch import ChainCursorBatch
 from repro.core.lp2 import round_lp2, solve_lp2
-from repro.core.phased import ReplicaGroupedDispatch
+from repro.core.phased import ReplicaGroupedDispatch, shared_solve_cache
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_i_sem import SUUISemPolicy
 from repro.errors import ReproError
@@ -155,8 +156,38 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         #: Precomputed :class:`_ChainPlan` installed by grouped dispatch so
         #: lock-stepped trial replicas skip the per-trial LP2 solve.
         self._shared_plan: _ChainPlan | None = None
+        #: Array-cursor engine under RNG discipline v2 (None on v1 paths).
+        self._v2: ChainCursorBatch | None = None
 
     # ------------------------------------------------------------------
+    def _plan_cache_key(self, instance) -> tuple:
+        """Cross-batch memo key: everything :meth:`_prepare` depends on."""
+        chains_key = (
+            None
+            if self.explicit_chains is None
+            else tuple(tuple(map(int, c)) for c in self.explicit_chains)
+        )
+        return (
+            "chain-plan",
+            instance.digest(),
+            self.scale,
+            self.enable_segments,
+            self.congestion_factor,
+            self.length_factor,
+            chains_key,
+        )
+
+    def prepare_plan(self, instance) -> _ChainPlan:
+        """:meth:`_prepare` through the cross-batch process solve cache.
+
+        The plan is an immutable pure function of ``(instance, config)``,
+        so worker chunks and grid cells share one LP2 solve per distinct
+        key instead of re-solving per batch.
+        """
+        return shared_solve_cache().lookup(
+            self._plan_cache_key(instance), lambda: self._prepare(instance)
+        )
+
     def _prepare(self, instance) -> _ChainPlan:
         """The trial-independent construction: LP2, rounding, programs.
 
@@ -209,9 +240,10 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
     def start(self, instance, rng) -> None:
         self._instance = instance
         self._rng = rng
+        self._v2 = None
         plan = self._shared_plan
         if plan is None:
-            plan = self._prepare(instance)
+            plan = self.prepare_plan(instance)
         self._plan = plan
         self._programs = plan.programs
         self._gamma = plan.gamma
@@ -455,15 +487,17 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         )
 
     def start_phased(self, instance, trial_rngs) -> None:
-        # SUU-C's assignments depend on per-trial random chain delays, so
-        # trials keep full scalar replicas (ReplicaGroupedDispatch).  The
-        # batch win is elsewhere: the LP2 solve / rounding / chain-program
-        # pipeline — the bulk of start() — is computed once and shared,
-        # and the engine steps all trials as arrays.  Each replica draws
-        # its delays from its own trial generator, exactly like a scalar
-        # run, and per-trial diagnostics live on `self._replicas[k].stats`.
+        # Discipline v1: SUU-C's assignments depend on per-trial random
+        # chain delays drawn in the scalar order, so trials keep full
+        # scalar replicas (ReplicaGroupedDispatch).  The batch win is
+        # elsewhere: the LP2 solve / rounding / chain-program pipeline —
+        # the bulk of start() — is computed once and shared, and the
+        # engine steps all trials as arrays.  Each replica draws its
+        # delays from its own trial generator, exactly like a scalar run,
+        # and per-trial diagnostics live on `self._replicas[k].stats`.
         self._instance = instance
-        plan = self._prepare(instance)
+        self._v2 = None
+        plan = self.prepare_plan(instance)
         replicas = []
         for trial_rng in trial_rngs:
             replica = self._clone()
@@ -471,3 +505,74 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
             replica.start(instance, trial_rng)
             replicas.append(replica)
         self._init_replica_dispatch(replicas)
+
+    # ------------------------------------------------------------------
+    # Discipline v2: array-based chain cursors (see core.chain_batch)
+    # ------------------------------------------------------------------
+    #: Under v2 the per-superstep expansions are shared by (delays,
+    #: chain-position) signature — genuinely keyed grouping.
+    phase_grouping_v2 = "keyed"
+
+    def accepts_discipline_v2(self) -> bool:
+        """Whether this *configuration* takes the v2 array-cursor path.
+
+        Config-level only (the service's fast-path routing consults it
+        without an instance); the instance-dependent prelude case
+        (``unit > 1``) still declines at :meth:`start_phased_v2`.
+        """
+        return self.inner == "sem"
+
+    def _draw_v2_delays(
+        self, streams, n_trials: int, plan: _ChainPlan, *key: int
+    ) -> np.ndarray:
+        """One ``(n_trials, n_chains)`` delay matrix from the v2 streams.
+
+        Same distribution as v1's per-trial
+        :func:`~repro.schedule.pseudo.draw_delays` (uniform over
+        ``{0, Δ, ..., ⌊H/Δ⌋·Δ}``), drawn batch-wide.  ``key``
+        distinguishes independent draws (SUU-T passes its block index).
+        Split out so tests can inject v1-drawn delays and cross-check the
+        array cursors bit-for-bit against the object cursors.
+        """
+        n_chains = len(plan.chains)
+        if not self.enable_delays or plan.horizon <= 0:
+            return np.zeros((n_trials, n_chains), dtype=np.int64)
+        slots = plan.horizon // plan.unit + 1
+        return streams.policy_integers(n_trials, n_chains, slots, *key) * plan.unit
+
+    def start_phased_v2(self, instance, streams, n_trials: int) -> bool:
+        # Preludes (unit > 1) and non-SEM inner policies keep the replica
+        # path; everything else runs on array cursors.
+        if self.inner != "sem":
+            return False
+        plan = self.prepare_plan(instance)
+        if plan.unit != 1:
+            return False
+        self._instance = instance
+        delays = self._draw_v2_delays(streams, n_trials, plan)
+        self._v2 = ChainCursorBatch(
+            plan,
+            instance,
+            delays,
+            n_machines=instance.n_machines,
+            job_map=np.arange(instance.n_jobs, dtype=np.int64),
+            n_engine_jobs=instance.n_jobs,
+            scale=self.scale,
+            enable_segments=self.enable_segments,
+            enable_fallback=self.enable_fallback,
+        )
+        self._v2_pending = [None] * n_trials
+        self.stats = self._v2.stats
+        return True
+
+    def phase_key(self, trial: int, state):
+        if self._v2 is not None:
+            key = self._v2.row_key(trial, state)
+            self._v2_pending[trial] = key
+            return key
+        return ReplicaGroupedDispatch.phase_key(self, trial, state)
+
+    def assign_group(self, state, trials) -> np.ndarray:
+        if self._v2 is not None:
+            return self._v2.dispatch(self._v2_pending[trials[0]], trials)
+        return ReplicaGroupedDispatch.assign_group(self, state, trials)

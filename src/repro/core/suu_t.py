@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import register_policy
+from repro.core.chain_batch import ChainCursorBatch
 from repro.core.phased import ReplicaGroupedDispatch
 from repro.core.rounding import PAPER_SCALE
 from repro.core.suu_c import SUUCPolicy
@@ -53,10 +54,13 @@ class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         #: Per-block (sub-instance, chain plan) pairs precomputed by
         #: grouped dispatch so trial replicas skip per-block LP2 solves.
         self._shared_blocks: list | None = None
+        #: Per-block array-cursor engines under discipline v2.
+        self._v2_cursors: list[ChainCursorBatch] | None = None
 
     def start(self, instance, rng) -> None:
         self._instance = instance
         self._rng = rng
+        self._v2_cursors = None
         blocks = decompose_forest(instance.graph)
         self._blocks = blocks
         self._block_idx = -1
@@ -144,22 +148,28 @@ class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
     # ------------------------------------------------------------------
     # Grouped batch dispatch (PhasedPolicy protocol)
     # ------------------------------------------------------------------
-    def start_phased(self, instance, trial_rngs) -> None:
-        # Like SUU-C: assignments depend on per-trial chain delays, so
-        # trials keep scalar replicas (ReplicaGroupedDispatch).  The
-        # shared work is per-block — every trial walks the same block
-        # sequence, so the block sub-instances and their LP2 solves /
-        # rounded chain programs are computed once here instead of once
-        # per (trial, block).  Each replica still spawns its own rng child
-        # per block entered, in the scalar order, to keep delay streams
-        # bit-identical to per-trial runs.
-        self._instance = instance
+    def _shared_block_plans(self, instance) -> list:
+        """Per-block ``(sub-instance, jobs, plan)`` triples, plan-cached."""
         self._blocks = decompose_forest(instance.graph)
         probe = SUUCPolicy(scale=self.scale, **self.suu_c_kwargs)
         shared = []
         for b in range(len(self._blocks)):
             sub_inst, jobs = self._block_sub_instance(b)
-            shared.append((sub_inst, jobs, probe._prepare(sub_inst)))
+            shared.append((sub_inst, jobs, probe.prepare_plan(sub_inst)))
+        return shared
+
+    def start_phased(self, instance, trial_rngs) -> None:
+        # Discipline v1: like SUU-C, assignments depend on per-trial chain
+        # delays drawn in the scalar order, so trials keep scalar replicas
+        # (ReplicaGroupedDispatch).  The shared work is per-block — every
+        # trial walks the same block sequence, so the block sub-instances
+        # and their LP2 solves / rounded chain programs are computed once
+        # here instead of once per (trial, block).  Each replica still
+        # spawns its own rng child per block entered, in the scalar order,
+        # to keep delay streams bit-identical to per-trial runs.
+        self._instance = instance
+        self._v2_cursors = None
+        shared = self._shared_block_plans(instance)
         replicas = []
         for trial_rng in trial_rngs:
             replica = SUUTPolicy(scale=self.scale, **self.suu_c_kwargs)
@@ -167,3 +177,84 @@ class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
             replica._shared_blocks = shared
             replicas.append(replica)
         self._init_replica_dispatch(replicas)
+
+    # ------------------------------------------------------------------
+    # Discipline v2: per-block array cursors (see core.chain_batch)
+    # ------------------------------------------------------------------
+    phase_grouping_v2 = "keyed"
+
+    def accepts_discipline_v2(self) -> bool:
+        """Config-level v2 acceptance (see :meth:`SUUCPolicy.accepts_discipline_v2`)."""
+        return self.suu_c_kwargs.get("inner", "sem") == "sem"
+
+    def start_phased_v2(self, instance, streams, n_trials: int) -> bool:
+        probe = SUUCPolicy(scale=self.scale, **self.suu_c_kwargs)
+        if probe.inner != "sem":
+            return False
+        self._instance = instance
+        shared = self._shared_block_plans(instance)
+        if any(plan.unit != 1 for _, _, plan in shared):
+            return False
+        cursors = []
+        for b, (sub_inst, jobs, plan) in enumerate(shared):
+            # Block delays are pre-drawn for every trial (v1 draws them on
+            # block entry; the joint distribution is identical since all
+            # draws are independent), keyed by block index.
+            delays = self._draw_block_delays(streams, n_trials, plan, b, probe)
+            cursors.append(
+                ChainCursorBatch(
+                    plan,
+                    sub_inst,
+                    delays,
+                    n_machines=instance.n_machines,
+                    job_map=jobs,
+                    n_engine_jobs=instance.n_jobs,
+                    scale=self.scale,
+                    enable_segments=probe.enable_segments,
+                    enable_fallback=probe.enable_fallback,
+                )
+            )
+        self._v2_cursors = cursors
+        self._v2_block = np.zeros(n_trials, dtype=np.int64)
+        self._v2_pending = [None] * n_trials
+        self._block_job_arrays = [jobs for _, jobs, _ in shared]
+        self._v2_alive_t = -1
+        self._v2_alive = None
+        self.stats = {"n_blocks": len(shared), "blocks": [c.stats for c in cursors]}
+        return True
+
+    def _draw_block_delays(self, streams, n_trials, plan, block: int, probe):
+        """Block ``block``'s ``(n_trials, n_chains)`` delay matrix.
+
+        Delegates to SUU-C's draw (one distribution, one implementation),
+        keyed by block.  Override point for the cursor cross-check tests.
+        """
+        return probe._draw_v2_delays(streams, n_trials, plan, block)
+
+    def phase_key(self, trial: int, state):
+        if self._v2_cursors is None:
+            return ReplicaGroupedDispatch.phase_key(self, trial, state)
+        if state.t != self._v2_alive_t:
+            # One vectorized pass per step: which trials still have live
+            # jobs in each block (replaces a per-trial fancy-index scan).
+            self._v2_alive = [
+                state.remaining[:, jobs].any(axis=1)
+                for jobs in self._block_job_arrays
+            ]
+            self._v2_alive_t = state.t
+        blk = int(self._v2_block[trial])
+        n_blocks = len(self._v2_cursors)
+        while not self._v2_alive[blk][trial]:
+            blk += 1
+            if blk >= n_blocks:
+                raise ReproError("SUU-T exhausted all blocks with jobs remaining")
+        self._v2_block[trial] = blk
+        key = (blk,) + self._v2_cursors[blk].row_key(trial, state)
+        self._v2_pending[trial] = key
+        return key
+
+    def assign_group(self, state, trials) -> np.ndarray:
+        if self._v2_cursors is None:
+            return ReplicaGroupedDispatch.assign_group(self, state, trials)
+        key = self._v2_pending[trials[0]]
+        return self._v2_cursors[key[0]].dispatch(key[1:], trials)

@@ -18,6 +18,7 @@ from repro.experiments.independent import (
     run_sem_scaling,
 )
 from repro.experiments.optimal_exp import run_opt_tiny
+from repro.experiments.perjob_exp import run_perjob
 from repro.experiments.rounding_ablation import run_rounding_ablation
 from repro.experiments.stochastic_exp import run_stochastic
 from repro.experiments.table1 import run_table1
@@ -36,6 +37,7 @@ ALL_EXPERIMENTS = {
     "E-STOCH": run_stochastic,
     "E-OPT": run_opt_tiny,
     "E-COMP": run_competitive,
+    "E-PERJOB": run_perjob,
     "A-ROUND": run_rounding_ablation,
     "A-ROUNDS": run_rounds_ablation,
     "A-SEG": run_segments_ablation,
@@ -57,6 +59,7 @@ __all__ = [
     "run_equivalence",
     "run_stochastic",
     "run_opt_tiny",
+    "run_perjob",
     "run_rounding_ablation",
     "run_rounds_ablation",
     "run_segments_ablation",

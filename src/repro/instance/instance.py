@@ -112,6 +112,27 @@ class SUUInstance:
         total_mass = self.ell.sum(axis=0)
         return -np.expm1(-total_mass * np.log(2.0))
 
+    def digest(self) -> str:
+        """Stable content hash of ``(q, graph)``.
+
+        Keys cross-batch solve caches (see
+        :mod:`repro.core.phased`): two instances with equal digests are
+        equal instances, so deterministic solve pipelines may share
+        results between batches, worker chunks, and grid cells.  Computed
+        once and memoized (instances are immutable).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(repr(self.q.shape).encode())
+            h.update(self.q.tobytes())
+            h.update(repr(self.graph.edges).encode())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, SUUInstance):
             return NotImplemented

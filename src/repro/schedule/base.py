@@ -51,6 +51,15 @@ every live trial, partitions trials by key, and calls ``assign_group``
 once per distinct key instead of once per trial; see
 :mod:`repro.sim.batch` for the dispatch loop and the RNG discipline the
 implementation must uphold.
+
+Under RNG discipline ``"v2"`` (see :mod:`repro.util.rng`) a phased policy
+may additionally implement :meth:`PhasedPolicy.start_phased_v2` to receive
+matrix-valued policy randomness from the batch's
+:class:`~repro.util.rng.BatchStreams` instead of per-trial generators —
+SUU-C/SUU-T use this to draw all chain delays as one ``(n_trials,
+n_chains)`` matrix and run array-based chain cursors.  The method is
+optional and may decline (return False), in which case the kernel falls
+back to the v1-style :meth:`PhasedPolicy.start_phased`.
 """
 
 from __future__ import annotations
@@ -247,9 +256,26 @@ class PhasedPolicy(Policy):
     #: work + the vectorized engine).
     phase_grouping: str = "keyed"
 
+    #: Grouping structure under RNG discipline v2 (policies that trade
+    #: per-trial replicas for array state override this to ``"keyed"``).
+    phase_grouping_v2: str | None = None
+
     def start_phased(self, instance, trial_rngs) -> None:
         """Prepare per-trial state for ``len(trial_rngs)`` lock-stepped trials."""
         raise NotImplementedError
+
+    def start_phased_v2(self, instance, streams, n_trials: int) -> bool:
+        """Optional discipline-v2 entry point (batch-native randomness).
+
+        ``streams`` is the batch's :class:`~repro.util.rng.BatchStreams`;
+        any internal randomness must be drawn from it as whole-batch
+        matrices (chunk-invariant, one row per trial) rather than from
+        per-trial generators.  Return True when v2 state was installed;
+        return False to decline, in which case the kernel runs the
+        v1-style :meth:`start_phased` instead (legal — v2 only requires
+        statistical equivalence, which per-trial replicas also satisfy).
+        """
+        return False
 
     @abc.abstractmethod
     def phase_key(self, trial: int, state: BatchSimulationState):

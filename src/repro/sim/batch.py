@@ -36,26 +36,45 @@ trial-independent preparation happens once in ``start_phased``, and
 per-round LP solutions are memoized by (target, remaining-set) so every
 trial entering a round with the same survivor set reuses one solve.
 
-RNG discipline (bit-identity with the serial path)
---------------------------------------------------
-The kernel consumes randomness *exactly* like the serial estimators: one
-child generator per trial (``rng.spawn(n_trials)``), and per trial the
-engine's ``spawn(2) -> (policy_rng, outcome_rng)`` split.  Under
-``suu_star``, trial ``k``'s thresholds are drawn from its own
-``outcome_rng``; under ``suu``, each trial's per-step uniforms are drawn
-from its ``outcome_rng`` in the engine's order (scheduled jobs ascending).
-Phased policies additionally receive the per-trial ``policy_rng`` list in
-``start_phased`` and must draw any internal randomness (SUU-C's chain
-delays, per-level/per-block spawns) from trial ``k``'s generator in the
-scalar order.  Serial, vectorized, and phase-grouped execution therefore
-produce **bit-identical** makespan samples, and the Monte Carlo front ends
-route through this kernel transparently whenever the policy supports
-either protocol.
+RNG disciplines (v1 serial replay, v2 batch native)
+---------------------------------------------------
+The kernel supports two versioned RNG disciplines, resolved by
+:func:`repro.util.rng.resolve_discipline` (explicit argument, then the
+``REPRO_DISCIPLINE`` environment variable, then ``"v1"``):
+
+Under **v1** (the default) the kernel consumes randomness *exactly* like
+the serial estimators: one child generator per trial
+(``rng.spawn(n_trials)``), and per trial the engine's
+``spawn(2) -> (policy_rng, outcome_rng)`` split.  Under ``suu_star``,
+trial ``k``'s thresholds are drawn from its own ``outcome_rng``; under
+``suu``, each trial's per-step uniforms are drawn from its ``outcome_rng``
+in the engine's order (scheduled jobs ascending).  Phased policies
+additionally receive the per-trial ``policy_rng`` list in ``start_phased``
+and must draw any internal randomness (SUU-C's chain delays,
+per-level/per-block spawns) from trial ``k``'s generator in the scalar
+order.  Serial, vectorized, and phase-grouped execution therefore produce
+**bit-identical** makespan samples, and the Monte Carlo front ends route
+through this kernel transparently whenever the policy supports either
+protocol.
+
+Under **v2** (a documented break: different streams, same distributions)
+outcome randomness is drawn in whole-batch blocks from the per-run
+:class:`~repro.util.rng.BatchStreams` spawn tree instead of replaying the
+serial tree trial by trial: ``suu`` completions come from a single
+``(n_trials, n_jobs)`` uniform matrix per step, ``suu_star`` thresholds
+from one matrix draw, and v2-capable phased policies
+(:meth:`~repro.schedule.base.PhasedPolicy.start_phased_v2`) receive the
+streams to draw matrix-valued internal randomness (SUU-C's chain-delay
+matrix).  Rows are addressed by global trial index, so v2 samples are
+deterministic in the seed and invariant under backend and chunk layout —
+they just differ from v1's.  The per-trial ``Generator.random(k)`` loop in
+``_draw_suu_completions`` is what this removes; it is the reason v2 exists.
 
 Policies that support neither protocol (e.g. internally randomized
 per-step ones) fall back to a per-trial loop over
-:func:`~repro.sim.engine.run_policy` with the same RNG tree, so
-:func:`run_policy_batch` is safe to call with any policy.
+:func:`~repro.sim.engine.run_policy` with the same v1 RNG tree under
+either discipline, so :func:`run_policy_batch` is safe to call with any
+policy.
 """
 
 from __future__ import annotations
@@ -80,7 +99,12 @@ from repro.sim.engine import (
     run_policy,
 )
 from repro.sim.results import MakespanStats
-from repro.util.rng import ensure_rng
+from repro.util.rng import (
+    BatchStreams,
+    ensure_rng,
+    resolve_discipline,
+    run_seed_sequence,
+)
 
 __all__ = ["BatchSimResult", "run_policy_batch"]
 
@@ -109,6 +133,9 @@ class BatchSimResult:
         True when the lock-stepped batch kernel ran (broadcast or
         phase-grouped dispatch); False when the per-trial scalar fallback
         was used (policy supporting neither protocol).
+    discipline:
+        The RNG discipline the samples were drawn under (``"v1"`` or
+        ``"v2"``; see the module docstring).
     """
 
     makespans: np.ndarray
@@ -117,6 +144,7 @@ class BatchSimResult:
     semantics: str
     policy_name: str
     vectorized: bool
+    discipline: str = "v1"
 
     @property
     def n_trials(self) -> int:
@@ -140,6 +168,8 @@ def run_policy_batch(
     max_steps: int = DEFAULT_MAX_STEPS,
     thresholds: np.ndarray | None = None,
     trial_rngs=None,
+    discipline: str | None = None,
+    streams: BatchStreams | None = None,
 ) -> BatchSimResult:
     """Execute ``n_trials`` independent runs of ``policy``, vectorized.
 
@@ -156,8 +186,9 @@ def run_policy_batch(
     n_trials:
         Number of trials; may be omitted when ``trial_rngs`` is given.
     rng:
-        Seed or generator for the per-trial RNG tree (ignored when
-        ``trial_rngs`` is given).
+        Seed or generator for the per-trial RNG tree (with ``trial_rngs``
+        given it is only consulted under discipline v2, as the streams
+        root when ``streams`` is omitted).
     semantics:
         ``"suu"`` or ``"suu_star"``, with the same meaning as
         :func:`~repro.sim.engine.run_policy`.
@@ -170,6 +201,15 @@ def run_policy_batch(
         the ``rng.spawn(n_trials)`` list the serial estimators build.  This
         is how the Monte Carlo front ends keep batched results bit-identical
         to their serial paths.
+    discipline:
+        RNG discipline: ``"v1"`` (serial replay, bit-identical to the
+        scalar path), ``"v2"`` (batch-native streams; statistically
+        equivalent, different samples), or ``None`` to resolve through the
+        ``REPRO_DISCIPLINE`` environment variable (default v1).
+    streams:
+        Pre-built v2 :class:`~repro.util.rng.BatchStreams` (the service
+        passes offset-rebased streams so worker chunks read their global
+        rows).  Ignored under v1; built from ``rng`` when omitted under v2.
 
     Raises
     ------
@@ -181,6 +221,7 @@ def run_policy_batch(
     """
     if semantics not in ("suu", "suu_star"):
         raise ValueError(f"unknown semantics {semantics!r}")
+    discipline = resolve_discipline(discipline)
     if trial_rngs is not None:
         trial_rngs = list(trial_rngs)
         if n_trials is not None and n_trials != len(trial_rngs):
@@ -190,8 +231,22 @@ def run_policy_batch(
         n_trials = len(trial_rngs)
     if n_trials is None or n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if discipline == "v2" and streams is None:
+        if trial_rngs is not None and rng is None:
+            # Fresh OS entropy here would make v2 silently
+            # irreproducible; the v2 contract is determinism in the seed.
+            raise ValueError(
+                "discipline='v2' with pre-spawned trial_rngs needs a seed "
+                "root: pass streams=BatchStreams(run_seed_sequence(seed)) "
+                "(offset-rebased for chunks) or the run's rng/seed"
+            )
+        # Derive the v2 spawn-tree root before the v1 tree consumes the
+        # generator, so both trees hang off the same per-run entropy.
+        streams = BatchStreams(run_seed_sequence(rng))
     if trial_rngs is None:
         trial_rngs = list(ensure_rng(rng).spawn(n_trials))
+    if discipline != "v2":
+        streams = None
 
     n = instance.n_jobs
     if thresholds is not None:
@@ -209,21 +264,29 @@ def run_policy_batch(
         probe = factory()
     if supports_batch(probe):
         return _run_vectorized(
-            instance, probe, trial_rngs, semantics, max_steps, thresholds
+            instance, probe, trial_rngs, semantics, max_steps, thresholds,
+            discipline, streams,
         )
     if supports_phased(probe):
         return _run_phased(
-            instance, probe, trial_rngs, semantics, max_steps, thresholds
+            instance, probe, trial_rngs, semantics, max_steps, thresholds,
+            discipline, streams,
         )
     return _run_fallback(
-        instance, probe, factory, trial_rngs, semantics, max_steps, thresholds
+        instance, probe, factory, trial_rngs, semantics, max_steps, thresholds,
+        discipline,
     )
 
 
 def _run_fallback(
-    instance, probe, factory, trial_rngs, semantics, max_steps, thresholds
+    instance, probe, factory, trial_rngs, semantics, max_steps, thresholds,
+    discipline="v1",
 ) -> BatchSimResult:
-    """Per-trial scalar loop for policies without batch support."""
+    """Per-trial scalar loop for policies without batch support.
+
+    The scalar engine is inherently serial-replay, so this path consumes
+    the v1 RNG tree under either discipline (v2 == v1 here; documented in
+    the module docstring)."""
     B, n = len(trial_rngs), instance.n_jobs
     makespans = np.empty(B, dtype=np.int64)
     completion = np.empty((B, n), dtype=np.int64)
@@ -249,22 +312,29 @@ def _run_fallback(
         semantics=semantics,
         policy_name=name,
         vectorized=False,
+        discipline=discipline,
     )
 
 
 def _run_vectorized(
-    instance, policy, trial_rngs, semantics, max_steps, thresholds
+    instance, policy, trial_rngs, semantics, max_steps, thresholds,
+    discipline, streams,
 ) -> BatchSimResult:
     """The broadcast path: one ``assign_batch`` call drives all trials."""
     B, n = len(trial_rngs), instance.n_jobs
 
-    # Mirror run_policy's per-trial ``spawn(2) -> (policy_rng, outcome_rng)``
-    # split.  When thresholds are supplied (the common-random-number path),
-    # no outcome randomness is consumed at all — exactly like the scalar
-    # engine — so only the lead trial's policy_rng needs spawning.
+    # v1 mirrors run_policy's per-trial ``spawn(2) -> (policy_rng,
+    # outcome_rng)`` split.  When thresholds are supplied (the
+    # common-random-number path), no outcome randomness is consumed at all
+    # — exactly like the scalar engine — so only the lead trial's
+    # policy_rng needs spawning.  v2 replaces the per-trial outcome draws
+    # with whole-batch stream draws.
     outcome_rngs = None
     if semantics == "suu_star" and thresholds is not None:
         theta = thresholds
+        policy.start_batch(instance, trial_rngs[0].spawn(2)[0], B)
+    elif streams is not None:
+        theta = streams.thresholds(B, n) if semantics == "suu_star" else None
         policy.start_batch(instance, trial_rngs[0].spawn(2)[0], B)
     else:
         pairs = [r.spawn(2) for r in trial_rngs]
@@ -278,7 +348,7 @@ def _run_vectorized(
             outcome_rngs = [outcome for _, outcome in pairs]
     return _drive_batch(
         instance, policy.name, policy.assign_batch, B, semantics, max_steps,
-        theta, outcome_rngs,
+        theta, outcome_rngs, discipline, streams,
     )
 
 
@@ -321,43 +391,65 @@ class _GroupedDispatch:
 
 
 def _run_phased(
-    instance, policy, trial_rngs, semantics, max_steps, thresholds
+    instance, policy, trial_rngs, semantics, max_steps, thresholds,
+    discipline, streams,
 ) -> BatchSimResult:
     """The grouped-dispatch path for :class:`PhasedPolicy` implementations."""
     B, n = len(trial_rngs), instance.n_jobs
 
-    # Phased policies consume per-trial policy randomness (e.g. SUU-C's
-    # chain delays), so the engine's per-trial spawn(2) split is replayed
-    # even on the common-random-number path where thresholds are given.
-    pairs = [r.spawn(2) for r in trial_rngs]
-    policy_rngs = [policy_rng for policy_rng, _ in pairs]
+    # Under v2, a policy implementing start_phased_v2 draws its internal
+    # randomness from the batch streams (matrix-valued, chunk-invariant)
+    # and needs no per-trial generators at all; it may decline (False),
+    # in which case the v1-style per-trial path below runs.
+    started = False
+    if streams is not None:
+        start_v2 = getattr(policy, "start_phased_v2", None)
+        if callable(start_v2):
+            started = bool(start_v2(instance, streams, B))
+
     outcome_rngs = None
-    if semantics == "suu_star":
-        if thresholds is not None:
-            theta = thresholds
-        else:
-            theta = np.empty((B, n), dtype=np.float64)
-            for k, (_, outcome_rng) in enumerate(pairs):
-                theta[k] = draw_thresholds(n, outcome_rng)
+    theta = None
+    if streams is not None:
+        if semantics == "suu_star":
+            theta = thresholds if thresholds is not None else streams.thresholds(B, n)
+        if not started:
+            pairs = [r.spawn(2) for r in trial_rngs]
+            policy.start_phased(instance, [p for p, _ in pairs])
     else:
-        theta = None
-        outcome_rngs = [outcome for _, outcome in pairs]
-    policy.start_phased(instance, policy_rngs)
+        # v1: phased policies consume per-trial policy randomness (e.g.
+        # SUU-C's chain delays), so the engine's per-trial spawn(2) split
+        # is replayed even on the common-random-number path where
+        # thresholds are given.
+        pairs = [r.spawn(2) for r in trial_rngs]
+        if semantics == "suu_star":
+            if thresholds is not None:
+                theta = thresholds
+            else:
+                theta = np.empty((B, n), dtype=np.float64)
+                for k, (_, outcome_rng) in enumerate(pairs):
+                    theta[k] = draw_thresholds(n, outcome_rng)
+        else:
+            outcome_rngs = [outcome for _, outcome in pairs]
+        policy.start_phased(instance, [p for p, _ in pairs])
     dispatch = _GroupedDispatch(policy, B, instance.n_machines)
     return _drive_batch(
         instance, policy.name, dispatch, B, semantics, max_steps, theta,
-        outcome_rngs,
+        outcome_rngs, discipline, streams,
     )
 
 
 def _drive_batch(
-    instance, policy_name, assign, B, semantics, max_steps, theta, outcome_rngs
+    instance, policy_name, assign, B, semantics, max_steps, theta,
+    outcome_rngs, discipline="v1", streams=None,
 ) -> BatchSimResult:
     """The lock-stepped all-trials engine (see module docstring).
 
     ``assign`` is the per-step assignment callable — ``assign_batch`` for
     vectorized policies, a :class:`_GroupedDispatch` for phased ones —
     mapping the shared :class:`BatchSimulationState` to ``(B, m)`` job ids.
+    Under ``suu`` semantics, completions come from the per-trial
+    ``outcome_rngs`` (v1) or from one whole-batch stream draw per step
+    (v2, ``streams`` set).
     """
     n, m = instance.n_jobs, instance.n_machines
     ell = instance.ell
@@ -437,7 +529,16 @@ def _drive_batch(
         busy += effective.sum(axis=1)
 
         if semantics == "suu":
-            done_now = _draw_suu_completions(step_mass, outcome_rngs)
+            if streams is not None:
+                # v2: one (B, n) uniform matrix per step — jobs survive a
+                # step of delivered mass L with probability 2^-L, exactly
+                # the scalar rule, but drawn batch-wide in one call.
+                u = streams.step_uniforms(t, B, n)
+                done_now = (step_mass > 0.0) & (
+                    u >= np.power(2.0, -step_mass)
+                )
+            else:
+                done_now = _draw_suu_completions(step_mass, outcome_rngs)
         else:
             done_now = (step_mass > 0.0) & (mass_accrued + step_mass >= theta)
         mass_accrued += step_mass
@@ -463,6 +564,7 @@ def _drive_batch(
         semantics=semantics,
         policy_name=policy_name,
         vectorized=True,
+        discipline=discipline,
     )
 
 

@@ -10,10 +10,13 @@ Three estimators:
   cancels the shared threshold noise out of makespan *differences*, making
   head-to-head experiments far sharper at equal trial counts.
 All estimators route through the trial-vectorized kernel
-(:func:`repro.sim.batch.run_policy_batch`) whenever the policy implements
-the batched-assignment protocol; the kernel replays the exact RNG tree of
+(:func:`repro.sim.batch.run_policy_batch`) and accept a ``discipline``
+argument (default: the ``REPRO_DISCIPLINE`` environment variable, else
+``"v1"``).  Under discipline v1 the kernel replays the exact RNG tree of
 the per-trial path, so routing never changes a single sample — it only
-changes wall-clock time.
+changes wall-clock time.  Under discipline v2 the kernel draws batch-native
+streams (statistically equivalent, different samples; see
+:mod:`repro.util.rng`).
 
 * :func:`sample_oblivious_repeat_makespans` — an exact *closed-form sampler*
   for the special case of a finite oblivious schedule repeated until all
@@ -33,7 +36,12 @@ from repro.schedule.oblivious import FiniteObliviousSchedule
 from repro.sim.batch import run_policy_batch
 from repro.sim.engine import DEFAULT_MAX_STEPS, draw_thresholds
 from repro.sim.results import MakespanStats
-from repro.util.rng import ensure_rng
+from repro.util.rng import (
+    BatchStreams,
+    ensure_rng,
+    resolve_discipline,
+    run_seed_sequence,
+)
 
 __all__ = [
     "estimate_expected_makespan",
@@ -50,6 +58,7 @@ def estimate_expected_makespan(
     *,
     semantics: str = "suu",
     max_steps: int = DEFAULT_MAX_STEPS,
+    discipline: str | None = None,
 ) -> MakespanStats:
     """Estimate ``E[T_policy]`` by simulation.
 
@@ -58,11 +67,17 @@ def estimate_expected_makespan(
     policy_factory:
         Zero-argument callable returning a *fresh* policy per trial
         (policies are stateful across a single execution).
+    discipline:
+        RNG discipline (``"v1"``/``"v2"``; ``None`` resolves through the
+        environment).  Under v1 the samples are bit-identical to the
+        historical per-trial loop; under v2 they are statistically
+        equivalent batch-native draws.
 
     All dispatch lives in :func:`~repro.sim.batch.run_policy_batch`:
     batch-capable policies drive every trial at once, the rest loop the
-    scalar engine.  Both paths consume the same RNG tree (one spawned
-    generator per trial), so the samples are bit-identical either way.
+    scalar engine.  Under v1, both paths consume the same RNG tree (one
+    spawned generator per trial), so the samples are bit-identical either
+    way.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -73,6 +88,7 @@ def estimate_expected_makespan(
         rng,
         semantics=semantics,
         max_steps=max_steps,
+        discipline=discipline,
     )
     return batch.stats()
 
@@ -84,6 +100,7 @@ def compare_policies(
     rng=None,
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
+    discipline: str | None = None,
 ) -> dict[str, MakespanStats]:
     """Paired Monte Carlo comparison with common random numbers.
 
@@ -111,8 +128,15 @@ def compare_policies(
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    discipline = resolve_discipline(discipline)
     rng = ensure_rng(rng)
     labels = list(policy_factories)
+    # Under v2, policy-internal randomness comes from per-policy stream
+    # families off the run's root (derived before the v1 tree consumes
+    # the generator); thresholds stay the common coupling variable.
+    streams = None
+    if discipline == "v2":
+        streams = BatchStreams(run_seed_sequence(rng))
     # Pre-draw the common thresholds and per-(trial, policy) generators in
     # the historical trial-major order, preserving bit-identical streams.
     thetas = np.empty((n_trials, instance.n_jobs), dtype=np.float64)
@@ -129,8 +153,10 @@ def compare_policies(
             semantics="suu_star",
             thresholds=thetas,
             max_steps=max_steps,
+            discipline=discipline,
+            streams=None if streams is None else streams.child(k),
         ).stats(label)
-        for label in labels
+        for k, label in enumerate(labels)
     }
 
 

@@ -178,12 +178,15 @@ class TestRegistration:
 
 
 class TestDeprecationShims:
-    def test_main_policies_dict_warns_and_matches_registry(self):
+    def test_main_policies_dict_removed_with_pointer(self):
+        """The PR-1 POLICIES shim is gone; the error must say where the
+        table lives now (and `from ... import POLICIES` raises too)."""
         import repro.__main__ as cli
 
-        with pytest.warns(DeprecationWarning, match="repro.api registry"):
-            policies = cli.POLICIES
-        assert policies == {i.name: i.cls for i in list_policies()}
+        with pytest.raises(AttributeError, match="repro.api.registry"):
+            cli.POLICIES
+        with pytest.raises(ImportError):
+            from repro.__main__ import POLICIES  # noqa: F401
 
     def test_default_policy_helper_warns(self, small_independent):
         import repro.__main__ as cli

@@ -37,7 +37,7 @@ class TestRegistry:
     def test_all_ids_present(self):
         expected = {
             "T1", "E-OBL", "E-SEM", "E-LP1", "E-CHAIN", "E-DELAY", "E-TREE",
-            "E-EQUIV", "E-STOCH", "E-OPT", "E-COMP",
+            "E-EQUIV", "E-STOCH", "E-OPT", "E-COMP", "E-PERJOB",
             "A-ROUND", "A-ROUNDS", "A-SEG", "A-ADAPT",
         }
         assert set(ALL_EXPERIMENTS) == expected
@@ -90,6 +90,18 @@ class TestRunnersTiny:
         classes = [row[0] for row in res.rows]
         assert classes == ["independent", "chains", "forests"]
 
+    def test_perjob(self):
+        res = ALL_EXPERIMENTS["E-PERJOB"](
+            n_jobs=10, n_machines=3, n_trials=20, top_k=4, discipline="v2"
+        )
+        assert len(res.rows) == 4
+        # crit% columns are percentages; the top-k rows are sorted
+        # descending on the auto policy's attribution.
+        crits = [float(row[1]) for row in res.rows]
+        assert crits == sorted(crits, reverse=True)
+        assert all(0.0 <= c <= 100.0 for c in crits)
+        assert res.notes  # coverage note present
+
 
 class TestMainModule:
     def test_cli_single_experiment(self, capsys, tmp_path):
@@ -107,3 +119,12 @@ class TestMainModule:
 
         with pytest.raises(SystemExit):
             main(["NOT-AN-EXPERIMENT"])
+
+    def test_repro_experiments_subcommand_forwards(self, capsys):
+        """`repro experiments E-PERJOB ...` reaches the harness parser
+        (surfacing the per-job experiment from the main CLI)."""
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["experiments", "NOT-AN-EXPERIMENT"])
+        capsys.readouterr()
