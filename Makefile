@@ -1,16 +1,19 @@
-# Developer entry points.  `make test` is the tier-1 gate; `make bench`
-# produces a pytest-benchmark json; `make bench-check` additionally fails
-# when the scalar-vs-batch speedup ratios regress >25% against the
-# committed baseline (the latest BENCH_<n>.json).  Ratios are machine-
-# independent — both sides of each ratio are measured in the same run —
-# so the gate holds on slow shared runners where absolute means drift.
+# Developer entry points.  `make test` is the tier-1 gate; `make lint`
+# mirrors CI's lint job (ruff + mypy; `pip install -e ".[lint]"` once);
+# `make bench` produces a pytest-benchmark json; `make bench-check`
+# additionally fails when the scalar-vs-batch speedup ratios regress >25%
+# against the committed baseline (the latest BENCH_<n>.json).  Ratios are
+# machine-independent — both sides of each ratio are measured in the same
+# run — so the gate holds on slow shared runners where absolute means
+# drift.
 
 PYTHON ?= python
 BENCH_JSON ?= bench_current.json
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_BASELINE ?= BENCH_5.json
 BENCH_TOLERANCE ?= 0.25
+COV_FLOOR ?= 85
 
-.PHONY: test test-v2 bench bench-check tables
+.PHONY: test test-v2 lint cov bench bench-check tables
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -21,9 +24,25 @@ test:
 test-v2:
 	PYTHONPATH=src REPRO_DISCIPLINE=v2 $(PYTHON) -m pytest -x -q
 
+# CI's lint job, locally: ruff for style/imports, ruff format for layout,
+# mypy (permissive config in pyproject.toml) for obvious type breakage.
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks
+	$(PYTHON) -m ruff format --check src tests benchmarks
+	$(PYTHON) -m mypy src/repro
+
+# CI's coverage leg, locally (needs pytest-cov: `pip install pytest-cov`).
+cov:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro \
+		--cov-report=term --cov-report=xml --cov-fail-under=$(COV_FLOOR)
+
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernels.py \
 		benchmarks/bench_batch.py benchmarks/bench_adaptive.py \
+		benchmarks/bench_ablation_adaptive.py \
+		benchmarks/bench_ablation_rounds.py \
+		benchmarks/bench_ablation_segments.py \
+		benchmarks/bench_ablation_rounding.py \
 		--benchmark-json=$(BENCH_JSON) -q
 
 bench-check: bench

@@ -1,4 +1,4 @@
-"""A-ADAPT — the conclusion's conjecture: fully adaptive LP vs SEM."""
+"""A-ADAPT — the conclusion's conjecture: fully adaptive LP vs SEM (RNG discipline v2)."""
 
 from repro.experiments import run_adaptive
 
@@ -10,6 +10,7 @@ def test_adaptive(bench_table):
         m=6,
         n_trials=8,
         seed=16,
+        discipline="v2",
     )
     for row in result.rows:
         sem_ratio, adapt_ratio = row[4], row[5]

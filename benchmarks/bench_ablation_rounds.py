@@ -1,4 +1,4 @@
-"""A-ROUNDS — ablation: the SEM round budget K."""
+"""A-ROUNDS — ablation: the SEM round budget K (RNG discipline v2)."""
 
 from repro.experiments import run_rounds_ablation
 
@@ -11,6 +11,7 @@ def test_rounds_ablation(bench_table):
         k_values=(1, 2, 3, 4, 5),
         n_trials=10,
         seed=6,
+        discipline="v2",
     )
     ratios = {row[0]: row[3] for row in result.rows}
     # One round (then fallback) must not beat the paper's budget by much;

@@ -1,4 +1,4 @@
-"""A-SEG — ablation: SUU-C long-job segmentation and random delays."""
+"""A-SEG — ablation: SUU-C long-job segmentation and random delays (RNG discipline v2)."""
 
 from repro.experiments import run_segments_ablation
 
@@ -11,6 +11,7 @@ def test_segments_ablation(bench_table):
         n_chains=5,
         n_trials=8,
         seed=9,
+        discipline="v2",
     )
     ratios = {row[0]: row[2] for row in result.rows}
     # On heavy-tailed chains, disabling segmentation serializes machines

@@ -22,6 +22,17 @@ loop.  Under discipline v1 those policies are pinned to per-trial
 replicas by bit-identity and stay ~1x (the retained ``suuc_100`` pair
 documents that); v2's acceptance floor is a >= 5x speedup at 1000 trials.
 
+The newly covered v2 configurations get their own gated pairs:
+
+* ``suuc_obl_v2_300`` — the ``inner="obl"`` ablation (was a replica-path
+  decline before the obl-repeat inner cursors landed);
+* ``suuc_prelude_v2_200`` — a ``t_LP2 > nm`` instance whose plan carries
+  solo preludes (``unit > 1``; previously declined to replicas);
+* ``suuc_wide_v2_1000`` — the chain-heavy, no-segmentation configuration
+  where superstep boundaries dominate: the pair that measures
+  signature-grouped boundary stepping (PR 4's per-trial boundary walk
+  recorded about half this pair's speedup on the same machine).
+
 Run with ``make bench``; the committed ``BENCH_<n>.json`` files record the
 measured trajectory (the acceptance target for this round is a >= 4x mean
 speedup on ``sem``/``layered`` Monte Carlo at 1000 trials).
@@ -44,6 +55,7 @@ from repro.instance import (
     forest_instance,
     independent_instance,
     layered_instance,
+    prelude_chain_instance,
 )
 from repro.sim.batch import run_policy_batch
 from repro.sim.engine import run_policy
@@ -76,6 +88,21 @@ def chains_instance():
 @pytest.fixture(scope="module")
 def forest_instance_fix():
     return forest_instance(18, 5, 3, rng=5)
+
+
+@pytest.fixture(scope="module")
+def wide_chains_instance():
+    """Chain-heavy: 12 chains whose supersteps dominate the runtime."""
+    return chain_instance(48, 6, 12, "uniform", rng=11)
+
+
+@pytest.fixture(scope="module")
+def prelude_instance_fix():
+    """``t_LP2 > nm``: the plan rounds to ``unit > 1`` with solo preludes
+    (the shared construction also used by tests/test_discipline.py)."""
+    inst = prelude_chain_instance()
+    assert SUUCPolicy().prepare_plan(inst).unit > 1
+    return inst
 
 
 @contextmanager
@@ -210,6 +237,114 @@ def test_batch_kernel_suut_v2_1000(benchmark, forest_instance_fix):
         rounds=3, iterations=1,
     )
     assert samples.size == N_TRIALS
+
+
+# ----------------------------------------------------------------------
+# Newly covered v2 configurations (no replica fallback remains)
+# ----------------------------------------------------------------------
+#: Trial counts scaled so each pair's scalar side stays benchable; both
+#: sides of a pair always run the same count, so the ratio is meaningful.
+N_TRIALS_OBL = 300
+N_TRIALS_PRELUDE = 200
+
+
+def suuc_obl():
+    return SUUCPolicy(inner="obl")
+
+
+def suuc_noseg():
+    return SUUCPolicy(enable_segments=False)
+
+
+def test_scalar_loop_suuc_obl_v2_300(benchmark, chains_instance):
+    samples = benchmark.pedantic(
+        lambda: scalar_loop(chains_instance, suuc_obl, N_TRIALS_OBL, SEED),
+        rounds=1, iterations=1,
+    )
+    assert samples.size == N_TRIALS_OBL
+
+
+def test_batch_kernel_suuc_obl_v2_300(benchmark, chains_instance):
+    samples = benchmark.pedantic(
+        lambda: batch_kernel_v2(chains_instance, suuc_obl, N_TRIALS_OBL, SEED),
+        rounds=3, iterations=1,
+    )
+    assert samples.size == N_TRIALS_OBL
+
+
+def test_scalar_loop_suuc_prelude_v2_200(benchmark, prelude_instance_fix):
+    samples = benchmark.pedantic(
+        lambda: scalar_loop(
+            prelude_instance_fix, SUUCPolicy, N_TRIALS_PRELUDE, SEED
+        ),
+        rounds=1, iterations=1,
+    )
+    assert samples.size == N_TRIALS_PRELUDE
+
+
+def test_batch_kernel_suuc_prelude_v2_200(benchmark, prelude_instance_fix):
+    samples = benchmark.pedantic(
+        lambda: batch_kernel_v2(
+            prelude_instance_fix, SUUCPolicy, N_TRIALS_PRELUDE, SEED
+        ),
+        rounds=3, iterations=1,
+    )
+    assert samples.size == N_TRIALS_PRELUDE
+
+
+def test_scalar_loop_suuc_wide_v2_1000(benchmark, wide_chains_instance):
+    samples = benchmark.pedantic(
+        lambda: scalar_loop(wide_chains_instance, suuc_noseg, N_TRIALS, SEED),
+        rounds=1, iterations=1,
+    )
+    assert samples.size == N_TRIALS
+
+
+def test_batch_kernel_suuc_wide_v2_1000(benchmark, wide_chains_instance):
+    samples = benchmark.pedantic(
+        lambda: batch_kernel_v2(wide_chains_instance, suuc_noseg, N_TRIALS, SEED),
+        rounds=3, iterations=1,
+    )
+    assert samples.size == N_TRIALS
+
+
+@pytest.mark.parametrize(
+    "label,fixture,factory,n",
+    [
+        ("suu-c inner=obl", "chains_instance", suuc_obl, N_TRIALS_OBL),
+        ("suu-c prelude", "prelude_instance_fix", SUUCPolicy, N_TRIALS_PRELUDE),
+        ("suu-c wide noseg", "wide_chains_instance", suuc_noseg, N_TRIALS),
+    ],
+)
+def test_v2_full_coverage_speedup_and_equivalence(label, fixture, factory, n, request):
+    """Acceptance for the newly covered configurations: the array-cursor
+    path beats the pre-batch scalar loop with matched makespan statistics
+    (loose floors so a loaded CI box cannot flake the suite; the committed
+    BENCH json records the precise ratios)."""
+    inst = request.getfixturevalue(fixture)
+    n_scalar = max(50, n // 4)  # the scalar loop is the expensive side
+
+    t0 = time.perf_counter()
+    expect = scalar_loop(inst, factory, n_scalar, SEED)
+    t1 = time.perf_counter()
+    clear_solve_cache()
+    batch = run_policy_batch(
+        inst, factory, n, rng=SEED, semantics="suu_star", discipline="v2",
+        max_steps=2_000_000,
+    )
+    t2 = time.perf_counter()
+
+    assert batch.vectorized and batch.discipline == "v2"
+    scalar_per_trial = (t1 - t0) / n_scalar
+    batch_per_trial = max(t2 - t1, 1e-9) / n
+    speedup = scalar_per_trial / batch_per_trial
+    print(f"\nv2 coverage speedup ({label}, per-trial, {n} batch trials): "
+          f"{speedup:.1f}x")
+    assert speedup >= 1.5
+    mean_scalar = expect.mean()
+    mean_v2 = batch.makespans.mean()
+    hw = 2 * 1.96 * expect.std(ddof=1) / np.sqrt(n_scalar)
+    assert abs(mean_scalar - mean_v2) <= hw, (mean_scalar, mean_v2, hw)
 
 
 @pytest.mark.parametrize(

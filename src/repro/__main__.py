@@ -126,7 +126,7 @@ def _cmd_policies(args) -> int:
             info.name,
             ", ".join(info.aliases) or "-",
             ", ".join(info.default_for) or "-",
-            info.batch_dispatch if info.batch_dispatch != "fallback" else "-",
+            info.dispatch_detail if info.batch_dispatch != "fallback" else "-",
             info.cls.__name__,
             info.summary,
         ]

@@ -54,11 +54,15 @@ def measure_ratio(
     bound: float | None = None,
     semantics: str = "suu",
     max_steps: int = DEFAULT_MAX_STEPS,
+    discipline: str | None = None,
 ) -> RatioMeasurement:
     """Estimate a policy's approximation ratio against the lower bound.
 
     ``bound`` may be precomputed (it is instance-only, so callers comparing
-    several policies on the same instance should share it).
+    several policies on the same instance should share it).  ``discipline``
+    selects the RNG discipline of the underlying Monte Carlo estimate
+    (``None``: environment default) — the ablation benchmarks pass
+    ``"v2"`` so their grids run batch-native.
     """
     if bound is None:
         bound = lower_bound(instance)
@@ -69,5 +73,6 @@ def measure_ratio(
         rng,
         semantics=semantics,
         max_steps=max_steps,
+        discipline=discipline,
     )
     return RatioMeasurement(policy_name=stats.policy_name, stats=stats, bound=bound)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import functools
 import importlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import UnknownPolicyError
 
@@ -112,6 +112,26 @@ class PolicyInfo:
         if self.phased:
             return "phased"
         return "fallback"
+
+    @property
+    def dispatch_detail(self) -> str:
+        """The "batched" column text: kernel path plus grouping structure.
+
+        Phased policies append their phase-grouping structure, and — when
+        it differs — the structure under RNG discipline v2.  SUU-C/SUU-T
+        read ``phased (replica; keyed under v2)``: replica dispatch under
+        v1 (pinned by bit-identity), array-cursor keyed grouping under v2
+        for *every* configuration (preludes and obl/repeat inners
+        included — no replica fallback remains on that path).
+        """
+        base = self.batch_dispatch
+        if base != "phased":
+            return base
+        g1 = getattr(self.cls, "phase_grouping", "keyed")
+        g2 = getattr(self.cls, "phase_grouping_v2", None)
+        if g2 and g2 != g1:
+            return f"phased ({g1}; {g2} under v2)"
+        return f"phased ({g1})"
 
     @property
     def summary(self) -> str:

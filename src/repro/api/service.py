@@ -274,12 +274,13 @@ def _fast_path_eligible(factory, discipline: str = "v1") -> bool:
         return False
     grouping = getattr(probe, "phase_grouping", "keyed")
     if discipline == "v2":
-        # phase_grouping_v2 only counts when this *configuration* will
-        # actually take the v2 path — SUU-C with inner="obl" declines at
-        # start_phased_v2 and falls back to replica dispatch, so its
-        # explicit process request must stand.  (Instance-dependent
-        # declines — prelude plans with unit > 1 — cannot be seen here
-        # and are accepted as a rare misroute.)
+        # phase_grouping_v2 only counts when this configuration will
+        # actually take the v2 path.  Since the array cursors gained
+        # prelude solo rows and obl/repeat inner cursors, every SUU-C /
+        # SUU-T configuration does (accepts_discipline_v2 is True across
+        # the board); the probe is still consulted so a third-party
+        # phased policy that declines v2 keeps its explicit process
+        # request.
         accepts = getattr(probe, "accepts_discipline_v2", None)
         if accepts is None or accepts():
             grouping = getattr(probe, "phase_grouping_v2", None) or grouping

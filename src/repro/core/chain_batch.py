@@ -17,29 +17,43 @@ only), which unlocks the batch-native layout this module implements:
   countdowns), plus per-trial superstep/phase vectors.  Chain start delays
   arrive as one ``(n_trials, n_chains)`` matrix drawn from the batch's
   :class:`~repro.util.rng.BatchStreams`.
-* **Signature-grouped superstep expansions.**  A superstep's flattened
-  rows depend only on the (chain → block item, tau) signature, not on the
-  trial, so expansions are memoized by signature and shared across trials
-  *and* timesteps: grouped dispatch is no longer degenerate — trials with
-  equal ``(delays, chain-position)`` signatures receive one shared row.
-* **Shared segment SEM runs.**  The segment-boundary SUU-I-SEM runs on
-  long-job groups are driven by lightweight per-trial cursors over one
-  shared :class:`~repro.core.phased.RoundScheduleCache` (itself backed by
-  the cross-batch process cache), replacing per-trial ``SUUISemPolicy``
-  replicas and collapsing the per-(trial, segment, round) LP solves into
-  one solve per distinct (target, survivor set).
+* **Signature-grouped boundary stepping.**  Superstep boundaries — the
+  chain-cursor advance after an expansion drains, and the preamble that
+  starts newly-due chains and recovers expired pauses before the next
+  build — run as whole-batch numpy transitions over ``(trials, chains)``
+  matrices instead of a per-trial Python walk.  The resulting superstep is
+  then *encoded*: each trial's full ``(chain → block item, tau)``
+  signature becomes one small int vector whose bytes key a lazily-built
+  transition memo, so every distinct signature is compiled (flattened into
+  shared expansion rows, congestion measured, preludes laid out) exactly
+  once and scattered back to all trials that reached it — across trials
+  *and* timesteps.
+* **Solo-row preludes.**  Plans built with ``unit > 1`` (the
+  non-polynomial-``t_LP2`` rounding trick of Section 4) re-insert the
+  rounded-away steps as solo prelude rows whenever a block is entered or
+  retried.  A block is entering exactly when its ``tau`` is 0, so prelude
+  rows are a pure function of the signature: they are compiled into the
+  signature's row list, ahead of the expansion, in chain order — exactly
+  the scalar policy's solo-queue emission order.
+* **Inner cursors for every registered subroutine.**  Segment-boundary
+  long-job runs are array cursors for all three ``inner`` options:
+  ``"sem"`` replays SUU-I-SEM's doubling rounds through lightweight
+  per-trial cursors over one shared :class:`~repro.core.phased.
+  RoundScheduleCache` (one LP solve per distinct (target, survivor set));
+  ``"obl"`` solves ``LP1(jobs, 1/2)`` once per distinct pending set and
+  repeats it; ``"repeat"`` repeats the plan's rounded LP2 columns with no
+  new solve at all (:func:`long_repeat_schedule`, shared with the scalar
+  policy for byte-identical layouts).
 
 The execution semantics replicate the scalar :class:`~repro.core.suu_c.
-SUUCPolicy` transition for transition — same superstep builds, same pause
-registration segments, same fallback triggers, same inner-SEM round
-doubling — so that given equal delays and equal thresholds, array cursors
-and object cursors produce *identical* executions (the test suite checks
-exactly this), and under fresh v2 randomness the makespan distribution
-matches v1's.
-
-Plans with preludes (the non-polynomial ``t_LP2`` rounding trick,
-``unit > 1``) or a non-SEM inner policy keep the v1 replica path; the
-policies decline ``start_phased_v2`` for them.
+SUUCPolicy` transition for transition — same superstep builds, same solo
+preludes, same pause registration segments, same fallback triggers, same
+inner-subroutine control flow — so that given equal delays and equal
+thresholds, array cursors and object cursors produce *identical*
+executions (the test suite checks exactly this), and under fresh v2
+randomness the makespan distribution matches v1's.  No configuration
+falls back to per-trial replicas anymore: preludes, ``inner="obl"`` and
+``inner="repeat"`` all run on this path.
 """
 
 from __future__ import annotations
@@ -49,15 +63,64 @@ import numpy as np
 from repro.core.phased import RoundScheduleCache
 from repro.core.suu_i_sem import paper_round_count
 from repro.errors import ReproError
-from repro.schedule.base import IDLE
+from repro.schedule.base import IDLE, IntegralAssignment
+from repro.schedule.oblivious import FiniteObliviousSchedule
 from repro.schedule.pseudo import Pause
 
-__all__ = ["ChainCursorBatch"]
+__all__ = ["ChainCursorBatch", "long_repeat_schedule", "prelude_rows"]
 
 # Per-trial phase codes.
 _SUPER = 0
 _SEM = 1
 _FALLBACK = 2
+
+# Item-kind codes in the flattened chain-program tables.
+_KIND_BLOCK = 0
+_KIND_PAUSE = 1
+_KIND_END = 2
+
+
+def long_repeat_schedule(plan, jobs, n_machines: int, n_jobs: int):
+    """The ``inner="repeat"`` segment schedule for one pending long-job set.
+
+    Lays the plan's rounded LP2 columns for ``jobs`` (plan-local ids) out
+    machine by machine — the exact
+    :meth:`~repro.schedule.oblivious.FiniteObliviousSchedule.
+    from_assignment` layout — for the caller to repeat until the jobs
+    complete.  No LP is solved: this is the Lin–Rajaraman-style "repeat
+    the assignment you already have" inner subroutine.  Shared by the
+    scalar policy and the array cursors so both execute byte-identical
+    schedules.
+    """
+    steps = dict(plan.long_steps)
+    x = np.zeros((n_machines, n_jobs), dtype=np.int64)
+    for j in jobs:
+        j = int(j)
+        for i, cnt in steps.get(j, ()):
+            x[i, j] = cnt
+    return FiniteObliviousSchedule.from_assignment(
+        IntegralAssignment(x=x, jobs=tuple(int(j) for j in jobs), target=0.0)
+    )
+
+
+def prelude_rows(block, job: int, n_machines: int) -> list[np.ndarray]:
+    """The solo rows re-inserted when ``block`` is entered or retried.
+
+    Row ``r`` runs ``job`` on every machine whose rounded-away remainder
+    exceeds ``r``, idling the rest — one real timestep per row.  Shared by
+    the scalar policy's solo queue and the array cursors' signature
+    compiler so both emit byte-identical rows (``job`` is already in the
+    caller's id space: plan-local for the scalar path, engine-global for
+    the cursors).
+    """
+    rows = []
+    for r in range(block.prelude_length):
+        row = np.full(n_machines, IDLE, dtype=np.int64)
+        for i, cnt in block.prelude:
+            if cnt > r:
+                row[i] = job
+        rows.append(row)
+    return rows
 
 
 class _SegmentSemCursor:
@@ -87,18 +150,38 @@ class _SegmentSemCursor:
         self.step = 0
 
 
+class _RepeatCursor:
+    """One trial's cursor through an ``inner="obl"``/``"repeat"`` run.
+
+    Both subroutines repeat one fixed finite schedule until the segment's
+    long jobs complete; the only difference is where the schedule comes
+    from (``"sem-row"``: an ``LP1(jobs, 1/2)`` solve in the shared round
+    cache; ``"rep-row"``: the plan's LP2 columns, registered locally).
+    """
+
+    __slots__ = ("tag", "sid", "length", "step")
+
+    def __init__(self, tag: str, sid: int, length: int):
+        self.tag = tag
+        self.sid = sid
+        self.length = length
+        self.step = 0
+
+
 class ChainCursorBatch:
     """Array-based cursors driving ``n_trials`` lock-stepped SUU-C runs.
 
     One instance serves one batch execution of one chain plan (for SUU-T,
-    one per forest block).  The owning policy calls :meth:`row_key` from
-    ``phase_key`` and :meth:`dispatch` from ``assign_group``.
+    one per forest block).  The owning policy calls :meth:`prepare_step`
+    once per engine step (from its ``begin_step`` hook) with the trials it
+    is driving; :meth:`key_of` then returns each trial's precomputed phase
+    key and :meth:`dispatch` maps a key to its shared assignment row.
 
     Parameters
     ----------
     plan:
-        The shared, trial-independent ``_ChainPlan`` (no preludes:
-        ``plan.unit == 1``).
+        The shared, trial-independent ``_ChainPlan`` (preludes allowed:
+        ``unit > 1`` plans compile their solo rows into the signatures).
     instance:
         The (sub-)instance the plan was prepared on — LP1 segment solves
         run against it.
@@ -115,6 +198,9 @@ class ChainCursorBatch:
         than the plan's for SUU-T blocks).
     scale:
         LP1 rounding scale for segment SEM runs.
+    inner:
+        Segment subroutine for long jobs: ``"sem"``, ``"obl"`` or
+        ``"repeat"`` (mirrors :class:`~repro.core.suu_c.SUUCPolicy`).
     enable_segments / enable_fallback:
         The owning policy's ablation flags (delays are already drawn).
     """
@@ -129,6 +215,7 @@ class ChainCursorBatch:
         job_map: np.ndarray,
         n_engine_jobs: int,
         scale: int,
+        inner: str = "sem",
         enable_segments: bool = True,
         enable_fallback: bool = True,
     ):
@@ -137,6 +224,8 @@ class ChainCursorBatch:
             raise ValueError(
                 f"delays have {C} chains but the plan has {len(plan.programs)}"
             )
+        if inner not in ("sem", "obl", "repeat"):
+            raise ValueError(f"unknown inner subroutine {inner!r}")
         self.plan = plan
         self.delays = np.ascontiguousarray(delays, dtype=np.int64)
         self.n_trials = B
@@ -144,6 +233,7 @@ class ChainCursorBatch:
         self.m = int(n_machines)
         self.job_map = np.ascontiguousarray(job_map, dtype=np.int64)
         self.gamma = int(plan.gamma)
+        self.inner = inner
         self.enable_segments = bool(enable_segments)
         self.enable_fallback = bool(enable_fallback)
         self.congestion_limit = float(plan.congestion_limit)
@@ -151,7 +241,31 @@ class ChainCursorBatch:
         self.topo_global = self.job_map[np.asarray(plan.topo, dtype=np.int64)]
 
         self._items = [p.items for p in plan.programs]
-        self._n_items = [len(p.items) for p in plan.programs]
+        self._n_items_arr = np.array(
+            [len(p.items) for p in plan.programs], dtype=np.int64
+        )
+
+        # Flattened chain-program tables: item kind / length / job /
+        # effective block length ("need"), padded to the longest chain so
+        # the boundary transitions index them as (trials, chains) gathers.
+        P = max(1, int(self._n_items_arr.max()) if C else 1)
+        self._kind = np.full((C, P), _KIND_END, dtype=np.int8)
+        self._ilen = np.zeros((C, P), dtype=np.int64)
+        self._need = np.ones((C, P), dtype=np.int64)
+        self._ijob = np.zeros((C, P), dtype=np.int64)
+        for c, prog in enumerate(plan.programs):
+            for p, item in enumerate(prog.items):
+                self._ijob[c, p] = self.job_map[item.job]
+                self._ilen[c, p] = item.length
+                if isinstance(item, Pause):
+                    self._kind[c, p] = _KIND_PAUSE
+                else:
+                    self._kind[c, p] = _KIND_BLOCK
+                    self._need[c, p] = max(1, item.length)
+        self._c_idx = np.arange(C, dtype=np.int64)
+        #: Signature encoding base: ``pos * tmult + tau`` is collision-free
+        #: because ``tau`` never reaches a block's effective length.
+        self._tmult = int(self._need.max()) + 1 if C else 2
 
         # The ISSUE's matrices: chain cursors as (n_trials, n_chains) ints.
         self.chain_pos = np.zeros((B, C), dtype=np.int64)
@@ -162,24 +276,32 @@ class ChainCursorBatch:
         self.phase = np.zeros(B, dtype=np.int8)
         self.sig = np.full(B, -1, dtype=np.int64)  # current expansion id
         self.ptr = np.zeros(B, dtype=np.int64)
+        #: Per-trial phase key for the current engine step (``key_of``).
+        self._keys: list = [("idle",)] * B
 
-        # Superstep expansions memoized by (chain -> item, tau) signature,
-        # shared across trials and timesteps.
-        self._sig_ids: dict[tuple, int] = {}
+        # Superstep expansions memoized by encoded (chain -> item, tau)
+        # signature bytes — the transition memo shared across trials and
+        # timesteps.  Rows are [prelude solo rows..., expansion rows...].
+        self._sig_ids: dict[bytes, int] = {}
         self._sig_rows: list[list[np.ndarray]] = []
-        self._sig_len: list[int] = []
         self._sig_congestion: list[int] = []
+        self._sig_n_prelude: list[int] = []
+        # Row counts as a capacity-doubled array (vector-indexed every
+        # step; rebuilding per compile would be quadratic in signatures).
+        self._sig_len_np = np.zeros(64, dtype=np.int64)
 
         # Segment bookkeeping: per trial, segment -> pending long jobs
-        # (global ids), and the trial's active segment-SEM cursor.
+        # (global ids), and the trial's active segment-inner cursor.
         self._pending: list[dict[int, list[int]]] = [dict() for _ in range(B)]
-        self._sem: list[_SegmentSemCursor | None] = [None] * B
+        self._sem: list = [None] * B
         self.sem_left = np.zeros(B, dtype=np.int64)
         self._in_sem = np.zeros((B, int(n_engine_jobs)), dtype=bool)
         self._prev_remaining: np.ndarray | None = None
         self._seen_t = -1
 
         self._cache = RoundScheduleCache(instance, scale)
+        self._local_schedules: list[FiniteObliviousSchedule] = []
+        self._local_ids: dict[bytes, int] = {}
         self._row_memo: dict[tuple, np.ndarray] = {}
         self._idle_row = np.full(self.m, IDLE, dtype=np.int64)
         self._max_spins = int(self.superstep_limit) + self.gamma + 1_000
@@ -196,7 +318,7 @@ class ChainCursorBatch:
             "fallback": False,
         }
 
-        # Local→global lookup for signature job translation.
+        # Local→global lookup for segment job translation.
         self._g2l = None
 
     # ------------------------------------------------------------------
@@ -205,10 +327,9 @@ class ChainCursorBatch:
     def _batch_step_update(self, state) -> None:
         """Fold the last step's completions into the SEM-run counters.
 
-        Runs once per engine step (lazily, on the first ``row_key`` call
-        that sees the new ``state.t``): one vectorized diff of the batch
-        remaining matrix replaces a per-trial ``remaining[jobs].any()``
-        scan per step.
+        Runs once per engine step (from :meth:`prepare_step`): one
+        vectorized diff of the batch remaining matrix replaces a per-trial
+        ``remaining[jobs].any()`` scan per step.
         """
         cur = state.remaining
         if self._prev_remaining is None:
@@ -225,103 +346,193 @@ class ChainCursorBatch:
         self._seen_t = state.t
 
     # ------------------------------------------------------------------
-    # Chain bookkeeping (the scalar policy's transitions, on arrays)
+    # Signature-grouped boundary stepping (the scalar policy's
+    # transitions, as whole-batch matrix updates)
     # ------------------------------------------------------------------
-    def _enter(self, b: int, c: int, deferred: list[int]) -> None:
-        """Initialize chain ``c``'s current item after entering it."""
-        p = self.chain_pos[b, c]
-        if p >= self._n_items[c]:
+    def _enter_items(self, entered: np.ndarray, pos, tau, dr):
+        """Vectorized item entry for every ``(trial, chain)`` in ``entered``.
+
+        The one-deep analogue of the scalar ``_enter_item``: entering a
+        pause arms its countdown and defers the job for segment
+        registration; entering a block resets ``tau``.  Returns the
+        updated ``(tau, dr)`` plus the deferred-pause mask (or None).
+        """
+        ci = self._c_idx
+        newlive = entered & (pos < self._n_items_arr)
+        cp = np.minimum(pos, self._n_items_arr - 1)
+        kd = self._kind[ci, cp]
+        into_pause = newlive & (kd == _KIND_PAUSE)
+        into_block = newlive & (kd == _KIND_BLOCK)
+        dr = np.where(into_pause, self._ilen[ci, cp], dr)
+        tau = np.where(into_block, 0, tau)
+        deferred = None
+        if into_pause.any():
+            deferred = (into_pause, self._ijob[ci, cp])
+        return tau, dr, deferred
+
+    def _register_deferred(self, trials, deferred, s_arr) -> None:
+        """Queue deferred pause jobs under their registration segment."""
+        if deferred is None:
             return
-        item = self._items[c][p]
-        if isinstance(item, Pause):
-            self.delay_remaining[b, c] = item.length
-            deferred.append(int(self.job_map[item.job]))
-        else:
-            self.tau[b, c] = 0
+        mask, jobs = deferred
+        rows, cols = np.nonzero(mask)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            b = int(trials[i])
+            segment = int(s_arr[i]) // self.gamma
+            self._pending[b].setdefault(segment, []).append(int(jobs[i, j]))
 
-    def _register(self, b: int, jobs: list[int], superstep: int) -> None:
-        if not jobs:
-            return
-        segment = superstep // self.gamma
-        self._pending[b].setdefault(segment, []).extend(jobs)
+    def _finish_superstep(self, F: np.ndarray, state) -> None:
+        """Advance chain cursors of trials ``F`` whose expansions drained."""
+        ci = self._c_idx
+        nit = self._n_items_arr
+        pos = self.chain_pos[F]
+        tau = self.tau[F]
+        dr = self.delay_remaining[F]
+        live = self.started[F] & (pos < nit)
+        cp = np.minimum(pos, nit - 1)
+        kd = self._kind[ci, cp]
+        rem = state.remaining[F[:, None], self._ijob[ci, cp]]
+        isblk = live & (kd == _KIND_BLOCK)
+        ispse = live & (kd == _KIND_PAUSE)
+        done_blk = isblk & (tau + 1 >= self._need[ci, cp])
+        tau = np.where(isblk & ~done_blk, tau + 1, tau)
+        tau = np.where(done_blk & rem, 0, tau)  # retry the block
+        dr = np.where(ispse & (dr > 0), dr - 1, dr)
+        adv = (done_blk & ~rem) | (ispse & (dr == 0) & ~rem)
+        pos = np.where(adv, pos + 1, pos)
+        tau, dr, deferred = self._enter_items(adv, pos, tau, dr)
+        self.chain_pos[F] = pos
+        self.tau[F] = tau
+        self.delay_remaining[F] = dr
 
-    def _signature(self, b: int) -> tuple:
-        """The (chain → block item, tau) signature of trial ``b``'s next
-        superstep, after starting newly-due chains and recovering expired
-        pauses (the scalar ``_build_superstep`` preamble)."""
-        s = int(self.superstep[b])
-        deferred: list[int] = []
-        remaining = self._prev_remaining[b]
-        parts = []
-        for c in range(self.n_chains):
-            p = self.chain_pos[b, c]
-            if not self.started[b, c]:
-                if self.delays[b, c] <= s:
-                    self.started[b, c] = True
-                    self._enter(b, c, deferred)
-                    p = self.chain_pos[b, c]
-                else:
-                    continue
-            if p >= self._n_items[c]:
-                continue
-            item = self._items[c][p]
-            if isinstance(item, Pause):
-                # Re-check pauses that expired while their job was
-                # incomplete (resolved by the segment-boundary SEM run).
-                if (
-                    self.delay_remaining[b, c] == 0
-                    and not remaining[self.job_map[item.job]]
-                ):
-                    self.chain_pos[b, c] = p + 1
-                    self._enter(b, c, deferred)
-                    p = self.chain_pos[b, c]
-                    if p < self._n_items[c]:
-                        item = self._items[c][p]
-                        if not isinstance(item, Pause):
-                            parts.append((c, int(p), 0))
-                continue
-            parts.append((c, int(p), int(self.tau[b, c])))
-        self._register(b, deferred, s)
-        return tuple(parts)
+        s_new = self.superstep[F] + 1
+        self.superstep[F] = s_new
+        top = int(s_new.max())
+        if top > self.stats["supersteps"]:
+            self.stats["supersteps"] = top
+        self.sig[F] = -1
+        self.ptr[F] = 0
+        self._register_deferred(F, deferred, s_new)
 
-    def _chains_done(self, b: int) -> bool:
-        return all(
-            self.chain_pos[b, c] >= self._n_items[c]
-            for c in range(self.n_chains)
-        )
+        over = np.zeros(F.size, dtype=bool)
+        if self.enable_fallback:
+            over = s_new > self.superstep_limit
+            if over.any():
+                self.stats["fallback"] = True
+                self.phase[F[over]] = _FALLBACK
+        if self.enable_segments:
+            at_segment = (s_new % self.gamma == 0) & ~over
+            for i in np.flatnonzero(at_segment).tolist():
+                b = int(F[i])
+                segment = int(s_new[i]) // self.gamma - 1
+                pending = [
+                    j
+                    for j in self._pending[b].pop(segment, [])
+                    if state.remaining[b, j]
+                ]
+                if pending:
+                    self._start_sem(b, pending)
 
-    def _build_superstep(self, b: int) -> None:
+    def _build_superstep(self, Bs: np.ndarray, state) -> list:
+        """Start due chains, recover pauses, and assign signatures.
+
+        Returns the trials that still need a key this step (signature
+        assigned or fallback entered); trials keyed directly (the one-shot
+        prelude-then-fallback quirk) are excluded.
+        """
+        ci = self._c_idx
+        nit = self._n_items_arr
+        pos = self.chain_pos[Bs]
         # The scalar loop's pre-build check: a live trial whose chains
         # have all finished is an inconsistent execution.
-        if self._chains_done(b):
+        if bool((pos >= nit).all(axis=1).any()):
             raise ReproError(
                 "SUU-C chains all finished but jobs remain; "
                 "inconsistent execution state"
             )
-        sig_key = self._signature(b)
-        sid = self._sig_ids.get(sig_key)
-        if sid is None:
-            sid = self._compile_signature(sig_key)
-        congestion = self._sig_congestion[sid]
-        if congestion > self.stats["max_congestion"]:
-            self.stats["max_congestion"] = congestion
-        if self.enable_fallback and congestion > self.congestion_limit:
-            self.stats["fallback"] = True
-            self.phase[b] = _FALLBACK
-            return
-        self.sig[b] = sid
-        self.ptr[b] = 0
+        tau = self.tau[Bs]
+        dr = self.delay_remaining[Bs]
+        std = self.started[Bs]
+        s = self.superstep[Bs]
 
-    def _compile_signature(self, sig_key: tuple) -> int:
-        """Flatten one distinct superstep signature into shared rows."""
+        start_now = ~std & (self.delays[Bs] <= s[:, None])
+        std = std | start_now
+        tau, dr, deferred1 = self._enter_items(start_now, pos, tau, dr)
+
+        # Re-check pauses that expired while their job was incomplete
+        # (resolved by the segment-boundary SEM run).
+        live = std & (pos < nit)
+        cp = np.minimum(pos, nit - 1)
+        kd = self._kind[ci, cp]
+        rem = state.remaining[Bs[:, None], self._ijob[ci, cp]]
+        recovered = live & (kd == _KIND_PAUSE) & (dr == 0) & ~rem
+        pos = np.where(recovered, pos + 1, pos)
+        tau, dr, deferred2 = self._enter_items(recovered, pos, tau, dr)
+
+        self.chain_pos[Bs] = pos
+        self.tau[Bs] = tau
+        self.delay_remaining[Bs] = dr
+        self.started[Bs] = std
+        self._register_deferred(Bs, deferred1, s)
+        self._register_deferred(Bs, deferred2, s)
+
+        # Encode each trial's full (chain -> block item, tau) signature as
+        # one int vector; its bytes key the transition memo.
+        live = std & (pos < nit)
+        cp = np.minimum(pos, nit - 1)
+        isblk = live & (self._kind[ci, cp] == _KIND_BLOCK)
+        enc = np.where(isblk, pos * self._tmult + tau, -1)
+
+        again: list = []
+        keys = self._keys
+        for i, b in enumerate(Bs.tolist()):
+            sig_bytes = enc[i].tobytes()
+            sid = self._sig_ids.get(sig_bytes)
+            if sid is None:
+                sid = self._compile_signature(sig_bytes, enc[i])
+            congestion = self._sig_congestion[sid]
+            if congestion > self.stats["max_congestion"]:
+                self.stats["max_congestion"] = congestion
+            if self.enable_fallback and congestion > self.congestion_limit:
+                self.stats["fallback"] = True
+                self.phase[b] = _FALLBACK
+                if self._sig_n_prelude[sid] > 0:
+                    # The scalar loop drains exactly one already-queued
+                    # prelude solo row before it notices the fallback
+                    # phase; replicate that one-shot emission.
+                    keys[b] = ("xfb", sid)
+                else:
+                    again.append(b)
+            else:
+                self.sig[b] = sid
+                self.ptr[b] = 0
+                again.append(b)
+        return again
+
+    def _compile_signature(self, sig_bytes: bytes, enc_row: np.ndarray) -> int:
+        """Flatten one distinct superstep signature into shared rows.
+
+        Entering blocks (``tau == 0``) contribute their prelude solo rows
+        first, in chain order — the scalar policy's solo-queue emission
+        order — followed by the congestion-expansion rows.
+        """
+        t = self._tmult
+        parts = [
+            (c, int(e) // t, int(e) % t)
+            for c, e in enumerate(enc_row.tolist())
+            if e >= 0
+        ]
         per_machine: list[list[int]] = [[] for _ in range(self.m)]
-        for c, p, tu in sig_key:
+        rows: list[np.ndarray] = []
+        for c, p, tu in parts:
             item = self._items[c][p]
             job = int(self.job_map[item.job])
+            if tu == 0 and item.prelude_length:
+                rows.extend(prelude_rows(item, job, self.m))
             for i in item.machines_at(tu):
                 per_machine[i].append(job)
+        n_prelude = len(rows)
         congestion = max((len(lst) for lst in per_machine), default=0)
-        rows = []
         for r in range(congestion):
             row = self._idle_row.copy()
             for i in range(self.m):
@@ -329,61 +540,20 @@ class ChainCursorBatch:
                     row[i] = per_machine[i][r]
             rows.append(row)
         sid = len(self._sig_rows)
-        self._sig_ids[sig_key] = sid
+        self._sig_ids[sig_bytes] = sid
         self._sig_rows.append(rows)
-        self._sig_len.append(congestion)
         self._sig_congestion.append(congestion)
+        self._sig_n_prelude.append(n_prelude)
+        if sid >= self._sig_len_np.size:
+            grown = np.zeros(2 * self._sig_len_np.size, dtype=np.int64)
+            grown[: self._sig_len_np.size] = self._sig_len_np
+            self._sig_len_np = grown
+        self._sig_len_np[sid] = len(rows)
         return sid
 
-    def _finish_superstep(self, b: int, remaining: np.ndarray) -> None:
-        """Advance trial ``b``'s cursors after its superstep executed."""
-        deferred: list[int] = []
-        for c in range(self.n_chains):
-            if not self.started[b, c]:
-                continue
-            p = self.chain_pos[b, c]
-            if p >= self._n_items[c]:
-                continue
-            item = self._items[c][p]
-            if isinstance(item, Pause):
-                if self.delay_remaining[b, c] > 0:
-                    self.delay_remaining[b, c] -= 1
-                if (
-                    self.delay_remaining[b, c] == 0
-                    and not remaining[self.job_map[item.job]]
-                ):
-                    self.chain_pos[b, c] = p + 1
-                    self._enter(b, c, deferred)
-            else:
-                t = self.tau[b, c] + 1
-                if t >= max(1, item.length):
-                    if remaining[self.job_map[item.job]]:
-                        self.tau[b, c] = 0  # retry the block
-                    else:
-                        self.chain_pos[b, c] = p + 1
-                        self._enter(b, c, deferred)
-                else:
-                    self.tau[b, c] = t
-        s = int(self.superstep[b]) + 1
-        self.superstep[b] = s
-        if s > self.stats["supersteps"]:
-            self.stats["supersteps"] = s
-        self.sig[b] = -1
-        self.ptr[b] = 0
-        self._register(b, deferred, s)
-
-        if self.enable_fallback and s > self.superstep_limit:
-            self.stats["fallback"] = True
-            self.phase[b] = _FALLBACK
-            return
-        if self.enable_segments and s % self.gamma == 0:
-            segment = s // self.gamma - 1
-            pending = [
-                j for j in self._pending[b].pop(segment, []) if remaining[j]
-            ]
-            if pending:
-                self._start_sem(b, pending)
-
+    # ------------------------------------------------------------------
+    # Segment inner runs
+    # ------------------------------------------------------------------
     def _start_sem(self, b: int, jobs_global: list[int]) -> None:
         jobs_global = np.array(sorted(jobs_global), dtype=np.int64)
         if self._g2l is None:
@@ -391,15 +561,39 @@ class ChainCursorBatch:
             g2l[self.job_map] = np.arange(self.job_map.size)
             self._g2l = g2l
         jobs_local = self._g2l[jobs_global]
-        self._sem[b] = _SegmentSemCursor(jobs_global, jobs_local, self.m)
+        if self.inner == "sem":
+            self._sem[b] = _SegmentSemCursor(jobs_global, jobs_local, self.m)
+        elif self.inner == "obl":
+            # SUU-I-OBL solves LP1(jobs, 1/2) once at entry and repeats
+            # the rounded schedule; the solve is shared per distinct
+            # pending set through the round cache.
+            sid = self._cache.schedule_id(0.5, jobs_local)
+            self._sem[b] = _RepeatCursor(
+                "sem-row", sid, self._cache.schedule(sid).length
+            )
+        else:  # "repeat": the plan's LP2 columns, no new solve
+            lid = self._local_schedule_id(jobs_local)
+            self._sem[b] = _RepeatCursor(
+                "rep-row", lid, self._local_schedules[lid].length
+            )
         self.sem_left[b] = jobs_global.size
         self._in_sem[b, jobs_global] = True
         self.phase[b] = _SEM
         self.stats["sem_runs"] += 1
 
-    # ------------------------------------------------------------------
-    # Segment SEM cursor stepping (SUUISemPolicy's control flow)
-    # ------------------------------------------------------------------
+    def _local_schedule_id(self, jobs_local: np.ndarray) -> int:
+        """Register the ``inner="repeat"`` schedule for one pending set."""
+        key = np.ascontiguousarray(jobs_local, dtype=np.int64).tobytes()
+        lid = self._local_ids.get(key)
+        if lid is None:
+            schedule = long_repeat_schedule(
+                self.plan, jobs_local, self.m, int(self.job_map.size)
+            )
+            lid = len(self._local_schedules)
+            self._local_schedules.append(schedule)
+            self._local_ids[key] = lid
+        return lid
+
     def _sem_begin_round(self, cur: _SegmentSemCursor, remaining_local) -> None:
         cur.round += 1
         target = 2.0 ** (cur.round - 2)  # round 1 -> 1/2, doubling after
@@ -408,6 +602,10 @@ class ChainCursorBatch:
 
     def _sem_key(self, b: int, remaining_row: np.ndarray):
         cur = self._sem[b]
+        if type(cur) is _RepeatCursor:
+            if cur.length == 0:
+                return ("idle",)
+            return (cur.tag, cur.sid, cur.step % cur.length)
         if cur.mode == "serial":
             for gj in cur.jobs_global:
                 if remaining_row[gj]:
@@ -436,61 +634,111 @@ class ChainCursorBatch:
     # ------------------------------------------------------------------
     # The phased-protocol surface
     # ------------------------------------------------------------------
-    def row_key(self, b: int, state):
-        """Advance trial ``b`` to its next emitted row; return its key.
+    def prepare_step(self, state, members) -> None:
+        """Advance every member trial to its next emitted row.
 
-        Keys group trials receiving identical rows this step:
-        ``("x", sig, ptr)`` for superstep expansion rows, ``("sem-row",
-        sid, step)`` / ``("sem-serial", job)`` for segment SEM rows,
-        ``("fb", job)`` for the serial fallback, ``("idle",)`` otherwise.
+        Called once per engine step (before any ``phase_key`` query) with
+        the trials this cursor is driving.  Signature-grouped stepping
+        happens here: finish/build transitions run as whole-batch matrix
+        updates, distinct signatures advance once through the memo, and
+        the resulting keys are scattered into :meth:`key_of`'s table.
         """
         if state.t != self._seen_t:
             self._batch_step_update(state)
-        remaining_row = state.remaining[b]
+        pending = np.asarray(members, dtype=np.int64)
+        keys = self._keys
         for _ in range(self._max_spins):
-            ph = self.phase[b]
-            if ph == _FALLBACK:
-                return self._fallback_key(b, state, remaining_row)
-            if ph == _SEM:
+            if pending.size == 0:
+                return
+            ph = self.phase[pending]
+            again: list = []
+
+            fb = pending[ph == _FALLBACK]
+            if fb.size:
+                self._fallback_keys(fb, state)
+
+            sem = pending[ph == _SEM]
+            for b in sem.tolist():
                 if self.sem_left[b] > 0:
-                    return self._sem_key(b, remaining_row)
-                self.phase[b] = _SUPER
-                continue
-            sid = self.sig[b]
-            if sid >= 0:
-                if self.ptr[b] < self._sig_len[sid]:
-                    return ("x", int(sid), int(self.ptr[b]))
-                self._finish_superstep(b, remaining_row)
-                continue
-            self._build_superstep(b)
+                    keys[b] = self._sem_key(b, state.remaining[b])
+                else:
+                    self.phase[b] = _SUPER
+                    again.append(b)
+
+            sup = pending[ph == _SUPER]
+            if sup.size:
+                sid = self.sig[sup]
+                has = sid >= 0
+                built = sup[has]
+                if built.size:
+                    sids = sid[has]
+                    room = self.ptr[built] < self._sig_len_np[sids]
+                    emit = built[room]
+                    for b, s_, p_ in zip(
+                        emit.tolist(),
+                        sids[room].tolist(),
+                        self.ptr[emit].tolist(),
+                    ):
+                        keys[b] = ("x", s_, p_)
+                    drained = built[~room]
+                    if drained.size:
+                        self._finish_superstep(drained, state)
+                        again.extend(drained.tolist())
+                fresh = sup[~has]
+                if fresh.size:
+                    again.extend(self._build_superstep(fresh, state))
+            pending = np.asarray(again, dtype=np.int64)
         raise ReproError(
             f"SUU-C made no progress after {self._max_spins} internal transitions"
         )
 
-    def _fallback_key(self, b: int, state, remaining_row: np.ndarray):
-        eligible_row = state.eligible[b]
-        for gj in self.topo_global:
-            if remaining_row[gj] and eligible_row[gj]:
-                return ("fb", int(gj))
-        return ("idle",)
+    def key_of(self, trial: int):
+        """Trial ``trial``'s phase key, computed by :meth:`prepare_step`.
+
+        Keys group trials receiving identical rows this step: ``("x", sig,
+        ptr)`` for signature rows (preludes + expansion), ``("xfb", sig)``
+        for the one-shot prelude row preceding a congestion fallback,
+        ``("sem-row", sid, step)`` / ``("rep-row", lid, step)`` /
+        ``("sem-serial", job)`` for segment inner rows, ``("fb", job)``
+        for the serial fallback, ``("idle",)`` otherwise.
+        """
+        return self._keys[trial]
+
+    def _fallback_keys(self, fb: np.ndarray, state) -> None:
+        runnable = (
+            (state.remaining[fb] & state.eligible[fb])[:, self.topo_global]
+        )
+        any_run = runnable.any(axis=1)
+        first = np.argmax(runnable, axis=1)
+        keys = self._keys
+        for i, b in enumerate(fb.tolist()):
+            if any_run[i]:
+                keys[b] = ("fb", int(self.topo_global[first[i]]))
+            else:
+                keys[b] = ("idle",)
 
     def dispatch(self, key, trials) -> np.ndarray:
         """The shared row for ``key``; advances the member trials' cursors."""
         tag = key[0]
         if tag == "x":
-            _, sid, ptr = key
-            for b in trials:
-                self.ptr[b] += 1
-            return self._sig_rows[sid][ptr]
-        if tag == "sem-row":
+            self.ptr[np.asarray(trials, dtype=np.int64)] += 1
+            return self._sig_rows[key[1]][key[2]]
+        if tag == "sem-row" or tag == "rep-row":
             for b in trials:
                 self._sem[b].step += 1
             row = self._row_memo.get(key)
             if row is None:
-                local = self._cache.schedule(key[1]).assignment_at(key[2])
+                if tag == "sem-row":
+                    local = self._cache.schedule(key[1]).assignment_at(key[2])
+                else:
+                    local = self._local_schedules[key[1]].assignment_at(key[2])
                 row = np.where(local >= 0, self.job_map[np.maximum(local, 0)], IDLE)
                 self._row_memo[key] = row
             return row
+        if tag == "xfb":
+            # One-shot: the first queued prelude row of a superstep whose
+            # congestion triggered the fallback (see _build_superstep).
+            return self._sig_rows[key[1]][0]
         if tag == "idle":
             return self._idle_row
         # "sem-serial" / "fb": every machine on one job.

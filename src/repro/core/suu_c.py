@@ -35,7 +35,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.registry import register_policy
-from repro.core.chain_batch import ChainCursorBatch
+from repro.core.chain_batch import (
+    ChainCursorBatch,
+    long_repeat_schedule,
+    prelude_rows,
+)
 from repro.core.lp2 import round_lp2, solve_lp2
 from repro.core.phased import ReplicaGroupedDispatch, shared_solve_cache
 from repro.core.rounding import PAPER_SCALE
@@ -43,6 +47,7 @@ from repro.core.suu_i_sem import SUUISemPolicy
 from repro.errors import ReproError
 from repro.instance.chains import extract_chains
 from repro.schedule.base import IDLE, PhasedPolicy, SimulationState
+from repro.schedule.oblivious import RepeatingObliviousPolicy
 from repro.schedule.pseudo import JobBlock, Pause, build_chain_programs, draw_delays
 
 __all__ = ["SUUCPolicy"]
@@ -67,6 +72,10 @@ class _ChainPlan:
     congestion_limit: float
     superstep_limit: float
     topo: tuple
+    #: Rounded LP2 columns of the long (paused) jobs, as
+    #: ``((job, ((machine, steps), ...)), ...)`` — the raw material of the
+    #: ``inner="repeat"`` segment subroutine (no re-solve, just repeat).
+    long_steps: tuple = ()
 
 
 @dataclass
@@ -110,9 +119,12 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         Constants in those bounds (the paper only fixes them up to O(·)).
     inner:
         Independent-jobs subroutine for segment long-job runs: ``"sem"``
-        (the paper's SUU-I-SEM, giving the ``log log`` inner factor) or
-        ``"obl"`` (repeat the LP1 schedule until done — the Lin–Rajaraman
-        style ``log n`` inner factor, used as the Table 1 comparator).
+        (the paper's SUU-I-SEM, giving the ``log log`` inner factor),
+        ``"obl"`` (solve LP1 on the pending long jobs once and repeat the
+        schedule until done — the Lin–Rajaraman style ``log n`` inner
+        factor, used as the Table 1 comparator), or ``"repeat"`` (repeat
+        the already-rounded LP2 columns of the pending jobs with no new
+        solve at all — the cheapest oblivious-inner variant).
     chains:
         Explicit chain list (job id lists).  Default: extracted from the
         instance's precedence graph, which must be disjoint chains.
@@ -141,8 +153,10 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         inner: str = "sem",
         chains=None,
     ):
-        if inner not in ("sem", "obl"):
-            raise ValueError(f"inner must be 'sem' or 'obl', got {inner!r}")
+        if inner not in ("sem", "obl", "repeat"):
+            raise ValueError(
+                f"inner must be 'sem', 'obl' or 'repeat', got {inner!r}"
+            )
         self.scale = int(scale)
         self.enable_delays = bool(enable_delays)
         self.enable_segments = bool(enable_segments)
@@ -214,6 +228,21 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         programs = build_chain_programs(
             chains, assignment, gamma=gamma_for_programs, unit=unit
         )
+        # Long (paused) jobs keep their rounded LP2 columns in the plan so
+        # the inner="repeat" subroutine can replay them without a solve.
+        x = assignment.x
+        long_steps = []
+        if gamma_for_programs is not None:
+            for chain in chains:
+                for j in chain:
+                    if int(x[:, j].max()) > gamma_for_programs:
+                        long_steps.append((
+                            int(j),
+                            tuple(
+                                (int(i), int(x[i, j]))
+                                for i in np.nonzero(x[:, j])[0]
+                            ),
+                        ))
         horizon = assignment.load
         loglog = math.log2(max(2.0, math.log2(max(4.0, float(n + m)))))
         congestion_limit = max(
@@ -235,6 +264,7 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
             congestion_limit=congestion_limit,
             superstep_limit=superstep_limit,
             topo=tuple(instance.graph.topological_order()),
+            long_steps=tuple(long_steps),
         )
 
     def start(self, instance, rng) -> None:
@@ -308,15 +338,11 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         self._pause_by_segment.setdefault(segment, []).extend(jobs)
 
     def _enqueue_prelude(self, block: JobBlock) -> None:
-        length = block.prelude_length
-        if length == 0:
+        if block.prelude_length == 0:
             return
-        for r in range(length):
-            row = self._idle.copy()
-            for i, cnt in block.prelude:
-                if cnt > r:
-                    row[i] = block.job
-            self._solo.append(row)
+        self._solo.extend(
+            prelude_rows(block, block.job, self._instance.n_machines)
+        )
 
     # ------------------------------------------------------------------
     def _build_superstep(self, state: SimulationState) -> None:
@@ -414,10 +440,17 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         self._sem_jobs = np.array(sorted(jobs), dtype=np.int64)
         if self.inner == "sem":
             self._sem_policy = SUUISemPolicy(jobs=jobs, scale=self.scale)
-        else:
+        elif self.inner == "obl":
             from repro.core.suu_i_obl import SUUIOblPolicy
 
             self._sem_policy = SUUIOblPolicy(jobs=jobs, scale=self.scale)
+        else:  # "repeat": re-run the plan's rounded LP2 columns, no solve
+            self._sem_policy = RepeatingObliviousPolicy(
+                long_repeat_schedule(
+                    self._plan, self._sem_jobs, self._instance.n_machines,
+                    self._instance.n_jobs,
+                )
+            )
         self._sem_policy.start(self._instance, self._rng.spawn(1)[0])
         self._phase = "sem"
         self.stats["sem_runs"] += 1
@@ -514,13 +547,15 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
     phase_grouping_v2 = "keyed"
 
     def accepts_discipline_v2(self) -> bool:
-        """Whether this *configuration* takes the v2 array-cursor path.
+        """Whether this configuration takes the v2 array-cursor path.
 
-        Config-level only (the service's fast-path routing consults it
-        without an instance); the instance-dependent prelude case
-        (``unit > 1``) still declines at :meth:`start_phased_v2`.
+        Always True since the cursors gained prelude solo rows and
+        obl/repeat inner cursors: every registered SUU-C configuration —
+        preludes (``unit > 1``), ``inner="obl"``, ``inner="repeat"`` —
+        runs batch-native, with no per-trial replica fallback.  Kept as a
+        method because the service's fast-path routing consults it.
         """
-        return self.inner == "sem"
+        return True
 
     def _draw_v2_delays(
         self, streams, n_trials: int, plan: _ChainPlan, *key: int
@@ -541,13 +576,7 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         return streams.policy_integers(n_trials, n_chains, slots, *key) * plan.unit
 
     def start_phased_v2(self, instance, streams, n_trials: int) -> bool:
-        # Preludes (unit > 1) and non-SEM inner policies keep the replica
-        # path; everything else runs on array cursors.
-        if self.inner != "sem":
-            return False
         plan = self.prepare_plan(instance)
-        if plan.unit != 1:
-            return False
         self._instance = instance
         delays = self._draw_v2_delays(streams, n_trials, plan)
         self._v2 = ChainCursorBatch(
@@ -558,21 +587,25 @@ class SUUCPolicy(ReplicaGroupedDispatch, PhasedPolicy):
             job_map=np.arange(instance.n_jobs, dtype=np.int64),
             n_engine_jobs=instance.n_jobs,
             scale=self.scale,
+            inner=self.inner,
             enable_segments=self.enable_segments,
             enable_fallback=self.enable_fallback,
         )
-        self._v2_pending = [None] * n_trials
         self.stats = self._v2.stats
         return True
 
+    def begin_step(self, state) -> None:
+        # Signature-grouped stepping: all live trials advance to their
+        # next emitted row in one vectorized pass per engine step.
+        if self._v2 is not None:
+            self._v2.prepare_step(state, np.flatnonzero(state.active))
+
     def phase_key(self, trial: int, state):
         if self._v2 is not None:
-            key = self._v2.row_key(trial, state)
-            self._v2_pending[trial] = key
-            return key
+            return self._v2.key_of(trial)
         return ReplicaGroupedDispatch.phase_key(self, trial, state)
 
     def assign_group(self, state, trials) -> np.ndarray:
         if self._v2 is not None:
-            return self._v2.dispatch(self._v2_pending[trials[0]], trials)
+            return self._v2.dispatch(self._v2.key_of(int(trials[0])), trials)
         return ReplicaGroupedDispatch.assign_group(self, state, trials)

@@ -184,17 +184,17 @@ class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
     phase_grouping_v2 = "keyed"
 
     def accepts_discipline_v2(self) -> bool:
-        """Config-level v2 acceptance (see :meth:`SUUCPolicy.accepts_discipline_v2`)."""
-        return self.suu_c_kwargs.get("inner", "sem") == "sem"
+        """Config-level v2 acceptance (see :meth:`SUUCPolicy.accepts_discipline_v2`).
+
+        Always True: prelude plans and obl/repeat inner subroutines run on
+        the per-block array cursors like everything else.
+        """
+        return True
 
     def start_phased_v2(self, instance, streams, n_trials: int) -> bool:
         probe = SUUCPolicy(scale=self.scale, **self.suu_c_kwargs)
-        if probe.inner != "sem":
-            return False
         self._instance = instance
         shared = self._shared_block_plans(instance)
-        if any(plan.unit != 1 for _, _, plan in shared):
-            return False
         cursors = []
         for b, (sub_inst, jobs, plan) in enumerate(shared):
             # Block delays are pre-drawn for every trial (v1 draws them on
@@ -210,16 +210,14 @@ class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
                     job_map=jobs,
                     n_engine_jobs=instance.n_jobs,
                     scale=self.scale,
+                    inner=probe.inner,
                     enable_segments=probe.enable_segments,
                     enable_fallback=probe.enable_fallback,
                 )
             )
         self._v2_cursors = cursors
         self._v2_block = np.zeros(n_trials, dtype=np.int64)
-        self._v2_pending = [None] * n_trials
         self._block_job_arrays = [jobs for _, jobs, _ in shared]
-        self._v2_alive_t = -1
-        self._v2_alive = None
         self.stats = {"n_blocks": len(shared), "blocks": [c.stats for c in cursors]}
         return True
 
@@ -231,30 +229,47 @@ class SUUTPolicy(ReplicaGroupedDispatch, PhasedPolicy):
         """
         return probe._draw_v2_delays(streams, n_trials, plan, block)
 
-    def phase_key(self, trial: int, state):
+    def begin_step(self, state) -> None:
+        """Per-step vectorized block advance + signature-grouped stepping.
+
+        One pass computes every trial's current block (the first block, at
+        or past its last one, that still has live jobs) and hands each
+        block's member trials to its cursor's :meth:`~repro.core.
+        chain_batch.ChainCursorBatch.prepare_step`.
+        """
         if self._v2_cursors is None:
-            return ReplicaGroupedDispatch.phase_key(self, trial, state)
-        if state.t != self._v2_alive_t:
-            # One vectorized pass per step: which trials still have live
-            # jobs in each block (replaces a per-trial fancy-index scan).
-            self._v2_alive = [
+            return
+        alive = np.stack(
+            [
                 state.remaining[:, jobs].any(axis=1)
                 for jobs in self._block_job_arrays
             ]
-            self._v2_alive_t = state.t
+        )
+        n_blocks = alive.shape[0]
+        allowed = alive & (
+            np.arange(n_blocks, dtype=np.int64)[:, None]
+            >= self._v2_block[None, :]
+        )
+        active = np.asarray(state.active)
+        if bool((active & ~allowed.any(axis=0)).any()):
+            raise ReproError("SUU-T exhausted all blocks with jobs remaining")
+        self._v2_block = np.where(
+            active, np.argmax(allowed, axis=0), self._v2_block
+        )
+        for b, cursor in enumerate(self._v2_cursors):
+            members = np.flatnonzero(active & (self._v2_block == b))
+            if members.size:
+                cursor.prepare_step(state, members)
+
+    def phase_key(self, trial: int, state):
+        if self._v2_cursors is None:
+            return ReplicaGroupedDispatch.phase_key(self, trial, state)
         blk = int(self._v2_block[trial])
-        n_blocks = len(self._v2_cursors)
-        while not self._v2_alive[blk][trial]:
-            blk += 1
-            if blk >= n_blocks:
-                raise ReproError("SUU-T exhausted all blocks with jobs remaining")
-        self._v2_block[trial] = blk
-        key = (blk,) + self._v2_cursors[blk].row_key(trial, state)
-        self._v2_pending[trial] = key
-        return key
+        return (blk,) + self._v2_cursors[blk].key_of(trial)
 
     def assign_group(self, state, trials) -> np.ndarray:
         if self._v2_cursors is None:
             return ReplicaGroupedDispatch.assign_group(self, state, trials)
-        key = self._v2_pending[trials[0]]
-        return self._v2_cursors[key[0]].dispatch(key[1:], trials)
+        blk = int(self._v2_block[int(trials[0])])
+        cursor = self._v2_cursors[blk]
+        return cursor.dispatch(cursor.key_of(int(trials[0])), trials)

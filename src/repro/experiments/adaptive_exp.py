@@ -29,6 +29,7 @@ def run_adaptive(
     n_trials: int = 15,
     seed: int = 16,
     max_steps: int = 400_000,
+    discipline: str | None = None,
 ) -> ExperimentResult:
     """Race ADAPT vs SEM vs greedy on specialist workloads."""
     rng = ensure_rng(seed)
@@ -50,15 +51,15 @@ def run_adaptive(
         bound = lower_bound(inst)
         greedy = measure_ratio(
             inst, GreedyLRPolicy, n_trials, rng.spawn(1)[0], bound=bound,
-            max_steps=max_steps,
+            max_steps=max_steps, discipline=discipline,
         )
         sem = measure_ratio(
             inst, SUUISemPolicy, n_trials, rng.spawn(1)[0], bound=bound,
-            max_steps=max_steps,
+            max_steps=max_steps, discipline=discipline,
         )
         adapt = measure_ratio(
             inst, SUUIAdaptiveLPPolicy, n_trials, rng.spawn(1)[0], bound=bound,
-            max_steps=max_steps,
+            max_steps=max_steps, discipline=discipline,
         )
         probe = SUUIAdaptiveLPPolicy()
         run_policy(inst, probe, rng.spawn(1)[0], max_steps=max_steps)

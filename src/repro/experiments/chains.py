@@ -137,6 +137,7 @@ def run_segments_ablation(
     n_trials: int = 15,
     seed: int = 9,
     max_steps: int = 400_000,
+    discipline: str | None = None,
 ) -> ExperimentResult:
     """A-SEG: long-job segmentation on/off on a heavy-tailed chain workload."""
     rng = ensure_rng(seed)
@@ -161,6 +162,7 @@ def run_segments_ablation(
             rng.spawn(1)[0],
             bound=bound,
             max_steps=max_steps,
+            discipline=discipline,
         )
         res.add(label, meas.stats.mean, meas.ratio)
     # One diagnostic run for the stats dict.

@@ -168,6 +168,7 @@ def run_rounds_ablation(
     n_trials: int = 30,
     seed: int = 6,
     max_steps: int = 400_000,
+    discipline: str | None = None,
 ) -> ExperimentResult:
     """A-ROUNDS: sweep the number of SEM rounds ``K`` around the paper's value."""
     rng = ensure_rng(seed)
@@ -187,6 +188,7 @@ def run_rounds_ablation(
             rng.spawn(1)[0],
             bound=bound,
             max_steps=max_steps,
+            discipline=discipline,
         )
         res.add(k, "yes" if k == k_paper else "", meas.stats.mean, meas.ratio)
     res.notes.append(

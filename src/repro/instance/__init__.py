@@ -9,6 +9,7 @@ from repro.instance.generators import (
     forest_instance,
     independent_instance,
     layered_instance,
+    prelude_chain_instance,
     random_dag_instance,
     stochastic_instance,
     tree_instance,
@@ -32,6 +33,7 @@ __all__ = [
     "failure_matrix",
     "independent_instance",
     "chain_instance",
+    "prelude_chain_instance",
     "tree_instance",
     "forest_instance",
     "layered_instance",

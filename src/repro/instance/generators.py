@@ -33,6 +33,7 @@ __all__ = [
     "failure_matrix",
     "independent_instance",
     "chain_instance",
+    "prelude_chain_instance",
     "tree_instance",
     "forest_instance",
     "layered_instance",
@@ -141,6 +142,35 @@ def chain_instance(
         members = perm[bounds[c] : bounds[c + 1]]
         edges.extend((int(members[k]), int(members[k + 1])) for k in range(len(members) - 1))
     q = failure_matrix(n_machines, n_jobs, model, rng, **kw)
+    return SUUInstance(q, PrecedenceGraph(n_jobs, edges))
+
+
+def prelude_chain_instance(
+    n_jobs: int = 40,
+    n_machines: int = 2,
+    chain_length: int = 5,
+    q_lo: float = 0.8,
+    q_hi: float = 0.97,
+    rng=3,
+) -> SUUInstance:
+    """A chain instance in SUU-C's non-polynomial-``t_LP2`` regime.
+
+    High per-step failure probabilities over few machines push the LP2
+    horizon past ``n * m``, so the chain plan rounds block step counts to
+    a unit ``Δ > 1`` and re-inserts the lost steps as solo *preludes*
+    (Section 4's trick).  Jobs form consecutive-id chains of
+    ``chain_length`` so the regime is stable under the defaults — the
+    construction shared by the prelude coverage tests and benchmarks,
+    which assert ``plan.unit > 1`` rather than trusting it.
+    """
+    rng = ensure_rng(rng)
+    q = rng.uniform(q_lo, q_hi, size=(n_machines, n_jobs))
+    edges: list[tuple[int, int]] = []
+    k = 0
+    while k < n_jobs:
+        hi = min(k + chain_length, n_jobs)
+        edges.extend((j, j + 1) for j in range(k, hi - 1))
+        k = hi
     return SUUInstance(q, PrecedenceGraph(n_jobs, edges))
 
 

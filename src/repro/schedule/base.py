@@ -233,6 +233,12 @@ class PhasedPolicy(Policy):
       scalar order so grouped runs stay bit-identical to the per-trial
       loop.  Trial-independent preparation (LP solves, rounding, chain
       programs) should be done once here, not once per trial.
+    * ``begin_step(state)`` is an *optional* hook the kernel calls once
+      per step, before any ``phase_key`` query, when the policy defines
+      it.  Policies whose per-step bookkeeping vectorizes across trials
+      (SUU-C/SUU-T's signature-grouped boundary stepping under discipline
+      v2) advance all live trials here in one batch pass and answer the
+      subsequent per-trial ``phase_key`` calls from a precomputed table.
     * :meth:`phase_key` is called once per *live* trial per step, in
       ascending trial order.  It returns a hashable key such that two
       trials with equal keys receive identical assignment rows this step.

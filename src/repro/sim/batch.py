@@ -356,6 +356,9 @@ class _GroupedDispatch:
     """Per-step phase grouping: one ``assign_group`` call per distinct key.
 
     The kernel's assignment callable for phased policies.  Each step it
+    invokes the policy's optional ``begin_step`` hook once (policies with
+    batch-wide per-step work — SUU-C/SUU-T's signature-grouped boundary
+    stepping — vectorize it there instead of repeating it per trial), then
     queries ``phase_key`` for every live trial (ascending order — part of
     the protocol contract), partitions the live trials by key, and fills
     one ``(n_trials, m)`` assignment buffer group by group.  Inactive
@@ -364,10 +367,13 @@ class _GroupedDispatch:
 
     def __init__(self, policy, n_trials: int, n_machines: int):
         self._policy = policy
+        self._begin_step = getattr(policy, "begin_step", None)
         self._out = np.empty((n_trials, n_machines), dtype=np.int64)
 
     def __call__(self, state: BatchSimulationState) -> np.ndarray:
         policy = self._policy
+        if self._begin_step is not None:
+            self._begin_step(state)
         out = self._out
         out.fill(IDLE)
         groups: dict = {}

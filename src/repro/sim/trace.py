@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.schedule.base import IDLE, Policy, SimulationState
+from repro.schedule.base import Policy, SimulationState
 
 __all__ = ["TracingPolicy", "ExecutionTrace", "render_gantt"]
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import (
-    RatioMeasurement,
     critical_path_lower_bound,
     format_markdown_table,
     format_table,

@@ -40,6 +40,7 @@ from repro.instance import (
     forest_instance,
     independent_instance,
     layered_instance,
+    prelude_chain_instance,
 )
 from repro.instance.generators import random_dag_instance
 from repro.schedule.pseudo import draw_delays
@@ -193,18 +194,21 @@ def assert_statistically_equivalent(a, b, label):
 
 class TestV2StatisticalEquivalence:
     @pytest.mark.parametrize(
-        "name,kind",
+        "name,kind,kwargs",
         [
-            ("sem", "independent"),
-            ("obl", "independent"),
-            ("suu-c", "chains"),
-            ("suu-t", "forest"),
+            ("sem", "independent", {}),
+            ("obl", "independent", {}),
+            ("suu-c", "chains", {}),
+            ("suu-c", "chains", {"inner": "obl"}),
+            ("suu-c", "chains", {"inner": "repeat"}),
+            ("suu-t", "forest", {}),
+            ("suu-t", "forest", {"inner": "obl"}),
         ],
     )
     @pytest.mark.parametrize("semantics", ["suu", "suu_star"])
-    def test_matched_makespan_distribution(self, name, kind, semantics):
+    def test_matched_makespan_distribution(self, name, kind, kwargs, semantics):
         inst = make_instance(kind)
-        factory = policy_factory(name)
+        factory = policy_factory(name, **kwargs)
         v1 = run_policy_batch(
             inst, factory, 160, rng=5, semantics=semantics, discipline="v1"
         )
@@ -254,22 +258,11 @@ class TestChainCursorCrossCheck:
             )
         return delays
 
-    @pytest.mark.parametrize(
-        "kwargs",
-        [
-            {},
-            {"enable_segments": False},
-            {"enable_delays": False},
-            {"enable_fallback": False},
-        ],
-    )
-    def test_suu_c_array_equals_object_cursors(self, kwargs):
+    def crosscheck_suu_c(self, inst, kwargs, B=10, seed=41):
         """Fed v1's delays and shared thresholds, the v2 array cursors
         must replay the v1 replica execution exactly."""
-        inst = chain_instance(12, 4, 3, "uniform", rng=7)
         probe = SUUCPolicy(**kwargs)
         plan = probe.prepare_plan(inst)
-        B, seed = 10, 41
         delays = self.suu_c_delay_matrix(
             inst, plan, B, seed, enabled=probe.enable_delays
         )
@@ -278,24 +271,69 @@ class TestChainCursorCrossCheck:
         )
 
         class Injected(SUUCPolicy):
-            def _draw_v2_delays(self, streams, n_trials, plan):
+            def _draw_v2_delays(self, streams, n_trials, plan, *key):
                 return delays
 
         v1 = run_policy_batch(
             inst, lambda: SUUCPolicy(**kwargs), B, rng=seed,
             semantics="suu_star", thresholds=theta, discipline="v1",
+            max_steps=2_000_000,
         )
         v2 = run_policy_batch(
             inst, lambda: Injected(**kwargs), B, rng=seed,
             semantics="suu_star", thresholds=theta, discipline="v2",
+            max_steps=2_000_000,
         )
         assert np.array_equal(v1.makespans, v2.makespans)
         assert np.array_equal(v1.completion_times, v2.completion_times)
 
-    def test_suu_t_array_equals_object_cursors(self):
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"enable_segments": False},
+            {"enable_delays": False},
+            {"enable_fallback": False},
+            {"inner": "obl"},
+            {"inner": "repeat"},
+            # Fallback-trigger agreement: both disciplines must take the
+            # same congestion / superstep-limit decisions on equal inputs.
+            {"length_factor": 1e-6},
+            {
+                "enable_delays": False,
+                "enable_segments": False,
+                "congestion_factor": 0.1,
+            },
+        ],
+    )
+    def test_suu_c_array_equals_object_cursors(self, kwargs):
+        inst = chain_instance(12, 4, 3, "uniform", rng=7)
+        self.crosscheck_suu_c(inst, kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{}, {"inner": "obl"}, {"inner": "repeat"}]
+    )
+    def test_suu_c_prelude_array_equals_object_cursors(self, kwargs):
+        """The ``unit > 1`` regime: solo prelude rows must interleave
+        bit-identically between the solo queue (v1 object cursors) and
+        the signature-compiled prefix rows (v2 array cursors)."""
+        inst = prelude_chain_instance()
+        plan = SUUCPolicy(**kwargs).prepare_plan(inst)
+        assert plan.unit > 1
+        assert any(
+            getattr(item, "prelude", ())
+            for prog in plan.programs
+            for item in prog.items
+        )
+        self.crosscheck_suu_c(inst, kwargs, B=6)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{}, {"inner": "obl"}, {"inner": "repeat"}]
+    )
+    def test_suu_t_array_equals_object_cursors(self, kwargs):
         inst = forest_instance(12, 4, 2, rng=5)
         B, seed = 8, 31
-        probe = SUUTPolicy()
+        probe = SUUTPolicy(**kwargs)
         probe._instance = inst
         shared = probe._shared_block_plans(inst)
         block_delays = [
@@ -320,12 +358,12 @@ class TestChainCursorCrossCheck:
                 return block_delays[block]
 
         v1 = run_policy_batch(
-            inst, SUUTPolicy, B, rng=seed, semantics="suu_star",
-            thresholds=theta, discipline="v1",
+            inst, lambda: SUUTPolicy(**kwargs), B, rng=seed,
+            semantics="suu_star", thresholds=theta, discipline="v1",
         )
         v2 = run_policy_batch(
-            inst, Injected, B, rng=seed, semantics="suu_star",
-            thresholds=theta, discipline="v2",
+            inst, lambda: Injected(**kwargs), B, rng=seed,
+            semantics="suu_star", thresholds=theta, discipline="v2",
         )
         assert np.array_equal(v1.makespans, v2.makespans)
         assert np.array_equal(v1.completion_times, v2.completion_times)
@@ -337,15 +375,41 @@ class TestChainCursorCrossCheck:
         assert SUUCPolicy.phase_grouping_v2 == "keyed"
         assert SUUTPolicy.phase_grouping_v2 == "keyed"
 
-    def test_v2_declines_non_sem_inner(self):
-        """inner="obl" keeps the v1 replica path under v2 (still runs,
-        still statistically fine — just no array cursors)."""
+    @pytest.mark.parametrize("inner", ["sem", "obl", "repeat"])
+    def test_v2_runs_every_inner_on_array_cursors(self, inner):
+        """No configuration keeps the replica path under v2 anymore:
+        every inner subroutine installs the array cursors."""
         inst = chain_instance(12, 4, 3, "uniform", rng=7)
-        factory = lambda: SUUCPolicy(inner="obl")  # noqa: E731
+        policy = SUUCPolicy(inner=inner)
         got = run_policy_batch(
-            inst, factory, 6, rng=3, semantics="suu_star", discipline="v2"
+            inst, policy, 6, rng=3, semantics="suu_star", discipline="v2"
         )
-        assert got.vectorized  # replica-grouped dispatch, not scalar loop
+        assert got.vectorized
+        assert policy._v2 is not None  # array cursors, not replicas
+        assert policy.accepts_discipline_v2()
+
+    def test_v2_runs_preludes_on_array_cursors(self):
+        """Plans with ``unit > 1`` no longer decline start_phased_v2."""
+        inst = prelude_chain_instance()
+        policy = SUUCPolicy()
+        assert policy.prepare_plan(inst).unit > 1
+        got = run_policy_batch(
+            inst, policy, 4, rng=3, semantics="suu_star", discipline="v2",
+            max_steps=2_000_000,
+        )
+        assert got.vectorized
+        assert policy._v2 is not None
+
+    def test_suu_t_v2_runs_every_inner_on_array_cursors(self):
+        inst = forest_instance(12, 4, 2, rng=5)
+        for inner in ("sem", "obl", "repeat"):
+            policy = SUUTPolicy(inner=inner)
+            got = run_policy_batch(
+                inst, policy, 6, rng=3, semantics="suu_star", discipline="v2"
+            )
+            assert got.vectorized
+            assert policy._v2_cursors is not None
+            assert policy.accepts_discipline_v2()
 
 
 # ----------------------------------------------------------------------

@@ -6,7 +6,6 @@ that ordinary workloads rarely reach.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.bounds import lower_bound
 from repro.core.lp1 import solve_lp1

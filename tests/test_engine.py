@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ScheduleViolationError, SimulationHorizonError
-from repro.instance import PrecedenceGraph, SUUInstance, independent_instance
+from repro.instance import PrecedenceGraph, SUUInstance
 from repro.schedule.base import IDLE, Policy
 from repro.sim import draw_thresholds, run_policy
 

@@ -1,0 +1,163 @@
+"""Fallback/diagnostic-path coverage for the chain algorithms.
+
+SUU-C (and SUU-T's per-block SUU-C runs) switch to the trivial serial
+``O(n)``-approximation when either high-probability bound is violated:
+congestion above ``congestion_limit`` at a superstep build, or the
+superstep count passing ``superstep_limit``.  These tests force each
+trigger — with ablation-level constants, not pathological instances — and
+assert that
+
+* ``stats["fallback"]`` reports the trigger under discipline v1 (per-trial
+  scalar replicas) *and* v2 (array cursors), and
+* both disciplines take the *same* trigger decisions on the same inputs:
+  with injected delays and shared SUU* thresholds the executions agree
+  bit for bit (the cross-check harness of ``tests/test_discipline.py``,
+  pointed at the triggering configurations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.suu_c import SUUCPolicy
+from repro.core.suu_t import SUUTPolicy
+from repro.instance import chain_instance, forest_instance
+from repro.schedule.pseudo import draw_delays
+from repro.sim import run_policy_batch
+from repro.sim.engine import draw_thresholds
+from repro.util.rng import ensure_rng
+
+#: Forces the congestion trigger: no random delays and no segmentation, so
+#: every chain's blocks pile onto the machines at superstep 0, against a
+#: floor-level congestion limit.
+CONGESTION_KWARGS = dict(
+    enable_delays=False, enable_segments=False, congestion_factor=0.1
+)
+#: Forces the superstep-limit trigger: the length bound collapses to ~0,
+#: so the first completed superstep already exceeds it.
+SUPERSTEP_KWARGS = dict(length_factor=1e-6)
+
+TRIGGERS = [("congestion", CONGESTION_KWARGS), ("superstep", SUPERSTEP_KWARGS)]
+
+
+def chains_inst():
+    return chain_instance(20, 2, 10, "uniform", rng=3)
+
+
+def forest_inst():
+    return forest_instance(30, 2, 10, rng=5)
+
+
+def suu_c_fallbacks(policy, discipline):
+    """Per-trial fallback flags, wherever the dispatch path keeps them."""
+    if discipline == "v1":
+        return [r.stats["fallback"] for r in policy._replicas]
+    return [policy.stats["fallback"]]
+
+
+def suu_t_fallbacks(policy, discipline):
+    if discipline == "v1":
+        # Replicas hold the final block's SUU-C policy; with trigger
+        # constants this low every block falls back, including the last.
+        return [r._sub_policy.stats["fallback"] for r in policy._replicas]
+    return [cursor.stats["fallback"] for cursor in policy._v2_cursors]
+
+
+class TestTriggersReported:
+    @pytest.mark.parametrize("trigger,kwargs", TRIGGERS)
+    @pytest.mark.parametrize("discipline", ["v1", "v2"])
+    def test_suu_c_reports_fallback(self, trigger, kwargs, discipline):
+        policy = SUUCPolicy(**kwargs)
+        out = run_policy_batch(
+            chains_inst(), policy, 6, rng=5, semantics="suu_star",
+            discipline=discipline,
+        )
+        assert out.vectorized
+        assert all(suu_c_fallbacks(policy, discipline)), trigger
+
+    @pytest.mark.parametrize("trigger,kwargs", TRIGGERS)
+    @pytest.mark.parametrize("discipline", ["v1", "v2"])
+    def test_suu_t_reports_fallback(self, trigger, kwargs, discipline):
+        policy = SUUTPolicy(**kwargs)
+        out = run_policy_batch(
+            forest_inst(), policy, 6, rng=5, semantics="suu_star",
+            discipline=discipline,
+        )
+        assert out.vectorized
+        flags = suu_t_fallbacks(policy, discipline)
+        assert flags and any(flags), trigger
+
+    @pytest.mark.parametrize("trigger,kwargs", TRIGGERS)
+    def test_suu_c_scalar_run_reports_fallback(self, trigger, kwargs):
+        """The plain scalar engine (no batching) agrees on the trigger."""
+        from repro.sim import run_policy
+
+        policy = SUUCPolicy(**kwargs)
+        run_policy(chains_inst(), policy, rng=5, semantics="suu_star")
+        assert policy.stats["fallback"], trigger
+
+    @pytest.mark.parametrize("kwargs", [dict(), SUPERSTEP_KWARGS])
+    def test_disable_fallback_suppresses_trigger(self, kwargs):
+        """enable_fallback=False must keep running the pseudoschedule (the
+        ablation semantics), never reporting a fallback."""
+        policy = SUUCPolicy(enable_fallback=False, **kwargs)
+        run_policy_batch(
+            chains_inst(), policy, 4, rng=5, semantics="suu_star",
+            discipline="v2", max_steps=2_000_000,
+        )
+        assert policy.stats["fallback"] is False
+
+
+class TestTriggerDecisionsAgreeAcrossDisciplines:
+    """With injected v1 delays and shared thresholds, the two disciplines
+    must make identical trigger decisions — checked at the strongest
+    level: bit-identical makespans and completion matrices."""
+
+    @pytest.mark.parametrize("trigger,kwargs", TRIGGERS)
+    def test_suu_c_bitwise_agreement(self, trigger, kwargs):
+        inst = chains_inst()
+        probe = SUUCPolicy(**kwargs)
+        plan = probe.prepare_plan(inst)
+        B, seed = 6, 17
+        delays = np.empty((B, len(plan.chains)), dtype=np.int64)
+        for k, r in enumerate(ensure_rng(seed).spawn(B)):
+            policy_rng, _ = r.spawn(2)
+            delays[k] = draw_delays(
+                len(plan.chains), plan.horizon, policy_rng,
+                unit=plan.unit, enabled=probe.enable_delays,
+            )
+        theta = np.vstack(
+            [draw_thresholds(inst.n_jobs, ensure_rng(900 + k)) for k in range(B)]
+        )
+
+        class Injected(SUUCPolicy):
+            def _draw_v2_delays(self, streams, n_trials, plan, *key):
+                return delays
+
+        v1 = run_policy_batch(
+            inst, lambda: SUUCPolicy(**kwargs), B, rng=seed,
+            semantics="suu_star", thresholds=theta, discipline="v1",
+        )
+        v2 = run_policy_batch(
+            inst, lambda: Injected(**kwargs), B, rng=seed,
+            semantics="suu_star", thresholds=theta, discipline="v2",
+        )
+        assert np.array_equal(v1.makespans, v2.makespans), trigger
+        assert np.array_equal(v1.completion_times, v2.completion_times)
+
+    @pytest.mark.parametrize("trigger,kwargs", TRIGGERS)
+    def test_makespans_statistically_matched(self, trigger, kwargs):
+        """Under fresh randomness (no injection), triggering runs keep
+        matched makespan statistics across disciplines."""
+        inst = chains_inst()
+        v1 = run_policy_batch(
+            inst, lambda: SUUCPolicy(**kwargs), 64, rng=7,
+            semantics="suu_star", discipline="v1",
+        )
+        v2 = run_policy_batch(
+            inst, lambda: SUUCPolicy(**kwargs), 64, rng=7,
+            semantics="suu_star", discipline="v2",
+        )
+        a, b = v1.stats(), v2.stats()
+        half_a = (a.ci95[1] - a.ci95[0]) / 2
+        half_b = (b.ci95[1] - b.ci95[0]) / 2
+        assert abs(a.mean - b.mean) <= half_a + half_b, trigger

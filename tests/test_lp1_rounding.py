@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.lp1 import solve_lp1
 from repro.core.rounding import round_assignment
-from repro.errors import InvalidInstanceError
 from repro.instance import SUUInstance, independent_instance
 from repro.schedule.oblivious import FiniteObliviousSchedule
 

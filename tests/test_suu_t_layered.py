@@ -1,6 +1,5 @@
 """Tests for SUU-T (Theorem 12) and the layered-DAG extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.layered import LayeredPolicy

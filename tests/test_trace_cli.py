@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.naive import SerialAllMachinesPolicy
-from repro.instance import SUUInstance, independent_instance, save_instance
+from repro.instance import SUUInstance, independent_instance
 from repro.sim import TracingPolicy, render_gantt, run_policy
 from repro.sim.trace import ExecutionTrace
 
