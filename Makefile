@@ -11,9 +11,16 @@ PYTHON ?= python
 BENCH_JSON ?= bench_current.json
 BENCH_BASELINE ?= BENCH_5.json
 BENCH_TOLERANCE ?= 0.25
+SERVICE_JSON ?= bench_service_current.json
+SERVICE_BASELINE ?= BENCH_6.json
+# Service ratios fold in OS scheduling and pool spawn, so they are
+# noisier than kernel ratios; the wider tolerance still catches a lost
+# warm pool (the gated ratio collapses ~10x when every request respawns).
+SERVICE_TOLERANCE ?= 0.5
 COV_FLOOR ?= 85
 
-.PHONY: test test-v2 lint cov bench bench-check tables
+.PHONY: test test-v2 lint cov bench bench-check \
+	bench-service bench-service-check smoke tables
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -48,6 +55,21 @@ bench:
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_BASELINE) $(BENCH_JSON) \
 		--mode ratio --tolerance $(BENCH_TOLERANCE)
+
+# Scheduling-as-a-service benchmarks: executor lifecycle ratios
+# (per-request pool spawn vs warm pool) and full-stack latency columns.
+bench-service:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_service.py \
+		--benchmark-json=$(SERVICE_JSON) -q
+
+bench-service-check: bench-service
+	$(PYTHON) benchmarks/check_regression.py $(SERVICE_BASELINE) \
+		$(SERVICE_JSON) --mode ratio --tolerance $(SERVICE_TOLERANCE)
+
+# End-to-end service smoke: boot `repro serve`, drive ~5s of open-loop
+# constant-RPS load, assert zero errors + p99 sanity, SIGTERM gracefully.
+smoke:
+	$(PYTHON) benchmarks/smoke_service.py
 
 # Regenerate every experiment table at bench size (slow).
 tables:

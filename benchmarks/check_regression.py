@@ -16,12 +16,15 @@ Two modes:
 
 ``--mode ratio``
     Machine-*independent* gate for CI on heterogeneous/shared runners.
-    Scalar/batch benchmark pairs are discovered by naming convention —
-    ``test_scalar_loop_<key>`` paired with ``test_batch_kernel_<key>`` —
-    and reduced to speedup ratios ``scalar_mean / batch_mean``.  Both
-    sides of a ratio come from the *same* run on the *same* machine, so a
-    slow runner rescales numerator and denominator together.  A current
-    speedup more than ``tolerance`` below the baseline's speedup fails.
+    Slow-side/fast-side benchmark pairs are discovered by naming
+    convention — ``test_scalar_loop_<key>`` paired with
+    ``test_batch_kernel_<key>`` (kernel speedups), and
+    ``test_serve_base_<key>`` paired with ``test_serve_warm_<key>``
+    (service request-throughput ratios) — and reduced to speedup ratios
+    ``slow_mean / fast_mean``.  Both sides of a ratio come from the
+    *same* run on the *same* machine, so a slow runner rescales
+    numerator and denominator together.  A current speedup more than
+    ``tolerance`` below the baseline's speedup fails.
 
 In both modes, a benchmark (or pair) present in the baseline but missing
 from the current run is an error (a silently dropped kernel looks like a
@@ -39,6 +42,14 @@ import sys
 _SCALAR_MARK = "test_scalar_loop_"
 _BATCH_MARK = "test_batch_kernel_"
 
+#: (slow-side mark, fast-side mark) families reduced to speedup ratios.
+#: scalar/batch gates the kernel speedups; serve_base/serve_warm gates
+#: the request server's executor-lifecycle throughput ratios (BENCH_6).
+_RATIO_MARKS = (
+    (_SCALAR_MARK, _BATCH_MARK),
+    ("test_serve_base_", "test_serve_warm_"),
+)
+
 
 def load_means(path: str) -> dict[str, float]:
     with open(path) as fh:
@@ -47,22 +58,25 @@ def load_means(path: str) -> dict[str, float]:
 
 
 def speedup_pairs(means: dict[str, float]) -> dict[str, float]:
-    """Reduce scalar/batch benchmark pairs to speedup ratios.
+    """Reduce slow/fast benchmark pairs to speedup ratios.
 
     Keys are ``<file>::<suffix>`` (e.g. ``bench_adaptive.py::sem_1000``);
-    values are ``scalar_mean / batch_mean``.
+    values are ``slow_mean / fast_mean`` for every :data:`_RATIO_MARKS`
+    family (a suffix pairs only within its own family — the marks are
+    disjoint by construction).
     """
     sides: dict[str, dict[str, float]] = {}
     for fullname, mean in means.items():
-        for mark, side in ((_SCALAR_MARK, "scalar"), (_BATCH_MARK, "batch")):
-            if mark in fullname:
-                prefix, suffix = fullname.split(mark, 1)
-                prefix = re.sub(r"::.*$", "", prefix.rstrip(":"))
-                sides.setdefault(f"{prefix}::{suffix}", {})[side] = mean
+        for slow_mark, fast_mark in _RATIO_MARKS:
+            for mark, side in ((slow_mark, "slow"), (fast_mark, "fast")):
+                if mark in fullname:
+                    prefix, suffix = fullname.split(mark, 1)
+                    prefix = re.sub(r"::.*$", "", prefix.rstrip(":"))
+                    sides.setdefault(f"{prefix}::{suffix}", {})[side] = mean
     return {
-        key: pair["scalar"] / pair["batch"]
+        key: pair["slow"] / pair["fast"]
         for key, pair in sorted(sides.items())
-        if "scalar" in pair and "batch" in pair and pair["batch"] > 0
+        if "slow" in pair and "fast" in pair and pair["fast"] > 0
     }
 
 
@@ -117,9 +131,9 @@ def check_ratios(base, cur, cur_scope, tolerance) -> list[str]:
     for key in sorted(set(cur_scope_ratios) - set(base_ratios)):
         print(f"new       {key}: speedup {cur_scope_ratios[key]:.1f}x (no baseline)")
     if not base_ratios:
+        marks = ", ".join(f"{s}*/{f}*" for s, f in _RATIO_MARKS)
         failures.append(
-            "MISSING  baseline contains no scalar/batch pairs "
-            f"({_SCALAR_MARK}* / {_BATCH_MARK}*)"
+            f"MISSING  baseline contains no slow/fast pairs ({marks})"
         )
     return failures
 
@@ -133,7 +147,7 @@ def main(argv=None) -> int:
         choices=("mean", "ratio"),
         default="mean",
         help="'mean' compares absolute means (same-machine baselines); "
-        "'ratio' compares scalar-vs-batch speedups (machine-independent)",
+        "'ratio' compares paired slow/fast speedups (machine-independent)",
     )
     ap.add_argument(
         "--tolerance",

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""End-to-end service smoke: boot `repro serve`, drive constant-RPS load,
+assert p99 sanity and zero errors, shut down gracefully.
+
+Usage::
+
+    python benchmarks/smoke_service.py [--rps 10] [--duration 5] \
+        [--p99-budget 2.0] [--workers 2]
+
+What it checks, in order:
+
+1. ``repro serve`` boots as a real subprocess (warm-pool executor,
+   prewarmed) and answers ``GET /healthz`` within the boot budget.
+2. ``repro.loadgen`` sustains an open-loop constant-RPS run against
+   ``POST /simulate`` with **zero errors** and a p99 (measured from
+   scheduled arrival, wrk2-style) under the budget.
+3. ``/healthz`` afterwards reports every request served and the warm
+   pool still on its first built pool (no respawn churn under load).
+4. SIGTERM produces a graceful drain and exit code 0.
+
+Exit code 0 only if all four hold — this is the CI smoke leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.loadgen import default_simulate_spec, format_report, run_load  # noqa: E402
+
+BOOT_BUDGET_S = 90.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(url: str, proc, budget: float) -> dict:
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with rc={proc.returncode}")
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=2) as resp:
+                return json.load(resp)
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            time.sleep(0.25)
+    raise SystemExit(f"server not healthy within {budget:.0f}s")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rps", type=float, default=10.0)
+    ap.add_argument("--duration", type=float, default=5.0)
+    ap.add_argument("--p99-budget", type=float, default=2.0,
+                    help="max acceptable p99 latency in seconds")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--trials", type=int, default=16,
+                    help="trials per /simulate request")
+    args = ap.parse_args(argv)
+
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), "..", "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--executor", "warm-pool", "--workers", str(args.workers)],
+        env=env,
+    )
+    failures: list[str] = []
+    try:
+        health = wait_healthy(url, proc, BOOT_BUDGET_S)
+        print(f"server healthy on {url}: executor="
+              f"{health['executor']['kind']} warm={health['executor']['warm']}")
+
+        report = run_load(url, default_simulate_spec(n_trials=args.trials),
+                          rps=args.rps, duration=args.duration)
+        print(format_report(report))
+        p99 = report.histogram.p99
+        if report.errors != 0:
+            failures.append(f"{report.errors} request errors "
+                            f"({report.status_counts})")
+        if report.completed != report.offered:
+            failures.append(f"only {report.completed}/{report.offered} "
+                            "requests completed")
+        if p99 > args.p99_budget:
+            failures.append(f"p99 {p99:.3f}s exceeds budget "
+                            f"{args.p99_budget:.3f}s")
+
+        health = wait_healthy(url, proc, 10.0)
+        if health["served"] < report.offered:
+            failures.append(f"healthz served={health['served']} < "
+                            f"offered={report.offered}")
+        if health["executor"].get("pools_built") != 1:
+            failures.append("warm pool was rebuilt under load "
+                            f"(pools_built={health['executor'].get('pools_built')})")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            failures.append("server did not shut down within 30s of SIGTERM")
+            rc = None
+        if rc not in (0, None):
+            failures.append(f"server exited rc={rc} on SIGTERM")
+
+    if failures:
+        print(f"\nSMOKE FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nsmoke ok: constant-RPS load served with zero errors, "
+          "p99 within budget, graceful shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

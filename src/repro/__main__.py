@@ -10,11 +10,16 @@ Usage::
     python -m repro policies
     python -m repro sweep --shape independent --shape chains \\
         --jobs 20 --jobs 40 --trials 20 --backend process
+    python -m repro serve --port 8075 --executor warm-pool --workers 4
+    python -m repro loadgen --url http://127.0.0.1:8075 --rps 50 \\
+        --duration 10
 
 Policy names come from the :mod:`repro.api` registry (``repro policies``
 lists them); every command resolving a policy accepts canonical names and
 aliases, and defaults to the registered policy for the instance's
-precedence class.
+precedence class.  ``serve`` runs the persistent scheduling service
+(:mod:`repro.server`); ``loadgen`` drives it with wrk2-style open-loop
+constant-RPS load (:mod:`repro.loadgen`).
 """
 
 from __future__ import annotations
@@ -183,6 +188,82 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import SchedulingServer, make_executor
+
+    executor = make_executor(args.executor, args.workers,
+                             solve_cache_entries=args.solve_cache)
+
+    async def _main() -> None:
+        server = SchedulingServer(
+            executor, host=args.host, port=args.port,
+            max_handlers=args.max_handlers, drain_timeout=args.drain_timeout,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(executor={executor.kind}, workers={args.workers or 'auto'})",
+              flush=True)
+        await stop.wait()
+        print("shutting down (draining in-flight requests)", flush=True)
+        await server.stop()
+
+    with executor:
+        if args.prewarm and hasattr(executor, "prewarm"):
+            executor.prewarm()
+        asyncio.run(_main())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.loadgen import (
+        RequestSpec,
+        default_simulate_spec,
+        format_report,
+        run_load,
+    )
+
+    if args.body:
+        with open(args.body) as fh:
+            spec = RequestSpec.json(args.method, args.path, json.load(fh))
+    elif args.method.upper() == "GET":
+        spec = RequestSpec(method="GET", path=args.path)
+    else:
+        spec = default_simulate_spec(n_jobs=args.jobs, n_machines=args.machines,
+                                     n_trials=args.trials)
+    report = run_load(args.url, spec, rps=args.rps, duration=args.duration,
+                      timeout=args.timeout)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote load report to {args.json}")
+    failures = []
+    if args.assert_p99 is not None and report.histogram.p99 > args.assert_p99:
+        failures.append(
+            f"p99 {report.histogram.p99:.3f}s exceeds --assert-p99 "
+            f"{args.assert_p99:.3f}s"
+        )
+    if args.assert_error_rate is not None and (
+        report.error_rate > args.assert_error_rate
+    ):
+        failures.append(
+            f"error rate {report.error_rate:.1%} exceeds --assert-error-rate "
+            f"{args.assert_error_rate:.1%}"
+        )
+    if report.completed == 0:
+        failures.append("no requests completed")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _forward_experiments(rest) -> int:
     # Forward to the experiment harness (`python -m repro.experiments`),
     # so `repro experiments E-PERJOB` works from the installed entry point.
@@ -268,6 +349,68 @@ def main(argv=None) -> int:
                    help="RNG discipline (default: $REPRO_DISCIPLINE or v1)")
     s.add_argument("--json", default=None, help="also dump reports to this file")
     s.set_defaults(func=_cmd_sweep)
+
+    from repro.server.executors import EXECUTOR_KINDS
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the persistent scheduling service (POST /simulate, "
+             "POST /grid, GET /policies, GET /healthz)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8075,
+                    help="bind port (0 picks a free one; default 8075)")
+    sv.add_argument("--executor", choices=EXECUTOR_KINDS, default="warm-pool",
+                    help="request executor: 'serial' runs trials in-process, "
+                         "'warm-pool' keeps a long-lived solve-cache-warm "
+                         "worker pool across requests (default)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="warm-pool width (default: CPU count)")
+    sv.add_argument("--solve-cache", type=int, default=4096,
+                    help="per-worker solve-cache entries (default 4096)")
+    sv.add_argument("--max-handlers", type=int, default=8,
+                    help="max concurrently executing requests (default 8)")
+    sv.add_argument("--drain-timeout", type=float, default=10.0,
+                    help="seconds to wait for in-flight requests at shutdown")
+    sv.add_argument("--no-prewarm", dest="prewarm", action="store_false",
+                    help="skip building the worker pool before accepting "
+                         "traffic (first request then pays the spawn cost)")
+    sv.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive the service with wrk2-style open-loop constant-RPS load "
+             "and report p50/p90/p99/max latency",
+    )
+    lg.add_argument("--url", default="http://127.0.0.1:8075",
+                    help="server address (default http://127.0.0.1:8075)")
+    lg.add_argument("--rps", type=float, default=10.0,
+                    help="constant offered request rate (default 10)")
+    lg.add_argument("--duration", type=float, default=5.0,
+                    help="run length in seconds (default 5)")
+    lg.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request timeout in seconds")
+    lg.add_argument("--method", default="POST",
+                    help="HTTP method of the generated requests")
+    lg.add_argument("--path", default="/simulate",
+                    help="request path (default /simulate)")
+    lg.add_argument("--body", default=None, metavar="FILE",
+                    help="JSON file to send as the request body (default: a "
+                         "small built-in /simulate scenario)")
+    lg.add_argument("--jobs", type=int, default=12,
+                    help="built-in scenario size (ignored with --body)")
+    lg.add_argument("--machines", type=int, default=4)
+    lg.add_argument("--trials", type=int, default=24,
+                    help="built-in scenario trials per request")
+    lg.add_argument("--json", default=None,
+                    help="also dump the load report to this file")
+    lg.add_argument("--assert-p99", type=float, default=None, metavar="SECONDS",
+                    help="exit 1 when p99 latency exceeds this bound")
+    lg.add_argument("--assert-error-rate", type=float, default=None,
+                    metavar="FRACTION",
+                    help="exit 1 when the error rate exceeds this fraction "
+                         "(use 0 for zero-error runs)")
+    lg.set_defaults(func=_cmd_loadgen)
 
     # Listed here so `repro --help` shows it; actual dispatch happens in
     # the pre-parse forward above (never through this parser).

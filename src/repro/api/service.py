@@ -8,7 +8,10 @@ a :class:`Report` bundling the makespan statistics with the provable lower
 bound.  :func:`evaluate_grid` sweeps a :class:`~repro.api.scenario.
 ScenarioGrid` across many policies.
 
-Both accept ``backend="serial"`` or ``backend="process"``.  The process
+Both accept ``backend="serial"`` or ``backend="process"``, or an
+injected request *executor* (``executor=``, see
+:mod:`repro.server.executors`) that owns a long-lived worker pool reused
+across calls — the request server's warm-pool story.  The process
 backend dispatches contiguous chunks of trials across a
 ``multiprocessing`` pool; because every trial's RNG stream is spawned
 up-front from the config seed (the same ``Generator.spawn`` tree the
@@ -51,7 +54,13 @@ from repro.util.rng import (
 if TYPE_CHECKING:  # pragma: no cover - typing only (deferred: layer cycle)
     from repro.analysis.perjob import PerJobStats
 
-__all__ = ["Report", "simulate", "evaluate_grid", "run_trial_batch"]
+__all__ = [
+    "Report",
+    "simulate",
+    "evaluate_grid",
+    "run_trial_batch",
+    "worker_pool",
+]
 
 _BACKENDS = ("serial", "process")
 
@@ -201,6 +210,28 @@ WORKER_SOLVE_CACHE_ENTRIES = 4096
 MIN_CHUNK_TRIALS = 64
 
 
+def worker_pool(n_workers: int | None = None,
+                solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES) -> ProcessPoolExecutor:
+    """Construct the standard trial-chunk worker pool.
+
+    The single place pool workers are configured: ``spawn`` start method
+    (platform-uniform, no inherited interpreter state) and the process
+    solve cache installed through the initializer so every worker keeps a
+    warm cache across all chunks, grid cells, and server requests it
+    handles.  Callers own the lifecycle — :func:`simulate` /
+    :func:`evaluate_grid` build one per call when asked for the process
+    backend with no injected executor (the historical behavior), while
+    :class:`repro.server.executors.WarmPoolExecutor` keeps one alive
+    across requests.
+    """
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=get_context(_MP_START_METHOD),
+        initializer=install_solve_cache,
+        initargs=(solve_cache_entries,),
+    )
+
+
 def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
     """Split ``range(n_items)`` into contiguous batch-kernel-sized spans.
 
@@ -318,15 +349,18 @@ def _spec_fast_path_eligible(spec, discipline: str = "v1") -> bool:
 
 def _run_batched(
     instance, factory, config: SimConfig, backend: str, n_workers, pool=None,
-    want_completions=False,
+    want_completions=False, force_transport=False,
 ):
     """Dispatch the trials on the requested backend; returns all samples.
 
     The per-trial RNG tree is spawned up-front either way, so the samples
     are bit-identical across backends, worker counts, and chunk layouts.
-    ``pool`` lets :func:`evaluate_grid` reuse one executor (with
-    ``n_workers`` workers) across many cells instead of paying pool
-    startup per cell.
+    ``pool`` lets :func:`evaluate_grid` (and injected request executors)
+    reuse one long-lived pool (with ``n_workers`` workers) across many
+    cells/requests instead of paying pool startup per call.
+    ``force_transport`` disables the small-batch fast path: an explicitly
+    injected executor owns the transport decision, and its warm workers
+    (not this process) are where cache reuse should accumulate.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -344,7 +378,9 @@ def _run_batched(
     # Fallback- and replica-dispatch policies keep their explicit process
     # request regardless of size.
     if backend == "serial" or (
-        _small_batch(config) and _fast_path_eligible(factory, discipline)
+        not force_transport
+        and _small_batch(config)
+        and _fast_path_eligible(factory, discipline)
     ):
         return run_trial_batch(
             instance, factory, rngs, config.semantics, config.max_steps,
@@ -356,15 +392,28 @@ def _run_batched(
             pool, n_workers, instance, factory, rngs, config,
             want_completions, discipline, streams,
         )
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=get_context(_MP_START_METHOD),
-        initializer=install_solve_cache,
-        initargs=(WORKER_SOLVE_CACHE_ENTRIES,),
-    ) as pool:
+    with worker_pool(n_workers) as pool:
         return _map_chunks(
             pool, n_workers, instance, factory, rngs, config,
             want_completions, discipline, streams,
         )
+
+
+def _resolve_executor(executor, backend, n_workers):
+    """Fold an injected request executor into ``(backend, n_workers, pool)``.
+
+    Executors (see :mod:`repro.server.executors`) are duck-typed here so
+    the api layer never imports the server layer: anything with a
+    ``backend`` attribute (``"serial"``/``"process"``), an ``n_workers``
+    attribute, and an ``acquire()`` returning a chunk pool (or ``None``
+    for in-process execution) plugs in.  When an executor is given it
+    *owns* the transport — it overrides ``backend`` and, for process
+    executors, supplies the long-lived pool.
+    """
+    if executor is None:
+        return backend, n_workers, None, False
+    pool = executor.acquire()
+    return executor.backend, executor.n_workers or n_workers, pool, True
 
 
 def simulate(
@@ -374,6 +423,7 @@ def simulate(
     *,
     backend: str = "serial",
     n_workers: int | None = None,
+    executor=None,
     per_job: bool = False,
     **policy_kwargs,
 ) -> Report:
@@ -396,6 +446,12 @@ def simulate(
     n_workers:
         Process-backend pool size (default: CPU count, capped at the
         trial count).
+    executor:
+        An injected request executor (e.g. :class:`repro.server.
+        executors.WarmPoolExecutor`) that owns the dispatch transport —
+        long-lived warm pools reused across calls instead of a per-call
+        pool spin-up.  Overrides ``backend``; samples stay bit-identical
+        regardless (the per-trial RNG tree is spawned up-front).
     per_job:
         Also collect the per-trial completion matrix and attach
         :class:`~repro.analysis.perjob.PerJobStats` to the report
@@ -406,13 +462,16 @@ def simulate(
         ``inner="obl"`` for SUU-C ablations).
     """
     config = config or SimConfig()
+    backend, n_workers, pool, forced = _resolve_executor(
+        executor, backend, n_workers
+    )
     if isinstance(scenario, SUUInstance):
         declarative, instance = None, scenario
     else:
         declarative, instance = scenario, scenario.to_instance()
     return _simulate_instance(
         declarative, instance, policy, config, backend, n_workers,
-        policy_kwargs, per_job=per_job,
+        policy_kwargs, pool=pool, per_job=per_job, force_transport=forced,
     )
 
 
@@ -427,16 +486,18 @@ def _simulate_instance(
     pool=None,
     bound=None,
     per_job=False,
+    force_transport=False,
 ):
     """Shared core of :func:`simulate` / :func:`evaluate_grid`.
 
-    ``pool`` and ``bound`` let grid sweeps reuse one process pool and one
-    LP lower-bound solve across the cells that share a scenario.
+    ``pool`` and ``bound`` let grid sweeps (and injected executors) reuse
+    one process pool and one LP lower-bound solve across the cells that
+    share a scenario.
     """
     label, factory = _resolve_policy(policy, instance, policy_kwargs)
     out = _run_batched(
         instance, factory, config, backend, n_workers, pool=pool,
-        want_completions=per_job,
+        want_completions=per_job, force_transport=force_transport,
     )
     job_stats = None
     if per_job:
@@ -475,6 +536,7 @@ def evaluate_grid(
     config: SimConfig | None = None,
     backend: str = "serial",
     n_workers: int | None = None,
+    executor=None,
     per_job: bool = False,
 ) -> list[Report]:
     """Measure every policy on every scenario of a sweep.
@@ -486,29 +548,30 @@ def evaluate_grid(
     Per-scenario work is shared across the policy cells: the instance is
     materialized and its LP lower bound solved once, and under
     ``backend="process"`` a single worker pool serves the whole sweep
-    instead of being re-spawned per cell.
+    instead of being re-spawned per cell.  An injected ``executor``
+    replaces that per-sweep pool with its own long-lived one (reused
+    across *sweeps*, not just cells) and overrides ``backend``.
     """
     if isinstance(policies, str):
         policies = (policies,)
     config = config or SimConfig()
     discipline = config.resolved_discipline()
-    pool_cm = nullcontext(None)
+    backend, n_workers, injected_pool, forced = _resolve_executor(
+        executor, backend, n_workers
+    )
+    pool_cm = nullcontext(injected_pool)
     # Skip the shared pool only when *every* cell will take the serial-
     # batch fast path; one fallback/replica-dispatch policy in the sweep
     # keeps the single shared pool (per-cell pools would pay spawn-method
     # worker start-up once per cell).  Workers get the process-wide solve
     # cache installed up front, so the round-1 LPs shared by a sweep's
     # cells are solved once per worker, not once per chunk.
-    if backend == "process" and not (
+    if executor is None and backend == "process" and not (
         _small_batch(config)
         and all(_spec_fast_path_eligible(p, discipline) for p in policies)
     ):
         n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
-        pool_cm = ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=get_context(_MP_START_METHOD),
-            initializer=install_solve_cache,
-            initargs=(WORKER_SOLVE_CACHE_ENTRIES,),
-        )
+        pool_cm = worker_pool(n_workers)
     reports = []
     with pool_cm as pool:
         for scenario in grid:
@@ -519,7 +582,7 @@ def evaluate_grid(
                     _simulate_instance(
                         scenario, instance, policy, config, backend,
                         n_workers, {}, pool=pool, bound=bound,
-                        per_job=per_job,
+                        per_job=per_job, force_transport=forced,
                     )
                 )
     return reports

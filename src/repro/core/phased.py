@@ -68,14 +68,27 @@ class ProcessSolveCache:
     batch they are already memoized, but every batch — and, under the
     process backend, every worker *chunk* — used to start cold and
     re-solve the shared round-1 LP.  This cache outlives batches: entries
-    are keyed by ``(instance digest, *configuration)``, so a grid sweep's
-    cells (and all chunks a worker handles) share one solve per distinct
-    key.
+    are keyed by ``(kind, instance digest, *configuration)``, so a grid
+    sweep's cells (and all chunks a worker handles) share one solve per
+    distinct key.
 
     Sharing never changes results: the pipelines behind every entry are
     RNG-free, so a cached value is byte-for-byte what a fresh solve would
-    produce — v1 bit-identity is preserved.  Bounded FIFO eviction keeps
-    long-lived workers from accumulating unbounded schedules.
+    produce — v1 bit-identity is preserved.  Two eviction axes keep
+    long-lived workers (grid sweeps, the request server's warm pools)
+    from growing unboundedly:
+
+    * **LRU entry eviction** — a lookup refreshes its entry, so the
+      ``max_entries`` bound drops the least-recently-*used* schedule, not
+      merely the oldest-inserted one (round-1 LPs shared by every batch
+      stay resident no matter how many one-off survivor sets stream by).
+    * **Per-instance-digest scoping** — every key carries its instance
+      digest at position 1; the cache groups entries by digest and, past
+      ``max_instances`` distinct instances, drops the least-recently-used
+      instance's entries wholesale.  A server that has answered requests
+      for thousands of distinct instances keeps only the recent working
+      set, and :meth:`evict_instance` lets callers drop one instance
+      eagerly.
 
     The cache is per *process*.  Worker pools install (size) it through
     their initializer (:func:`install_solve_cache`); in-process use hits
@@ -83,9 +96,12 @@ class ProcessSolveCache:
     it entirely.
     """
 
-    def __init__(self, max_entries: int = 512):
+    def __init__(self, max_entries: int = 512, max_instances: int = 32):
         self.max_entries = int(max_entries)
+        self.max_instances = int(max_instances)
         self._entries: OrderedDict = OrderedDict()
+        #: digest -> set of live keys, LRU-ordered by last touch.
+        self._digests: OrderedDict = OrderedDict()
         self.solves = 0  # misses that ran a real solve pipeline
         self.hits = 0
 
@@ -96,6 +112,27 @@ class ProcessSolveCache:
             "REPRO_SOLVE_CACHE", "1"
         ) != "0"
 
+    @staticmethod
+    def _digest_of(key):
+        # Every caller keys entries as (kind, instance digest, *config).
+        return key[1] if isinstance(key, tuple) and len(key) > 1 else None
+
+    def _touch(self, key) -> None:
+        """Refresh LRU position of ``key`` and of its instance digest."""
+        self._entries.move_to_end(key)
+        digest = self._digest_of(key)
+        if digest in self._digests:
+            self._digests.move_to_end(digest)
+
+    def _forget(self, key) -> None:
+        """Remove ``key``'s digest bookkeeping (entry already popped)."""
+        digest = self._digest_of(key)
+        keys = self._digests.get(digest)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._digests[digest]
+
     def lookup(self, key, compute):
         """``compute()`` memoized under ``key`` (straight call if disabled)."""
         if not self.enabled:
@@ -104,17 +141,35 @@ class ProcessSolveCache:
         value = self._entries.get(key)
         if value is not None:
             self.hits += 1
+            self._touch(key)
             return value
         value = compute()
         self.solves += 1
         self._entries[key] = value
+        digest = self._digest_of(key)
+        if digest is not None:
+            self._digests.setdefault(digest, set()).add(key)
+            self._digests.move_to_end(digest)
+            while len(self._digests) > max(1, self.max_instances):
+                self.evict_instance(next(iter(self._digests)))
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            old_key, _ = self._entries.popitem(last=False)
+            self._forget(old_key)
         return value
+
+    def evict_instance(self, digest) -> int:
+        """Drop every entry scoped to ``digest``; returns how many."""
+        keys = self._digests.pop(digest, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        return len(keys)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._entries.clear()
+        self._digests.clear()
         self.solves = 0
         self.hits = 0
 
@@ -127,14 +182,18 @@ def shared_solve_cache() -> ProcessSolveCache:
     return _SHARED_SOLVE_CACHE
 
 
-def install_solve_cache(max_entries: int = 512) -> None:
+def install_solve_cache(max_entries: int = 512, max_instances: int | None = None) -> None:
     """Size the process-wide solve cache (worker-pool initializer target).
 
     Module-level so ``ProcessPoolExecutor(initializer=...)`` can ship it
     to ``spawn``-ed workers; each worker then keeps one warm cache across
-    every chunk and grid cell it handles.
+    every chunk, grid cell, and server request it handles.
+    ``max_instances`` bounds how many distinct instance digests stay
+    resident (``None`` keeps the current bound).
     """
     _SHARED_SOLVE_CACHE.max_entries = int(max_entries)
+    if max_instances is not None:
+        _SHARED_SOLVE_CACHE.max_instances = int(max_instances)
 
 
 def clear_solve_cache() -> None:
@@ -143,9 +202,15 @@ def clear_solve_cache() -> None:
 
 
 def solve_cache_stats() -> dict:
-    """Counters of the process-wide cache: entries / solves / hits."""
+    """Counters of the process-wide cache: entries / instances / solves / hits.
+
+    Module-level (and picklable-return) so worker pools can sample a
+    worker's cache through ``pool.submit(solve_cache_stats)`` — how the
+    request server's ``/healthz`` surfaces warm-worker reuse.
+    """
     return {
         "entries": len(_SHARED_SOLVE_CACHE._entries),
+        "instances": len(_SHARED_SOLVE_CACHE._digests),
         "solves": _SHARED_SOLVE_CACHE.solves,
         "hits": _SHARED_SOLVE_CACHE.hits,
     }

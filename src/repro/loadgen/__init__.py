@@ -1,0 +1,39 @@
+"""``repro.loadgen`` — constant-throughput load generation and latency
+recording for the request server.
+
+Modeled on the wrk2 discipline (see AIOpsLab's workload harness): an
+**open-loop** driver schedules request arrivals on a fixed timeline so a
+stalling server cannot slow the offered load down (that would hide its
+own stall — "coordinated omission"), and an **HdrHistogram-style**
+recorder keeps p50/p90/p99/p99.9/max with bounded relative error at
+fixed memory.
+
+Quick start::
+
+    from repro.loadgen import run_load, format_report
+
+    report = run_load("http://127.0.0.1:8075", rps=50, duration=10)
+    print(format_report(report))
+
+or from a shell: ``repro loadgen --rps 50 --duration 10``.
+"""
+
+from repro.loadgen.driver import (
+    LoadReport,
+    RequestSpec,
+    default_simulate_spec,
+    format_report,
+    run_load,
+    run_open_loop,
+)
+from repro.loadgen.histogram import LatencyHistogram
+
+__all__ = [
+    "LatencyHistogram",
+    "RequestSpec",
+    "LoadReport",
+    "run_open_loop",
+    "run_load",
+    "default_simulate_spec",
+    "format_report",
+]

@@ -1,0 +1,307 @@
+"""A wrk2-style open-loop constant-throughput load driver.
+
+The driver schedules request *arrivals* on a fixed timeline — request
+``i`` of a ``rate`` req/s run is due at exactly ``t0 + i/rate`` —
+and measures each request's latency **from its scheduled arrival time**,
+not from when the socket write happened to start.  That is the defining
+wrk2 discipline: a closed-loop driver (fire, wait, fire) silently stops
+offering load while the server stalls, so the stall never shows up in
+the recorded latencies ("coordinated omission"); an open-loop driver
+keeps the timeline, and any backlog the stall caused is charged to every
+queued request's latency.  Concretely:
+
+* arrivals never wait for in-flight requests — each one gets its own
+  task and, when no idle keep-alive connection is available, its own
+  fresh connection (the connection pool only *reuses*, it never blocks);
+* if the driver itself falls behind the timeline (event-loop stall,
+  connection churn), the late request's latency still starts at its
+  scheduled time, so driver-side delay is counted, not hidden.
+
+Latencies land in a :class:`~repro.loadgen.histogram.LatencyHistogram`
+(HdrHistogram-style), and :class:`LoadReport` carries the standard
+columns: offered vs completed throughput, error counts by status, and
+p50/p90/p99/p99.9/max.
+
+The HTTP client is stdlib ``asyncio`` streams (HTTP/1.1 keep-alive,
+``Content-Length`` framing) — the same minimal dialect the server
+speaks, with no framework on either side of the measurement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+
+from repro.loadgen.histogram import LatencyHistogram
+
+__all__ = [
+    "RequestSpec",
+    "LoadReport",
+    "run_open_loop",
+    "run_load",
+    "default_simulate_spec",
+    "format_report",
+]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One HTTP request shape, fired repeatedly by the driver."""
+
+    method: str = "GET"
+    path: str = "/healthz"
+    body: bytes | None = None
+    content_type: str = "application/json"
+
+    @classmethod
+    def json(cls, method: str, path: str, payload: dict) -> "RequestSpec":
+        """A JSON-bodied request spec."""
+        return cls(method=method, path=path,
+                   body=json.dumps(payload).encode())
+
+
+def default_simulate_spec(n_jobs: int = 12, n_machines: int = 4,
+                          n_trials: int = 24, seed: int = 0) -> RequestSpec:
+    """The stock load-test request: a small ``POST /simulate``.
+
+    Small enough that a laptop sustains hundreds of them per second,
+    real enough that each one exercises the full scenario → instance →
+    batch-kernel → report path.
+    """
+    return RequestSpec.json("POST", "/simulate", {
+        "scenario": {"shape": "independent", "n_jobs": n_jobs,
+                     "n_machines": n_machines, "model": "specialist",
+                     "seed": seed},
+        "policy": "greedy",
+        "config": {"n_trials": n_trials, "seed": seed},
+    })
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one constant-rate run.
+
+    ``offered`` counts scheduled arrivals (always ``rate × duration``;
+    the open loop never sheds load), ``completed`` the 2xx responses.
+    Latency statistics cover *completed* requests; errors are counted
+    per status (transport failures under ``"error"``, timeouts under
+    ``"timeout"``) but never recorded as latencies.
+    """
+
+    target_rps: float
+    duration: float
+    offered: int = 0
+    completed: int = 0
+    errors: int = 0
+    status_counts: dict = field(default_factory=dict)
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    elapsed: float = 0.0
+    max_in_flight: int = 0
+    started_at: float = 0.0  # wall-clock, stamped by the caller's clock
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed requests per second of actual elapsed run time."""
+        return self.completed / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (what lands in BENCH_6 extra_info)."""
+        return {
+            "target_rps": self.target_rps,
+            "achieved_rps": self.achieved_rps,
+            "duration": self.duration,
+            "elapsed": self.elapsed,
+            "offered": self.offered,
+            "completed": self.completed,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "status_counts": dict(self.status_counts),
+            "max_in_flight": self.max_in_flight,
+            "latency": self.histogram.summary(),
+        }
+
+
+class _ConnectionPool:
+    """Reusable keep-alive connections to one host:port.
+
+    ``acquire`` never waits: it pops an idle connection or opens a new
+    one, so the pool can only *reduce* per-request cost — it cannot
+    throttle the open loop into a closed one.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._idle: list[tuple] = []
+        self.opened = 0
+
+    async def acquire(self):
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+        self.opened += 1
+        return await asyncio.open_connection(self.host, self.port)
+
+    def release(self, conn, reusable: bool) -> None:
+        reader, writer = conn
+        if reusable and not writer.is_closing():
+            self._idle.append(conn)
+        else:
+            writer.close()
+
+    def close(self) -> None:
+        for _reader, writer in self._idle:
+            writer.close()
+        self._idle.clear()
+
+
+async def _request(pool: _ConnectionPool, spec: RequestSpec) -> int:
+    """Fire one request over a pooled connection; returns the status."""
+    conn = await pool.acquire()
+    reader, writer = conn
+    ok_to_reuse = False
+    try:
+        body = spec.body or b""
+        head = (
+            f"{spec.method} {spec.path} HTTP/1.1\r\n"
+            f"Host: {pool.host}:{pool.port}\r\n"
+            f"Content-Type: {spec.content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"bad status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        if length:
+            await reader.readexactly(length)
+        ok_to_reuse = headers.get("connection", "keep-alive").lower() != "close"
+        return status
+    finally:
+        pool.release(conn, ok_to_reuse)
+
+
+async def run_open_loop(host: str, port: int, spec: RequestSpec, *,
+                        rps: float, duration: float,
+                        timeout: float = 30.0) -> LoadReport:
+    """Drive ``spec`` at a constant ``rps`` for ``duration`` seconds.
+
+    Open loop with latency measured from scheduled arrival — see the
+    module docstring for why that combination is what makes the recorded
+    tail honest.
+    """
+    if rps <= 0 or duration <= 0:
+        raise ValueError("rps and duration must be positive")
+    loop = asyncio.get_running_loop()
+    report = LoadReport(target_rps=rps, duration=duration,
+                        started_at=time.time())
+    pool = _ConnectionPool(host, port)
+    in_flight = 0
+
+    async def fire(scheduled: float) -> None:
+        nonlocal in_flight
+        in_flight += 1
+        report.max_in_flight = max(report.max_in_flight, in_flight)
+        try:
+            status = await asyncio.wait_for(_request(pool, spec), timeout)
+            latency = loop.time() - scheduled
+            key = str(status)
+            report.status_counts[key] = report.status_counts.get(key, 0) + 1
+            if 200 <= status < 300:
+                report.completed += 1
+                report.histogram.record(latency)
+            else:
+                report.errors += 1
+        except asyncio.TimeoutError:
+            report.errors += 1
+            report.status_counts["timeout"] = (
+                report.status_counts.get("timeout", 0) + 1
+            )
+        except (OSError, ConnectionError, asyncio.IncompleteReadError):
+            report.errors += 1
+            report.status_counts["error"] = (
+                report.status_counts.get("error", 0) + 1
+            )
+        finally:
+            in_flight -= 1
+
+    n_requests = max(1, round(rps * duration))
+    t0 = loop.time()
+    tasks = []
+    for i in range(n_requests):
+        scheduled = t0 + i / rps
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Late arrivals fire immediately; their latency clock already
+        # started at `scheduled`, so the slip is charged, not dropped.
+        report.offered += 1
+        tasks.append(asyncio.ensure_future(fire(scheduled)))
+    await asyncio.gather(*tasks)
+    report.elapsed = loop.time() - t0
+    pool.close()
+    return report
+
+
+def run_load(url: str, spec: RequestSpec | None = None, *,
+             rps: float = 10.0, duration: float = 5.0,
+             timeout: float = 30.0) -> LoadReport:
+    """Synchronous entry point: ``url`` names the server (http://host:port).
+
+    ``spec`` defaults to :func:`default_simulate_spec`.
+    """
+    parts = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+    if parts.scheme not in ("", "http"):
+        raise ValueError(f"only http:// targets are supported, got {url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    spec = spec or default_simulate_spec()
+    return asyncio.run(
+        run_open_loop(host, port, spec, rps=rps, duration=duration,
+                      timeout=timeout)
+    )
+
+
+def format_report(report: LoadReport) -> str:
+    """A wrk2-flavored text summary of one run."""
+    s = report.histogram.summary()
+    lines = [
+        f"open-loop run: {report.target_rps:g} req/s for "
+        f"{report.duration:g}s ({report.offered} requests offered)",
+        f"  completed {report.completed} "
+        f"({report.achieved_rps:.1f} req/s achieved), "
+        f"errors {report.errors} ({report.error_rate:.1%}), "
+        f"max in-flight {report.max_in_flight}",
+        "  latency (from scheduled arrival):",
+        f"    mean {s['mean'] * 1e3:8.2f} ms",
+        f"    p50  {s['p50'] * 1e3:8.2f} ms",
+        f"    p90  {s['p90'] * 1e3:8.2f} ms",
+        f"    p99  {s['p99'] * 1e3:8.2f} ms",
+        f"    p99.9{s['p999'] * 1e3:8.2f} ms",
+        f"    max  {s['max'] * 1e3:8.2f} ms",
+    ]
+    if report.status_counts:
+        counts = ", ".join(
+            f"{k}: {v}" for k, v in sorted(report.status_counts.items())
+        )
+        lines.append(f"  responses by status: {counts}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""An HdrHistogram-style latency recorder.
+
+Like wrk2's recorder (and the HdrHistogram it embeds), latencies are
+counted into buckets whose width grows geometrically, so the histogram
+covers microseconds-to-minutes with a fixed small memory footprint and a
+bounded *relative* quantile error — the property that matters for tail
+percentiles, where a fixed-width histogram either wastes buckets or
+saturates.  Recording is O(1) (one log, one increment), quantile reads
+walk the cumulative counts, and two histograms merge by adding counts —
+which is how per-connection recorders roll up into one report.
+
+This is deliberately not a full HdrHistogram (no two-level
+bucket/sub-bucket layout, no auto-resize): geometric buckets at ~1%
+relative precision are enough for p50/p90/p99/p99.9 columns, and the
+implementation stays small enough to audit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Fixed-memory latency histogram with bounded relative error.
+
+    Parameters
+    ----------
+    min_value / max_value:
+        Trackable range in seconds.  Values below ``min_value`` land in
+        the first bucket; values above ``max_value`` saturate into the
+        last (and are reported via the exact :attr:`max`).
+    precision:
+        Geometric bucket growth factor; ``1.01`` bounds the relative
+        quantile error at about 1%.
+    """
+
+    def __init__(self, min_value: float = 1e-6, max_value: float = 300.0,
+                 precision: float = 1.01):
+        if not (0 < min_value < max_value):
+            raise ValueError("need 0 < min_value < max_value")
+        if precision <= 1.0:
+            raise ValueError("precision must be > 1")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.precision = float(precision)
+        self._log_precision = math.log(precision)
+        n_buckets = int(math.log(max_value / min_value) / self._log_precision) + 2
+        self._counts = np.zeros(n_buckets, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.min = math.inf
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        i = int(math.log(value / self.min_value) / self._log_precision) + 1
+        return min(i, len(self._counts) - 1)
+
+    def record(self, seconds: float) -> None:
+        """Count one latency observation."""
+        if seconds < 0:
+            raise ValueError(f"negative latency: {seconds}")
+        self._counts[self._index(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if seconds < self.min:
+            self.min = seconds
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of everything recorded (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The latency at quantile ``p`` (in percent, e.g. ``99.9``).
+
+        Returns the geometric midpoint of the bucket holding the
+        quantile (so the relative error is bounded by ``precision``),
+        clamped to the exactly-tracked min/max.  0.0 when empty.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(p / 100.0 * self.count)
+        cumulative = np.cumsum(self._counts)
+        i = int(np.searchsorted(cumulative, max(rank, 1)))
+        if i == 0:
+            value = self.min_value
+        else:
+            value = self.min_value * self.precision ** (i - 0.5)
+        return min(max(value, self.min), self.max)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s counts into this histogram (same geometry)."""
+        if (other.min_value, other.max_value, other.precision) != (
+            self.min_value, self.max_value, self.precision
+        ):
+            raise ValueError("cannot merge histograms with different geometry")
+        self._counts += other._counts
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+        self.min = min(self.min, other.min)
+
+    def summary(self) -> dict:
+        """The standard latency columns as a JSON-ready dict (seconds)."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "p999": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.count == 0:
+            return "LatencyHistogram(empty)"
+        return (
+            f"LatencyHistogram(n={self.count}, p50={self.p50 * 1e3:.1f}ms, "
+            f"p99={self.p99 * 1e3:.1f}ms, max={self.max * 1e3:.1f}ms)"
+        )

@@ -1,0 +1,61 @@
+"""``repro.server`` — scheduling as a service.
+
+Two layers:
+
+* :mod:`repro.server.executors` — pluggable *request executors* that own
+  the dispatch transport for :func:`repro.api.simulate` /
+  :func:`repro.api.evaluate_grid` calls: :class:`SerialExecutor`
+  (in-process) and :class:`WarmPoolExecutor` (one long-lived,
+  solve-cache-warm worker pool reused across requests).
+* :mod:`repro.server.app` — the persistent asyncio HTTP service
+  (``POST /simulate``, ``POST /grid``, ``GET /policies``,
+  ``GET /healthz``) with keep-alive connections and graceful draining
+  shutdown.
+
+Quick start::
+
+    from repro.server import WarmPoolExecutor, serve_background
+
+    with WarmPoolExecutor(n_workers=4) as ex:
+        ex.prewarm()
+        with serve_background(ex) as handle:
+            print("serving on", handle.address)
+            ...
+
+or, from a shell: ``repro serve --executor warm-pool`` and
+``repro loadgen --rps 50 --duration 10`` (see :mod:`repro.loadgen`).
+"""
+
+from repro.server.app import (
+    HttpError,
+    SchedulingServer,
+    SchedulingService,
+    ServerHandle,
+    serve_background,
+)
+from repro.server.executors import (
+    EXECUTOR_KINDS,
+    RequestExecutor,
+    SerialExecutor,
+    WarmPoolExecutor,
+    default_executor,
+    make_executor,
+    set_default_executor,
+)
+
+__all__ = [
+    # Executors
+    "RequestExecutor",
+    "SerialExecutor",
+    "WarmPoolExecutor",
+    "default_executor",
+    "set_default_executor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+    # HTTP service
+    "HttpError",
+    "SchedulingService",
+    "SchedulingServer",
+    "ServerHandle",
+    "serve_background",
+]

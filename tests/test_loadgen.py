@@ -1,0 +1,263 @@
+"""Load harness: histogram accuracy and open-loop driver discipline."""
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    LatencyHistogram,
+    RequestSpec,
+    default_simulate_spec,
+    format_report,
+    run_open_loop,
+)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_track_order_statistics_within_precision(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(mean=-4.0, sigma=1.0, size=5000)  # ~ms scale
+        hist = LatencyHistogram(precision=1.01)
+        for v in values:
+            hist.record(float(v))
+        ordered = np.sort(values)
+        for p in (50, 90, 99, 99.9):
+            # Same rank rule as the histogram (ceil-rank order statistic):
+            # the comparison isolates bucketing error from rank-definition
+            # differences (numpy interpolates, which diverges in a sparse
+            # tail where adjacent order statistics are far apart).
+            exact = float(ordered[math.ceil(p / 100.0 * len(ordered)) - 1])
+            approx = hist.percentile(p)
+            # Geometric buckets at 1.01 growth bound relative error ~1%.
+            assert abs(approx - exact) / exact < 0.02, (p, exact, approx)
+
+    def test_exact_extremes_and_mean(self):
+        hist = LatencyHistogram()
+        for v in (0.010, 0.020, 0.030):
+            hist.record(v)
+        assert hist.min == 0.010
+        assert hist.max == 0.030
+        assert hist.mean == pytest.approx(0.020)
+        assert hist.count == 3
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = LatencyHistogram()
+        hist.record(0.5)
+        # A single observation: every quantile is that observation.
+        for p in (0, 50, 100):
+            assert hist.percentile(p) == pytest.approx(0.5, rel=0.02)
+        assert hist.percentile(100) <= hist.max
+
+    def test_out_of_range_values_saturate_not_raise(self):
+        hist = LatencyHistogram(min_value=1e-3, max_value=1.0)
+        hist.record(1e-6)  # below min: first bucket
+        hist.record(50.0)  # above max: last bucket, exact max kept
+        assert hist.count == 2
+        assert hist.max == 50.0
+
+    def test_empty_and_invalid_inputs(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.mean == 0.0
+        assert hist.summary()["count"] == 0
+        with pytest.raises(ValueError):
+            hist.record(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=2.0, max_value=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(precision=1.0)
+
+    def test_merge_adds_counts(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (0.01, 0.02):
+            a.record(v)
+        for v in (0.03, 0.04):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.max == 0.04
+        assert a.min == 0.01
+        assert a.mean == pytest.approx(0.025)
+
+    def test_merge_rejects_different_geometry(self):
+        a = LatencyHistogram(precision=1.01)
+        b = LatencyHistogram(precision=1.05)
+        with pytest.raises(ValueError, match="geometry"):
+            a.merge(b)
+
+    def test_summary_columns(self):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        assert set(hist.summary()) == {
+            "count", "mean", "p50", "p90", "p99", "p999", "max"
+        }
+
+
+class TestRequestSpec:
+    def test_json_constructor_round_trips(self):
+        spec = RequestSpec.json("POST", "/simulate", {"a": 1})
+        assert spec.method == "POST"
+        assert json.loads(spec.body) == {"a": 1}
+
+    def test_default_simulate_spec_is_a_valid_request(self):
+        spec = default_simulate_spec(n_jobs=5, n_machines=2, n_trials=7)
+        body = json.loads(spec.body)
+        assert body["scenario"]["n_jobs"] == 5
+        assert body["config"]["n_trials"] == 7
+        assert spec.path == "/simulate"
+
+
+def _stub_server(handler):
+    """A one-endpoint asyncio HTTP stub; returns (server, port) awaitable."""
+
+    async def client_connected(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                length = 0
+                while True:
+                    raw = await reader.readline()
+                    if raw in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = raw.decode().partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value)
+                if length:
+                    await reader.readexactly(length)
+                await handler()
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n"
+                    b"Connection: keep-alive\r\n\r\n{}"
+                )
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    return asyncio.start_server(client_connected, "127.0.0.1", 0)
+
+
+class TestOpenLoopDriver:
+    def test_rejects_non_positive_rate_or_duration(self):
+        async def main():
+            with pytest.raises(ValueError):
+                await run_open_loop("127.0.0.1", 1, RequestSpec(),
+                                    rps=0, duration=1)
+            with pytest.raises(ValueError):
+                await run_open_loop("127.0.0.1", 1, RequestSpec(),
+                                    rps=10, duration=0)
+
+        asyncio.run(main())
+
+    def test_offered_load_is_rate_times_duration(self):
+        async def main():
+            server = await _stub_server(lambda: asyncio.sleep(0))
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_open_loop(
+                    "127.0.0.1", port, RequestSpec(), rps=40, duration=0.5
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report = asyncio.run(main())
+        assert report.offered == 20  # exactly rate x duration, never shed
+        assert report.completed == 20
+        assert report.errors == 0
+        assert report.status_counts == {"200": 20}
+        assert report.histogram.count == 20
+        assert report.achieved_rps > 0
+
+    def test_latency_measured_from_scheduled_arrival(self):
+        """A stalling server is charged for the backlog it causes.
+
+        The stub serializes requests behind a lock and takes 80ms each;
+        arrivals come every 20ms.  A closed-loop (or send-time-measured)
+        driver would report ~80ms for every request; the open loop charges
+        request i its queueing delay, so the tail grows ~60ms per queued
+        request — the anti-coordinated-omission contract.
+        """
+        lock = asyncio.Lock()
+
+        async def slow_handler():
+            async with lock:
+                await asyncio.sleep(0.08)
+
+        async def main():
+            server = await _stub_server(slow_handler)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_open_loop(
+                    "127.0.0.1", port, RequestSpec(), rps=50, duration=0.08
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report = asyncio.run(main())
+        assert report.offered == 4
+        assert report.completed == 4
+        # Last arrival (t=60ms) waits for three 80ms services: its latency
+        # from scheduled arrival is ~4*80-60 = 260ms, far above one service
+        # time.  Under coordinated omission it would have been ~80ms.
+        assert report.histogram.max > 0.18
+        assert report.histogram.min < 0.12  # first request: just service
+        assert report.max_in_flight >= 3  # arrivals did not wait in line
+
+    def test_error_statuses_counted_not_recorded(self):
+        async def main():
+            async def client_connected(reader, writer):
+                await reader.readline()
+                while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+                    pass
+                writer.write(
+                    b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n"
+                    b"Connection: close\r\n\r\n{}"
+                )
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(
+                client_connected, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_open_loop(
+                    "127.0.0.1", port, RequestSpec(), rps=20, duration=0.2
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report = asyncio.run(main())
+        assert report.completed == 0
+        assert report.errors == report.offered
+        assert report.status_counts.get("404") == report.offered
+        assert report.histogram.count == 0  # errors never pollute latency
+        assert report.error_rate == 1.0
+
+    def test_format_report_mentions_the_columns(self):
+        async def main():
+            server = await _stub_server(lambda: asyncio.sleep(0))
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_open_loop(
+                    "127.0.0.1", port, RequestSpec(), rps=20, duration=0.1
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        text = format_report(asyncio.run(main()))
+        for needle in ("open-loop run", "p50", "p99", "scheduled arrival",
+                       "responses by status"):
+            assert needle in text
