@@ -44,10 +44,13 @@ _BATCH_MARK = "test_batch_kernel_"
 
 #: (slow-side mark, fast-side mark) families reduced to speedup ratios.
 #: scalar/batch gates the kernel speedups; serve_base/serve_warm gates
-#: the request server's executor-lifecycle throughput ratios (BENCH_6).
+#: the request server's executor-lifecycle throughput ratios (BENCH_6);
+#: lpwall_exact/lpwall_subset gates the LP-wall collapse under survivor
+#: reuse (BENCH_7).
 _RATIO_MARKS = (
     (_SCALAR_MARK, _BATCH_MARK),
     ("test_serve_base_", "test_serve_warm_"),
+    ("test_lpwall_exact_", "test_lpwall_subset_"),
 )
 
 

@@ -19,6 +19,7 @@ import itertools
 import json
 from dataclasses import dataclass
 
+from repro.core.phased import LP_REUSE_MODES, resolve_lp_reuse
 from repro.errors import InvalidScenarioError
 from repro.util.rng import DISCIPLINES, resolve_discipline
 from repro.instance.generators import (
@@ -72,6 +73,14 @@ class SimConfig:
         statistically equivalent), or ``None`` to resolve through the
         ``REPRO_DISCIPLINE`` environment variable at run time (default
         v1).  See :mod:`repro.util.rng`.
+    lp_reuse:
+        LP survivor-set reuse mode: ``"exact"`` (every distinct survivor
+        set solves its own LP — bit-identical to earlier releases),
+        ``"subset"`` (a survivor set that is a subset of an already-solved
+        one, within the documented capped-mass coverage ``eps``, reuses the
+        cached round schedule restricted to its columns), or ``None`` to
+        resolve through ``REPRO_LP_REUSE`` at run time (default exact).
+        See :mod:`repro.core.phased`.
     """
 
     n_trials: int = 30
@@ -79,6 +88,7 @@ class SimConfig:
     semantics: str = "suu"
     max_steps: int = DEFAULT_MAX_STEPS
     discipline: str | None = None
+    lp_reuse: str | None = None
 
     def __post_init__(self):
         if self.n_trials < 1:
@@ -92,10 +102,19 @@ class SimConfig:
                 f"unknown discipline {self.discipline!r}; expected one of "
                 f"{DISCIPLINES} (or None for the environment default)"
             )
+        if self.lp_reuse is not None and self.lp_reuse not in LP_REUSE_MODES:
+            raise InvalidScenarioError(
+                f"unknown lp_reuse mode {self.lp_reuse!r}; expected one of "
+                f"{LP_REUSE_MODES} (or None for the environment default)"
+            )
 
     def resolved_discipline(self) -> str:
         """The discipline trials will actually run under (env-resolved)."""
         return resolve_discipline(self.discipline)
+
+    def resolved_lp_reuse(self) -> str:
+        """The lp_reuse mode trials will actually run under (env-resolved)."""
+        return resolve_lp_reuse(self.lp_reuse)
 
     def to_dict(self) -> dict:
         """JSON-compatible representation."""

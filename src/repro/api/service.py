@@ -42,6 +42,7 @@ from repro.api.registry import default_policy_for, policy_factory, policy_info
 from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
 from repro.core.phased import install_solve_cache
 from repro.instance.instance import SUUInstance
+from repro.lp.stats import lp_stats_delta, lp_stats_snapshot
 from repro.sim.batch import run_policy_batch
 from repro.sim.results import MakespanStats
 from repro.util.rng import (
@@ -91,6 +92,11 @@ class Report:
         Per-job completion statistics
         (:class:`~repro.analysis.perjob.PerJobStats`) when the simulation
         was asked for them (``per_job=True``); ``None`` otherwise.
+    lp_stats:
+        LP-wall attribution for this run (:mod:`repro.lp.stats` fields:
+        ``lp_solves``, ``assembly_seconds``, ``reuse_hits``,
+        ``coalesced_batches``, ``coalesced_solves``), summed across worker
+        chunks.  ``None`` on legacy paths that did not collect it.
     """
 
     scenario: Scenario | None
@@ -99,6 +105,7 @@ class Report:
     lower_bound: float
     config: SimConfig
     per_job: "PerJobStats | None" = None
+    lp_stats: dict | None = None
 
     @property
     def mean(self) -> float:
@@ -124,6 +131,7 @@ class Report:
             "ratio": self.ratio,
             "config": self.config.to_dict(),
             "per_job": self.per_job.to_dict() if self.per_job else None,
+            "lp": self.lp_stats,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -136,7 +144,7 @@ class Report:
 
 def run_trial_batch(
     instance, factory, rngs, semantics, max_steps, want_completions=False,
-    discipline="v1", streams=None,
+    discipline="v1", streams=None, lp_reuse="exact", want_lp_stats=False,
 ):
     """Run one chunk of Monte Carlo trials; returns the makespans.
 
@@ -152,21 +160,29 @@ def run_trial_batch(
     backends, and dispatch mode all produce bit-identical samples; under
     v2 the chunk reads its global rows of the run's batch streams
     (``streams`` arrives offset-rebased), so samples are still invariant
-    to chunk layout — they are just v2 samples.  The discipline is
-    resolved by the *caller* and passed explicitly so workers never
-    consult their own environment.
+    to chunk layout — they are just v2 samples.  The discipline — and,
+    identically, the ``lp_reuse`` mode — is resolved by the *caller* and
+    passed explicitly so workers never consult their own environment.
 
     With ``want_completions=True`` the chunk's ``(n_trials, n_jobs)``
     completion matrix rides along as a second return value (the raw
-    material of :func:`repro.analysis.per_job_stats`).
+    material of :func:`repro.analysis.per_job_stats`); with
+    ``want_lp_stats=True`` the chunk's LP-wall counter delta
+    (:func:`repro.lp.stats.lp_stats_delta` around the run, measured inside
+    the worker process) rides along as the final element.
     """
+    before = lp_stats_snapshot() if want_lp_stats else None
     batch = run_policy_batch(
         instance, factory, trial_rngs=rngs, semantics=semantics,
         max_steps=max_steps, discipline=discipline, streams=streams,
+        lp_reuse=lp_reuse,
     )
+    out = (batch.makespans,)
     if want_completions:
-        return batch.makespans, batch.completion_times
-    return batch.makespans
+        out = out + (batch.completion_times,)
+    if want_lp_stats:
+        out = out + (lp_stats_delta(before),)
+    return out if len(out) > 1 else out[0]
 
 
 def _resolve_policy(policy, instance, policy_kwargs):
@@ -251,13 +267,24 @@ def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
     return bounds
 
 
+def _sum_lp_deltas(deltas) -> dict:
+    """Field-wise sum of per-chunk LP-wall counter deltas."""
+    total: dict = {}
+    for delta in deltas:
+        for name, value in delta.items():
+            total[name] = total.get(name, 0) + value
+    return total
+
+
 def _map_chunks(pool, n_workers, instance, factory, rngs, config,
-                want_completions=False, discipline="v1", streams=None):
+                want_completions=False, discipline="v1", streams=None,
+                lp_reuse="exact", want_lp_stats=False):
     """Fan trial chunks out over ``pool`` and reassemble them in order.
 
     Under discipline v2 every chunk receives the run's streams re-based at
     its global start index, so a chunk computes exactly the rows of the
     whole-run draw it covers — chunk layout stays invisible in the samples.
+    LP-wall counter deltas (measured inside each worker) sum across chunks.
     """
     bounds = _chunk_bounds(config.n_trials, n_workers)
     chunks = list(pool.map(
@@ -266,17 +293,21 @@ def _map_chunks(pool, n_workers, instance, factory, rngs, config,
             *[
                 (instance, factory, rngs[lo:hi], config.semantics,
                  config.max_steps, want_completions, discipline,
-                 None if streams is None else streams.with_offset(lo))
+                 None if streams is None else streams.with_offset(lo),
+                 lp_reuse, want_lp_stats)
                 for lo, hi in bounds
             ]
         ),
     ))
+    if not (want_completions or want_lp_stats):
+        return np.concatenate(chunks)
+    parts = [c if isinstance(c, tuple) else (c,) for c in chunks]
+    out = (np.concatenate([p[0] for p in parts]),)
     if want_completions:
-        return (
-            np.concatenate([c[0] for c in chunks]),
-            np.concatenate([c[1] for c in chunks]),
-        )
-    return np.concatenate(chunks)
+        out = out + (np.concatenate([p[1] for p in parts]),)
+    if want_lp_stats:
+        out = out + (_sum_lp_deltas(p[-1] for p in parts),)
+    return out
 
 
 def _fast_path_eligible(factory, discipline: str = "v1") -> bool:
@@ -349,7 +380,7 @@ def _spec_fast_path_eligible(spec, discipline: str = "v1") -> bool:
 
 def _run_batched(
     instance, factory, config: SimConfig, backend: str, n_workers, pool=None,
-    want_completions=False, force_transport=False,
+    want_completions=False, force_transport=False, want_lp_stats=False,
 ):
     """Dispatch the trials on the requested backend; returns all samples.
 
@@ -368,6 +399,9 @@ def _run_batched(
     # own environment; under v2 the whole run shares one stream root
     # addressed by global trial index (chunk-layout invariant).
     discipline = config.resolved_discipline()
+    # Same caller-side resolution for the lp_reuse mode: workers receive
+    # it explicitly and never read their own REPRO_LP_REUSE.
+    lp_reuse = config.resolved_lp_reuse()
     streams = None
     if discipline == "v2":
         streams = BatchStreams(run_seed_sequence(config.seed))
@@ -384,18 +418,18 @@ def _run_batched(
     ):
         return run_trial_batch(
             instance, factory, rngs, config.semantics, config.max_steps,
-            want_completions, discipline, streams,
+            want_completions, discipline, streams, lp_reuse, want_lp_stats,
         )
     n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
     if pool is not None:
         return _map_chunks(
             pool, n_workers, instance, factory, rngs, config,
-            want_completions, discipline, streams,
+            want_completions, discipline, streams, lp_reuse, want_lp_stats,
         )
     with worker_pool(n_workers) as pool:
         return _map_chunks(
             pool, n_workers, instance, factory, rngs, config,
-            want_completions, discipline, streams,
+            want_completions, discipline, streams, lp_reuse, want_lp_stats,
         )
 
 
@@ -498,17 +532,17 @@ def _simulate_instance(
     out = _run_batched(
         instance, factory, config, backend, n_workers, pool=pool,
         want_completions=per_job, force_transport=force_transport,
+        want_lp_stats=True,
     )
+    samples = out[0]
+    lp_stats = out[-1]
     job_stats = None
     if per_job:
         # Deferred import: analysis -> core -> api is a cycle at package
         # init time (see _lower_bound).
         from repro.analysis.perjob import per_job_stats
 
-        samples, completions = out
-        job_stats = per_job_stats(completions, policy_name=label)
-    else:
-        samples = out
+        job_stats = per_job_stats(out[1], policy_name=label)
     if bound is None:
         bound = _lower_bound(instance)
     return Report(
@@ -518,6 +552,7 @@ def _simulate_instance(
         lower_bound=bound,
         config=config,
         per_job=job_stats,
+        lp_stats=lp_stats,
     )
 
 

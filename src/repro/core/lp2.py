@@ -24,13 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.lp1 import LP1Relaxation, MASS_EPS
+from repro.core.lp1 import LP1Relaxation, MASS_EPS, cached_capped_logmass
 from repro.core.rounding import PAPER_SCALE, round_assignment
 from repro.errors import InvalidInstanceError
 from repro.instance.instance import SUUInstance
 from repro.lp.model import LinearProgram
 from repro.schedule.base import IntegralAssignment
-from repro.util.logmass import capped_logmass
 
 __all__ = ["LP2Relaxation", "solve_lp2", "round_lp2"]
 
@@ -88,47 +87,85 @@ def solve_lp2(instance: SUUInstance, chains) -> LP2Relaxation:
     if min(covered) < 0 or max(covered) >= n:
         raise InvalidInstanceError("chain job ids out of range")
 
-    ell_capped = capped_logmass(instance.ell, 1.0)
+    ell_capped = cached_capped_logmass(instance, 1.0)
+
+    # Vectorized assembly.  Variables: t, then d_j per job in chain
+    # iteration order, then x_ij per job in that order with machines
+    # ascending — the numbering the per-coefficient dict builder used, so
+    # solutions are byte-identical to it.  ``covered`` concatenates the
+    # chains, so each chain's d variables occupy a contiguous range.
+    cov = np.asarray(covered, dtype=np.int64)
+    k = cov.size
+    sub = ell_capped[:, cov]  # (m, k)
+    usable = sub > MASS_EPS
+    per_job = usable.sum(axis=0)
+    if not per_job.all():
+        bad = cov[int(np.argmin(per_job > 0))]
+        raise InvalidInstanceError(f"job {bad} has no machine with positive log mass")
+    job_pos, mach_idx = np.nonzero(usable.T)
+    nnz = job_pos.size
 
     lp = LinearProgram()
     t_var = lp.add_variable(objective=1.0)
-    d_var: dict[int, int] = {j: lp.add_variable(objective=0.0, lb=1.0) for j in covered}
-    var_of: dict[tuple[int, int], int] = {}
-    for j in covered:
-        usable = np.nonzero(ell_capped[:, j] > MASS_EPS)[0]
-        if usable.size == 0:
-            raise InvalidInstanceError(f"job {j} has no machine with positive log mass")
-        for i in usable:
-            var_of[(int(i), j)] = lp.add_variable(objective=0.0)
+    d_vars = np.asarray(lp.add_variables(k, lb=1.0), dtype=np.int64)
+    x_vars = np.asarray(lp.add_variables(nnz), dtype=np.int64)
 
-    # Mass constraints (4).
-    for j in covered:
-        coeffs = {
-            var: float(ell_capped[i, jj]) for (i, jj), var in var_of.items() if jj == j
-        }
-        lp.add_ge(coeffs, 1.0)
-    # Machine loads (5).
-    for i in range(m):
-        coeffs = {var: 1.0 for (ii, _), var in var_of.items() if ii == i}
-        if coeffs:
-            coeffs[t_var] = -1.0
-            lp.add_le(coeffs, 0.0)
-    # Chain lengths (6).
-    for chain in chains:
-        coeffs = {d_var[j]: 1.0 for j in chain}
-        coeffs[t_var] = -1.0
-        lp.add_le(coeffs, 0.0)
-    # x_ij <= d_j (7).
-    for (i, j), var in var_of.items():
-        lp.add_le({var: 1.0, d_var[j]: -1.0}, 0.0)
+    # Mass constraints (4): one ``>= 1`` row per covered job.
+    lp.add_rows_csr(
+        np.concatenate(([0], np.cumsum(per_job))),
+        x_vars,
+        sub[mach_idx, job_pos],
+        np.ones(k),
+        ">=",
+    )
+    # Machine loads (5): ``sum_j x_ij - t <= 0`` per machine with usable jobs.
+    order = np.argsort(mach_idx, kind="stable")
+    per_mach = np.bincount(mach_idx, minlength=m)
+    used = per_mach > 0
+    load_indptr = np.concatenate(([0], np.cumsum(per_mach[used] + 1)))
+    load_cols = np.empty(load_indptr[-1], dtype=np.int64)
+    load_vals = np.empty(load_indptr[-1], dtype=np.float64)
+    t_slot = load_indptr[1:] - 1
+    x_slot = np.ones(load_indptr[-1], dtype=bool)
+    x_slot[t_slot] = False
+    load_cols[x_slot] = x_vars[order]
+    load_vals[x_slot] = 1.0
+    load_cols[t_slot] = t_var
+    load_vals[t_slot] = -1.0
+    lp.add_rows_csr(
+        load_indptr, load_cols, load_vals, np.zeros(int(used.sum())), "<="
+    )
+    # Chain lengths (6): ``sum_{j in C} d_j - t <= 0`` per chain.
+    chain_lens = np.asarray([len(chain) for chain in chains], dtype=np.int64)
+    ch_indptr = np.concatenate(([0], np.cumsum(chain_lens + 1)))
+    ch_cols = np.empty(ch_indptr[-1], dtype=np.int64)
+    ch_vals = np.empty(ch_indptr[-1], dtype=np.float64)
+    ch_t = ch_indptr[1:] - 1
+    ch_d = np.ones(ch_indptr[-1], dtype=bool)
+    ch_d[ch_t] = False
+    ch_cols[ch_d] = d_vars
+    ch_vals[ch_d] = 1.0
+    ch_cols[ch_t] = t_var
+    ch_vals[ch_t] = -1.0
+    lp.add_rows_csr(ch_indptr, ch_cols, ch_vals, np.zeros(len(chains)), "<=")
+    # x_ij <= d_j (7): one two-entry row per x variable, in variable order.
+    xd_cols = np.empty(2 * nnz, dtype=np.int64)
+    xd_vals = np.empty(2 * nnz, dtype=np.float64)
+    xd_cols[0::2] = x_vars
+    xd_vals[0::2] = 1.0
+    xd_cols[1::2] = d_vars[job_pos]
+    xd_vals[1::2] = -1.0
+    lp.add_rows_csr(
+        2 * np.arange(nnz + 1, dtype=np.int64), xd_cols, xd_vals, np.zeros(nnz), "<="
+    )
 
     sol = lp.solve()
     x = np.zeros((m, n), dtype=np.float64)
-    for (i, j), var in var_of.items():
-        x[i, j] = max(0.0, sol.x[var])
+    # ``+ 0.0`` normalizes HiGHS's signed zeros to +0.0, matching the old
+    # per-entry ``max(0.0, .)`` builder bit for bit.
+    x[mach_idx, cov[job_pos]] = np.maximum(0.0, sol.x[x_vars]) + 0.0
     d = np.zeros(n, dtype=np.float64)
-    for j, var in d_var.items():
-        d[j] = max(1.0, sol.x[var])
+    d[cov] = np.maximum(1.0, sol.x[d_vars])
     return LP2Relaxation(
         x=x, d=d, t_star=float(sol.value), chains=chains, ell_capped=ell_capped
     )

@@ -34,12 +34,15 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 import numpy as np
 
-from repro.core.lp1 import solve_lp1
+from repro.core.lp1 import cached_capped_logmass, solve_lp1
 from repro.core.rounding import round_assignment
-from repro.schedule.base import SimulationState
+from repro.lp.stats import LP_STATS
+from repro.schedule.base import IDLE, SimulationState
 from repro.schedule.oblivious import FiniteObliviousSchedule
 
 __all__ = [
@@ -48,6 +51,10 @@ __all__ = [
     "install_solve_cache",
     "clear_solve_cache",
     "solve_cache_stats",
+    "resolve_lp_reuse",
+    "active_lp_reuse",
+    "lp_reuse_eps",
+    "lp_reuse_context",
     "RoundScheduleCache",
     "ReplicaGroupedDispatch",
     "SemCursor",
@@ -58,6 +65,72 @@ __all__ = [
 
 #: Phase key of a trial whose covered jobs have all completed (idle row).
 IDLE_KEY = ("idle",)
+
+# ---------------------------------------------------------------------------
+# Survivor-set reuse mode ("collapse the LP wall").
+#
+# ``exact`` (the default) keeps today's behavior bit for bit: every distinct
+# (target, survivor set) runs its own LP1 solve pipeline, memoized exactly.
+# ``subset`` additionally allows a new survivor set S' that is a *subset* of
+# an already-solved set S (a per-trial predecessor, a coalesced boundary
+# union, or the canonical full-job-set anchor) to reuse S's rounded round
+# schedule restricted to S''s columns and compacted.  Capped-mass coverage
+# is then *exact*: every job of S' keeps its full multiset of (machine,
+# step-count) assignments from S, so each still receives >= target capped
+# mass, bit for bit.  What reuse can cost is schedule *length* — the
+# donor's placement need not balance S''s surviving steps — and eps bounds
+# exactly that: a restriction is accepted only when its compacted length is
+# within ``(1 + eps)`` of a perfectly balanced repack of the same steps.
+# Only schedule length (and hence makespan, statistically) can differ from
+# a fresh solve; gate-failing restrictions fall back to their own solves.
+
+#: Recognized ``lp_reuse`` modes.
+LP_REUSE_MODES = ("exact", "subset")
+
+#: Default relative length overhead tolerated by a derived round schedule
+#: (vs a perfectly balanced repack of its surviving steps).
+DEFAULT_LP_REUSE_EPS = 0.25
+
+_ACTIVE_LP_REUSE: str | None = None
+
+
+def resolve_lp_reuse(mode: str | None = None) -> str:
+    """Validate ``mode``, consulting ``REPRO_LP_REUSE`` when None."""
+    if mode is None:
+        mode = os.environ.get("REPRO_LP_REUSE", "exact") or "exact"
+    if mode not in LP_REUSE_MODES:
+        raise ValueError(
+            f"unknown lp_reuse mode {mode!r}; expected one of {LP_REUSE_MODES}"
+        )
+    return mode
+
+
+def active_lp_reuse() -> str:
+    """The lp_reuse mode in effect (context override, else environment)."""
+    if _ACTIVE_LP_REUSE is not None:
+        return _ACTIVE_LP_REUSE
+    return resolve_lp_reuse()
+
+
+def lp_reuse_eps() -> float:
+    """Subset-reuse length-overhead tolerance (``REPRO_LP_REUSE_EPS``)."""
+    eps = float(os.environ.get("REPRO_LP_REUSE_EPS", DEFAULT_LP_REUSE_EPS))
+    if not (0.0 <= eps < 1.0):
+        raise ValueError(f"lp_reuse eps must be in [0, 1), got {eps}")
+    return eps
+
+
+@contextmanager
+def lp_reuse_context(mode: str | None):
+    """Scope an lp_reuse mode over a batch run (thread-local enough: the
+    phased driver is single-threaded; solver threads never consult it)."""
+    global _ACTIVE_LP_REUSE
+    previous = _ACTIVE_LP_REUSE
+    _ACTIVE_LP_REUSE = resolve_lp_reuse(mode)
+    try:
+        yield
+    finally:
+        _ACTIVE_LP_REUSE = previous
 
 
 class ProcessSolveCache:
@@ -133,6 +206,21 @@ class ProcessSolveCache:
             if not keys:
                 del self._digests[digest]
 
+    def peek(self, key):
+        """The cached value for ``key`` (refreshing LRU), or None.
+
+        Unlike :meth:`lookup` a miss is free: no compute, no counter.  The
+        reuse/coalescing machinery peeks to decide *whether* a solve is
+        needed before committing to one.
+        """
+        if not self.enabled:
+            return None
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+            self._touch(key)
+        return value
+
     def lookup(self, key, compute):
         """``compute()`` memoized under ``key`` (straight call if disabled)."""
         if not self.enabled:
@@ -206,14 +294,19 @@ def solve_cache_stats() -> dict:
 
     Module-level (and picklable-return) so worker pools can sample a
     worker's cache through ``pool.submit(solve_cache_stats)`` — how the
-    request server's ``/healthz`` surfaces warm-worker reuse.
+    request server's ``/healthz`` surfaces warm-worker reuse.  The
+    process-wide LP-wall counters (:mod:`repro.lp.stats`) ride along so
+    the served path reports real HiGHS solves, assembly time, subset-reuse
+    hits, and coalesced batches too.
     """
-    return {
+    stats = {
         "entries": len(_SHARED_SOLVE_CACHE._entries),
         "instances": len(_SHARED_SOLVE_CACHE._digests),
         "solves": _SHARED_SOLVE_CACHE.solves,
         "hits": _SHARED_SOLVE_CACHE.hits,
     }
+    stats.update(LP_STATS.snapshot())
+    return stats
 
 
 class RoundScheduleCache:
@@ -238,6 +331,12 @@ class RoundScheduleCache:
         Number of lookups served from this batch's own table.
     """
 
+    #: Donor survivor sets kept per target for subset reuse, most recent last.
+    MAX_DONORS_PER_TARGET = 64
+    #: Thread-pool width for coalesced boundary solves (HiGHS releases the
+    #: GIL inside scipy, so a small pool overlaps real solver work).
+    COALESCE_WORKERS = 4
+
     def __init__(self, instance, scale: int):
         self.instance = instance
         self.scale = int(scale)
@@ -245,11 +344,159 @@ class RoundScheduleCache:
         self._memo: dict = {}
         self.solves = 0
         self.hits = 0
+        self.reuse_hits = 0
+        self.coalesced_batches = 0
+        self.coalesced_solves = 0
+        #: target -> list of (sorted survivor array, schedule) donors.
+        self._donors: dict[float, list] = {}
 
     def _solve(self, target: float, jobs: np.ndarray) -> FiniteObliviousSchedule:
         relaxation = solve_lp1(self.instance, jobs=jobs, target=target)
         assignment = round_assignment(relaxation, scale=self.scale)
         return FiniteObliviousSchedule.from_assignment(assignment)
+
+    def _shared_key(self, key):
+        return ("lp1-round", self.instance.digest(), self.scale) + key
+
+    def _sub_key(self, key, eps: float):
+        # Distinct prefix: derived schedules must never serve exact-mode
+        # lookups (exact mode stays bit-identical to a cold cache).
+        return ("lp1-round-sub", self.instance.digest(), self.scale, eps) + key
+
+    # -- subset reuse ---------------------------------------------------
+    def _register_donor(self, target: float, jobs: np.ndarray,
+                        schedule: FiniteObliviousSchedule) -> None:
+        pool = self._donors.setdefault(float(target), [])
+        pool.append((jobs, schedule))
+        if len(pool) > self.MAX_DONORS_PER_TARGET:
+            del pool[0]
+
+    def _derive_from_donors(self, target: float, jobs: np.ndarray, eps: float):
+        """A gate-passing derived schedule for ``jobs``, or None.
+
+        Existing superset donors are tried first (no solve at all), most
+        recent first; if none matches or passes the quality gate, the
+        *canonical* anchor — the full instance job set, a superset of
+        every survivor set that needs exactly one shared solve per
+        target, ever — is solved and tried.
+        """
+        pool = self._donors.get(float(target), [])
+        for donor_jobs, schedule in reversed(pool):
+            pos = np.searchsorted(donor_jobs, jobs)
+            if (pos < donor_jobs.size).all() and (donor_jobs[pos] == jobs).all():
+                derived = self._restrict(schedule, jobs, target, eps)
+                if derived is not None:
+                    return derived
+        full = np.arange(self.instance.n_jobs, dtype=np.int64)
+        if jobs.size == full.size or any(
+            donor_jobs.size == full.size for donor_jobs, _ in pool
+        ):
+            # The full set is the exact key itself, or the canonical anchor
+            # is already registered (and was tried, and failed, above).
+            return None
+        ukey = (float(target), full.tobytes())
+        anchor = shared_solve_cache().lookup(
+            self._shared_key(ukey), lambda: self._solve(target, full)
+        )
+        self._register_donor(target, full, anchor)
+        self.coalesced_batches += 1
+        LP_STATS.add("coalesced_batches")
+        return self._restrict(anchor, jobs, target, eps)
+
+    def _restrict(self, schedule: FiniteObliviousSchedule, jobs: np.ndarray,
+                  target: float, eps: float):
+        """The donor schedule restricted to ``jobs``, rebalanced and gated.
+
+        The restriction keeps, for every surviving job, its donor step
+        counts per machine — so each job still receives >= ``target``
+        capped mass — and drops steps the donor spent on departed jobs.
+        That alone is imbalanced: a fresh LP1 *minimizes* the max machine
+        load, while a restriction inherits placement balanced for the
+        donor's full set.  So steps are then greedily relocated from
+        over- to under-loaded machines, choosing at each move the job
+        whose capped-logmass delta between the two machines is largest
+        (least mass damage first) and never letting any job's mass drop
+        below ``target``.  The rebalanced length approaches the perfectly
+        balanced repack a fresh solve would produce.
+
+        The quality gate bounds the only real cost of reuse: the result
+        is returned only when the final length is within ``(1 + eps)`` of
+        the ceil-balanced repack of the same steps (and every requested
+        job actually appears — vacuously true for donors built from LP1
+        supersets, where mass >= target forces at least one step).
+        Returns None when the gate fails.
+        """
+        m = schedule.table.shape[1]
+        keep = np.isin(schedule.table, jobs)
+        counts = np.zeros((m, jobs.size), dtype=np.int64)
+        for i in range(m):
+            vals = schedule.table[keep[:, i], i]
+            np.add.at(counts[i], np.searchsorted(jobs, vals), 1)
+        if (counts.sum(axis=0) == 0).any():
+            return None
+        ell = cached_capped_logmass(self.instance, target)[:, jobs]
+        loads = counts.sum(axis=1)
+        ideal = -(-int(loads.sum()) // m)  # ceil balance
+        slack = (counts * ell).sum(axis=0) - target
+        while True:
+            a = int(np.argmax(loads))
+            b = int(np.argmin(loads))
+            if loads[a] <= ideal or loads[b] >= ideal:
+                break
+            delta = ell[b] - ell[a]
+            movable = (counts[a] > 0) & (slack + delta >= 0.0)
+            if not movable.any():
+                break
+            j = int(np.argmax(np.where(movable, delta, -np.inf)))
+            counts[a, j] -= 1
+            counts[b, j] += 1
+            loads[a] -= 1
+            loads[b] += 1
+            slack[j] += delta[j]
+        length = int(loads.max())
+        if length > (1.0 + eps) * ideal:
+            return None
+        out = np.full((length, m), IDLE, dtype=np.int64)
+        for i in range(m):
+            col = np.repeat(jobs, counts[i])
+            out[: col.size, i] = col
+        return FiniteObliviousSchedule(out)
+
+    def _obtain(self, key, count: bool = True) -> FiniteObliviousSchedule:
+        """The schedule for ``key = (target, jobs_bytes)`` honoring the
+        active lp_reuse mode (shared-cache first, then derivation from a
+        donor or a grown union anchor, then a fresh solve).
+
+        ``count=False`` suppresses the reuse-hit counters: ``ensure_many``
+        warms keys through this method, and the follow-up ``schedule_id``
+        call will count the (single) reuse when it peeks the warmed entry.
+        """
+        target = key[0]
+        jobs = np.frombuffer(key[1], dtype=np.int64)
+        shared = shared_solve_cache()
+        if active_lp_reuse() == "subset":
+            schedule = shared.peek(self._shared_key(key))
+            if schedule is not None:
+                self._register_donor(target, jobs, schedule)
+                return schedule
+            eps = lp_reuse_eps()
+            sub_key = self._sub_key(key, eps)
+            schedule = shared.peek(sub_key)
+            if schedule is None:
+                derived = self._derive_from_donors(target, jobs, eps)
+                if derived is not None:
+                    schedule = shared.lookup(sub_key, lambda: derived)
+            if schedule is not None:
+                if count:
+                    self.reuse_hits += 1
+                    LP_STATS.add("reuse_hits")
+                return schedule
+        schedule = shared.lookup(
+            self._shared_key(key), lambda: self._solve(target, jobs)
+        )
+        if active_lp_reuse() == "subset":
+            self._register_donor(target, jobs, schedule)
+        return schedule
 
     def schedule_id(self, target: float, jobs: np.ndarray) -> int:
         """Schedule id for ``LP1(jobs, target)`` rounded at ``self.scale``.
@@ -261,10 +508,7 @@ class RoundScheduleCache:
         key = (float(target), jobs.tobytes())
         sid = self._memo.get(key)
         if sid is None:
-            schedule = shared_solve_cache().lookup(
-                ("lp1-round", self.instance.digest(), self.scale) + key,
-                lambda: self._solve(target, jobs),
-            )
+            schedule = self._obtain(key)
             sid = len(self.schedules)
             self.schedules.append(schedule)
             self._memo[key] = sid
@@ -272,6 +516,98 @@ class RoundScheduleCache:
         else:
             self.hits += 1
         return sid
+
+    # -- coalesced boundary solves --------------------------------------
+    def ensure_many(self, requests) -> None:
+        """Warm the caches for several upcoming ``(target, jobs)`` lookups.
+
+        Called by ``begin_step`` pre-passes when a lock-step boundary is
+        about to request multiple distinct survivor-set schedules.  Purely
+        a cache-warming step — the subsequent serial :meth:`schedule_id`
+        calls assign ids and produce identical results whether or not this
+        ran (the solve pipeline is deterministic), so correctness and v1
+        bit-identity are untouched.
+
+        Misses are handled by mode:
+
+        * ``subset`` — per target, the *union* of the missing survivor
+          sets is solved once and registered as a donor (its composition
+          is much closer to this round's sets than the canonical full-set
+          anchor, so restrictions from it pass the quality gate more
+          often); every miss then warms through the donor machinery, with
+          gate failures falling back to their own solves.
+        * ``exact`` — misses at one boundary solve concurrently on a
+          small thread pool (scipy's HiGHS releases the GIL).  The solves
+          are the same deterministic pipelines, merely overlapped.
+        """
+        pending: dict = {}
+        for target, jobs in requests:
+            jobs = np.ascontiguousarray(jobs, dtype=np.int64)
+            key = (float(target), jobs.tobytes())
+            if key not in self._memo and key not in pending:
+                pending[key] = jobs
+        if not pending:
+            return
+        shared = shared_solve_cache()
+        subset = active_lp_reuse() == "subset"
+        eps = lp_reuse_eps() if subset else 0.0
+
+        misses: dict = {}
+        for key, jobs in pending.items():
+            hit = shared.peek(self._shared_key(key))
+            if hit is not None:
+                if subset:
+                    self._register_donor(key[0], jobs, hit)
+                continue
+            if subset and shared.peek(self._sub_key(key, eps)) is not None:
+                continue
+            misses[key] = jobs
+        if not misses:
+            return
+
+        if subset:
+            by_target: dict = {}
+            for key, jobs in misses.items():
+                by_target.setdefault(key[0], []).append((key, jobs))
+            for target, group in by_target.items():
+                if len(group) < 2:
+                    continue
+                # One union-anchor solve per boundary group: a donor whose
+                # composition is much closer to this round's survivor sets
+                # than the canonical full-set anchor, so restrictions from
+                # it pass the quality gate more often.
+                union = group[0][1]
+                for _, jobs in group[1:]:
+                    union = np.union1d(union, jobs)
+                union = np.ascontiguousarray(union, dtype=np.int64)
+                ukey = (target, union.tobytes())
+                schedule = shared.lookup(
+                    self._shared_key(ukey), lambda u=union, t=target: self._solve(t, u)
+                )
+                self._register_donor(target, union, schedule)
+                self.coalesced_batches += 1
+                self.coalesced_solves += len(group)
+                LP_STATS.add("coalesced_batches")
+                LP_STATS.add("coalesced_solves", len(group))
+            # Every miss then warms serially through the donor machinery;
+            # gate-failing restrictions fall back to their own solves.
+            for key in misses:
+                self._obtain(key, count=False)
+            return
+
+        solo = misses
+        if len(solo) > 1:
+            keys = list(solo)
+            with ThreadPoolExecutor(max_workers=self.COALESCE_WORKERS) as pool:
+                solved = list(
+                    pool.map(lambda k: self._solve(k[0], solo[k]), keys)
+                )
+            for key, schedule in zip(keys, solved):
+                shared.lookup(self._shared_key(key), lambda s=schedule: s)
+            self.coalesced_batches += 1
+            self.coalesced_solves += len(keys)
+            LP_STATS.add("coalesced_batches")
+            LP_STATS.add("coalesced_solves", len(keys))
 
     def schedule(self, sid: int) -> FiniteObliviousSchedule:
         """The schedule registered under ``sid``."""

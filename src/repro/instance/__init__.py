@@ -9,6 +9,7 @@ from repro.instance.generators import (
     forest_instance,
     independent_instance,
     layered_instance,
+    lpwall_instance,
     prelude_chain_instance,
     random_dag_instance,
     stochastic_instance,
@@ -34,6 +35,7 @@ __all__ = [
     "independent_instance",
     "chain_instance",
     "prelude_chain_instance",
+    "lpwall_instance",
     "tree_instance",
     "forest_instance",
     "layered_instance",

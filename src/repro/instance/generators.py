@@ -34,6 +34,7 @@ __all__ = [
     "independent_instance",
     "chain_instance",
     "prelude_chain_instance",
+    "lpwall_instance",
     "tree_instance",
     "forest_instance",
     "layered_instance",
@@ -171,6 +172,43 @@ def prelude_chain_instance(
         hi = min(k + chain_length, n_jobs)
         edges.extend((j, j + 1) for j in range(k, hi - 1))
         k = hi
+    return SUUInstance(q, PrecedenceGraph(n_jobs, edges))
+
+
+def lpwall_instance(
+    n_jobs: int = 384,
+    n_machines: int = 2,
+    chain_length: int | None = None,
+    q_lo: float = 0.90,
+    q_hi: float = 0.98,
+    rng=5,
+) -> SUUInstance:
+    """A long-job-heavy instance whose cost is dominated by LP1 solves.
+
+    Uniformly hard failure probabilities (every ``l_ij = -log2 q_ij`` is
+    tiny) make every job *long*: reaching each round's mass target takes
+    many steps on any machine, so round schedules are large and the LP1
+    behind each one is expensive.  Many jobs over few machines keep the
+    survivor sets entering rounds 2+ big — and, across Monte Carlo trials,
+    *distinct* (each trial completes a different random sliver of the
+    universe), so a scalar sweep pays one full LP1 pipeline per (trial,
+    round): the "LP wall" that ``lp_reuse="subset"`` collapses by deriving
+    those near-identical survivor sets from one shared anchor solve.
+
+    ``chain_length=None`` (default) yields independent jobs for the
+    ``sem`` family; an integer builds consecutive-id chains (the
+    :func:`prelude_chain_instance` shape) so the same wall exercises the
+    SUU-C segment path.
+    """
+    rng = ensure_rng(rng)
+    q = rng.uniform(q_lo, q_hi, size=(n_machines, n_jobs))
+    edges: list[tuple[int, int]] = []
+    if chain_length is not None:
+        k = 0
+        while k < n_jobs:
+            hi = min(k + chain_length, n_jobs)
+            edges.extend((j, j + 1) for j in range(k, hi - 1))
+            k = hi
     return SUUInstance(q, PrecedenceGraph(n_jobs, edges))
 
 

@@ -4,18 +4,38 @@ Both LP1 and LP2 are built column-by-column over ``(machine, job)`` pairs;
 this builder accumulates sparse inequality rows and hands a CSR matrix to
 the solver.  It intentionally supports only what the paper's programs need:
 minimization, ``<=`` / ``>=`` / ``==`` rows, and per-variable bounds.
+
+Rows arrive through two surfaces with identical semantics:
+
+* the per-row dict API (:meth:`LinearProgram.add_le` / ``add_ge`` /
+  ``add_eq``) — convenient for small programs and kept for compatibility;
+* the bulk CSR API (:meth:`LinearProgram.add_rows_csr`) — whole constraint
+  families as numpy triplet arrays, the assembly path the vectorized
+  LP1/LP2 builders use.  One call appends thousands of rows with no
+  per-coefficient Python work.
+
+Internally every surface appends *blocks* of COO triplets; duplicate
+coefficients within a row sum (exactly the dict API's merge) when the
+blocks are concatenated into the final CSR matrices by
+:meth:`LinearProgram.build_arrays`, which is fully vectorized and reports
+its wall-clock into :data:`repro.lp.stats.LP_STATS` (``assembly_seconds``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.lp.solver import LPSolution, solve_lp
+from repro.lp.stats import LP_STATS
 
 __all__ = ["LinearProgram"]
+
+#: Sense encodings used in the internal row blocks.
+_SENSE_CODE = {"<=": 0, ">=": 1, "==": 2}
 
 
 @dataclass
@@ -35,9 +55,9 @@ class LinearProgram:
     _objective: list[float] = field(default_factory=list)
     _lb: list[float] = field(default_factory=list)
     _ub: list[float] = field(default_factory=list)
-    _rows: list[dict[int, float]] = field(default_factory=list)
-    _rhs: list[float] = field(default_factory=list)
-    _senses: list[str] = field(default_factory=list)
+    #: COO row blocks: (block-local rows, cols, vals, rhs, sense codes).
+    _blocks: list[tuple] = field(default_factory=list)
+    _n_rows: int = 0
 
     @property
     def n_variables(self) -> int:
@@ -47,7 +67,7 @@ class LinearProgram:
     @property
     def n_constraints(self) -> int:
         """Number of constraint rows added so far."""
-        return len(self._rows)
+        return self._n_rows
 
     def add_variable(
         self, objective: float = 0.0, lb: float = 0.0, ub: float | None = None
@@ -64,7 +84,15 @@ class LinearProgram:
         self, count: int, objective: float = 0.0, lb: float = 0.0, ub: float | None = None
     ) -> list[int]:
         """Add ``count`` identical variables; returns their column indices."""
-        return [self.add_variable(objective, lb, ub) for _ in range(count)]
+        if count < 0:
+            raise ValueError(f"variable count must be >= 0, got {count}")
+        if ub is not None and ub < lb:
+            raise ValueError(f"upper bound {ub} below lower bound {lb}")
+        start = len(self._objective)
+        self._objective.extend([float(objective)] * count)
+        self._lb.extend([float(lb)] * count)
+        self._ub.extend([np.inf if ub is None else float(ub)] * count)
+        return list(range(start, start + count))
 
     def _add_row(self, coeffs: dict[int, float], rhs: float, sense: str) -> None:
         nv = self.n_variables
@@ -76,9 +104,16 @@ class LinearProgram:
             coef = float(coef)
             if coef != 0.0:
                 clean[col] = clean.get(col, 0.0) + coef
-        self._rows.append(clean)
-        self._rhs.append(float(rhs))
-        self._senses.append(sense)
+        self._blocks.append(
+            (
+                np.zeros(len(clean), dtype=np.int64),
+                np.fromiter(clean.keys(), dtype=np.int64, count=len(clean)),
+                np.fromiter(clean.values(), dtype=np.float64, count=len(clean)),
+                np.array([float(rhs)], dtype=np.float64),
+                np.array([_SENSE_CODE[sense]], dtype=np.int8),
+            )
+        )
+        self._n_rows += 1
 
     def add_le(self, coeffs: dict[int, float], rhs: float) -> None:
         """Add ``sum coeffs[v] * x_v <= rhs``."""
@@ -93,40 +128,111 @@ class LinearProgram:
         self._add_row(coeffs, rhs, "==")
 
     # ------------------------------------------------------------------
+    def add_rows_csr(self, indptr, cols, vals, rhs, senses) -> None:
+        """Bulk-append constraint rows given in CSR triplet form.
+
+        Row ``r`` (``0 <= r < len(rhs)``) has coefficients
+        ``vals[indptr[r]:indptr[r+1]]`` on variables
+        ``cols[indptr[r]:indptr[r+1]]`` and right-hand side ``rhs[r]``.
+        ``senses`` is either one sense string (``"<="``/``">="``/``"=="``)
+        applied to every row, or a sequence of per-row sense strings.
+
+        Semantics match the per-row dict API exactly: zero coefficients are
+        dropped, duplicate columns within a row sum, and rows interleave
+        with previously added ones in call order.  All validation is
+        vectorized — no per-coefficient Python work.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+        rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise ValueError("indptr must be a 1-D array of length n_rows + 1")
+        n_rows = indptr.size - 1
+        if rhs.shape != (n_rows,):
+            raise ValueError(f"rhs has shape {rhs.shape}, expected ({n_rows},)")
+        if indptr[0] != 0 or indptr[-1] != cols.size or (np.diff(indptr) < 0).any():
+            raise ValueError("indptr must be nondecreasing from 0 to len(cols)")
+        if cols.shape != vals.shape:
+            raise ValueError("cols and vals must have equal length")
+        if cols.size and (
+            int(cols.min()) < 0 or int(cols.max()) >= self.n_variables
+        ):
+            raise ValueError("coefficient on unknown variable")
+        if isinstance(senses, str):
+            if senses not in _SENSE_CODE:
+                raise ValueError(f"unknown constraint sense {senses!r}")
+            sense_codes = np.full(n_rows, _SENSE_CODE[senses], dtype=np.int8)
+        else:
+            try:
+                sense_codes = np.fromiter(
+                    (_SENSE_CODE[s] for s in senses), dtype=np.int8, count=n_rows
+                )
+            except KeyError as exc:
+                raise ValueError(f"unknown constraint sense {exc.args[0]!r}") from exc
+        rows = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
+        keep = vals != 0.0
+        if not keep.all():
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        self._blocks.append((rows, cols, vals, rhs, sense_codes))
+        self._n_rows += n_rows
+
+    # ------------------------------------------------------------------
     def build_arrays(self):
-        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` for the solver."""
+        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` for the solver.
+
+        Fully vectorized: blocks concatenate into one COO triplet set,
+        rows split by sense (``>=`` rows negate into ``<=`` form, matching
+        scipy's ``A_ub x <= b_ub`` convention), and duplicate coefficients
+        within a row sum during CSR conversion.  Wall-clock spent here is
+        accumulated into ``LP_STATS.assembly_seconds``.
+        """
+        t0 = time.perf_counter()
         nv = self.n_variables
-        data_ub, rows_ub, cols_ub, b_ub = [], [], [], []
-        data_eq, rows_eq, cols_eq, b_eq = [], [], [], []
-        for coeffs, rhs, sense in zip(self._rows, self._rhs, self._senses):
-            if sense == "==":
-                r = len(b_eq)
-                for col, coef in coeffs.items():
-                    rows_eq.append(r)
-                    cols_eq.append(col)
-                    data_eq.append(coef)
-                b_eq.append(rhs)
-            else:
-                sign = 1.0 if sense == "<=" else -1.0
-                r = len(b_ub)
-                for col, coef in coeffs.items():
-                    rows_ub.append(r)
-                    cols_ub.append(col)
-                    data_ub.append(sign * coef)
-                b_ub.append(sign * rhs)
-        A_ub = (
-            sp.csr_matrix((data_ub, (rows_ub, cols_ub)), shape=(len(b_ub), nv))
-            if b_ub
-            else None
-        )
-        A_eq = (
-            sp.csr_matrix((data_eq, (rows_eq, cols_eq)), shape=(len(b_eq), nv))
-            if b_eq
-            else None
-        )
+        if self._blocks:
+            offsets = np.cumsum([0] + [b[3].size for b in self._blocks])
+            rows = np.concatenate(
+                [b[0] + off for b, off in zip(self._blocks, offsets[:-1])]
+            )
+            cols = np.concatenate([b[1] for b in self._blocks])
+            vals = np.concatenate([b[2] for b in self._blocks])
+            rhs = np.concatenate([b[3] for b in self._blocks])
+            sense = np.concatenate([b[4] for b in self._blocks])
+        else:
+            rows = cols = np.empty(0, dtype=np.int64)
+            vals = rhs = np.empty(0, dtype=np.float64)
+            sense = np.empty(0, dtype=np.int8)
+
+        is_eq = sense == _SENSE_CODE["=="]
+        n_eq = int(is_eq.sum())
+        n_ub = rhs.size - n_eq
+        # Per-family row indices, preserving insertion order within each.
+        family_index = np.where(is_eq, np.cumsum(is_eq) - 1, np.cumsum(~is_eq) - 1)
+        row_sign = np.where(sense == _SENSE_CODE[">="], -1.0, 1.0)
+
+        ent_eq = is_eq[rows]
+        A_ub = None
+        b_ub = np.asarray([], dtype=np.float64)
+        if n_ub:
+            um = ~ent_eq
+            A_ub = sp.csr_matrix(
+                (vals[um] * row_sign[rows[um]], (family_index[rows[um]], cols[um])),
+                shape=(n_ub, nv),
+            )
+            b_ub = (rhs * row_sign)[~is_eq]
+        A_eq = None
+        b_eq = np.asarray([], dtype=np.float64)
+        if n_eq:
+            A_eq = sp.csr_matrix(
+                (vals[ent_eq], (family_index[rows[ent_eq]], cols[ent_eq])),
+                shape=(n_eq, nv),
+            )
+            b_eq = rhs[is_eq]
+
         c = np.asarray(self._objective, dtype=np.float64)
         bounds = list(zip(self._lb, [None if np.isinf(u) else u for u in self._ub]))
-        return c, A_ub, np.asarray(b_ub), A_eq, np.asarray(b_eq), bounds
+        LP_STATS.add("assembly_seconds", time.perf_counter() - t0)
+        return c, A_ub, b_ub, A_eq, b_eq, bounds
 
     def solve(self) -> LPSolution:
         """Solve the LP with the HiGHS backend."""

@@ -14,6 +14,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import InfeasibleLPError
+from repro.lp.stats import LP_STATS
 
 __all__ = ["LPSolution", "solve_lp"]
 
@@ -50,6 +51,7 @@ def solve_lp(
         If HiGHS reports anything but optimality (infeasible, unbounded, or
         a numerical failure), with the solver's message attached.
     """
+    LP_STATS.add("lp_solves")
     res = linprog(
         c,
         A_ub=A_ub,

@@ -170,6 +170,7 @@ def run_policy_batch(
     trial_rngs=None,
     discipline: str | None = None,
     streams: BatchStreams | None = None,
+    lp_reuse: str | None = None,
 ) -> BatchSimResult:
     """Execute ``n_trials`` independent runs of ``policy``, vectorized.
 
@@ -210,6 +211,12 @@ def run_policy_batch(
         Pre-built v2 :class:`~repro.util.rng.BatchStreams` (the service
         passes offset-rebased streams so worker chunks read their global
         rows).  Ignored under v1; built from ``rng`` when omitted under v2.
+    lp_reuse:
+        LP survivor-set reuse mode scoped over this batch: ``"exact"``
+        (bit-identical, the default), ``"subset"`` (reuse cached round
+        schedules for survivor subsets within the documented coverage
+        eps), or ``None`` to resolve through ``REPRO_LP_REUSE``.  See
+        :mod:`repro.core.phased`.
 
     Raises
     ------
@@ -262,20 +269,24 @@ def run_policy_batch(
     else:
         factory = policy
         probe = factory()
-    if supports_batch(probe):
-        return _run_vectorized(
-            instance, probe, trial_rngs, semantics, max_steps, thresholds,
-            discipline, streams,
+    # Imported here: repro.core pulls policy modules that import this one.
+    from repro.core.phased import lp_reuse_context
+
+    with lp_reuse_context(lp_reuse):
+        if supports_batch(probe):
+            return _run_vectorized(
+                instance, probe, trial_rngs, semantics, max_steps, thresholds,
+                discipline, streams,
+            )
+        if supports_phased(probe):
+            return _run_phased(
+                instance, probe, trial_rngs, semantics, max_steps, thresholds,
+                discipline, streams,
+            )
+        return _run_fallback(
+            instance, probe, factory, trial_rngs, semantics, max_steps, thresholds,
+            discipline,
         )
-    if supports_phased(probe):
-        return _run_phased(
-            instance, probe, trial_rngs, semantics, max_steps, thresholds,
-            discipline, streams,
-        )
-    return _run_fallback(
-        instance, probe, factory, trial_rngs, semantics, max_steps, thresholds,
-        discipline,
-    )
 
 
 def _run_fallback(
