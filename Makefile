@@ -24,11 +24,19 @@ LPWALL_BASELINE ?= BENCH_7.json
 # fraction of it; the hard solve-count floor (>= 5x fewer solves) is
 # asserted inside bench_lpwall.py itself and does not depend on timing.
 LPWALL_TOLERANCE ?= 0.3
+KERNELS_JSON ?= bench_kernels_current.json
+KERNELS_BASELINE ?= BENCH_8.json
+# The checked/trusted validation-hoist ratio is ~1.0x on the numpy
+# backend (its checks are whole-batch array ops), so almost all of it is
+# noise; the pair is there to *measure* the delta and keep the gate
+# non-empty without numba.  The numpy/numba pairs hard-assert their
+# bit-identity and >= 2x floor inside bench_kernels.py itself.
+KERNELS_TOLERANCE ?= 0.5
 COV_FLOOR ?= 85
 
-.PHONY: test test-v2 lint cov bench bench-check \
+.PHONY: test test-v2 test-kernel-python lint cov bench bench-check \
 	bench-service bench-service-check bench-lpwall bench-lpwall-check \
-	smoke tables
+	bench-kernels bench-kernels-check smoke tables
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -38,6 +46,13 @@ test:
 # pinned bit-identity suites keep checking v1.
 test-v2:
 	PYTHONPATH=src REPRO_DISCIPLINE=v2 $(PYTHON) -m pytest -x -q
+
+# Tier-1 on the uncompiled loop-nest kernel backend: every test that
+# drives the batch engine re-checks bit-identity of the fused logic the
+# numba backend compiles — no numba required.  (CI's numba leg runs the
+# same suite with REPRO_KERNEL=numba when the [kernels] extra installs.)
+test-kernel-python:
+	PYTHONPATH=src REPRO_KERNEL=python $(PYTHON) -m pytest -x -q
 
 # CI's lint job, locally: ruff for style/imports, ruff format for layout,
 # mypy (permissive config in pyproject.toml) for obvious type breakage.
@@ -84,6 +99,17 @@ bench-lpwall:
 bench-lpwall-check: bench-lpwall
 	$(PYTHON) benchmarks/check_regression.py $(LPWALL_BASELINE) \
 		$(LPWALL_JSON) --mode ratio --tolerance $(LPWALL_TOLERANCE)
+
+# Kernel-backend benchmarks: numpy-vs-numba pairs at 10k trials (skipped
+# without numba; bit-identity + the 2x floor are hard-asserted in-bench)
+# plus the checked/trusted validation-hoist pair, runnable everywhere.
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernels.py \
+		--benchmark-json=$(KERNELS_JSON) -q
+
+bench-kernels-check: bench-kernels
+	$(PYTHON) benchmarks/check_regression.py $(KERNELS_BASELINE) \
+		$(KERNELS_JSON) --mode ratio --tolerance $(KERNELS_TOLERANCE)
 
 # End-to-end service smoke: boot `repro serve`, drive ~5s of open-loop
 # constant-RPS load, assert zero errors + p99 sanity, SIGTERM gracefully.

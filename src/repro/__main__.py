@@ -40,6 +40,7 @@ from repro.api.registry import (
 from repro.api.scenario import FAILURE_MODELS, SCENARIO_SHAPES, Scenario, SimConfig
 from repro.api.service import evaluate_grid, simulate
 from repro.instance import load_instance, save_instance
+from repro.kernels import KERNELS
 from repro.sim.engine import run_policy
 from repro.sim.trace import TracingPolicy, render_gantt
 
@@ -93,13 +94,15 @@ def _cmd_run(args) -> int:
         inst,
         name,
         SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps,
-                  discipline=args.discipline),
+                  discipline=args.discipline, kernel=args.kernel),
         backend=args.backend,
         n_workers=args.workers,
     )
     lo, hi = report.stats.ci95
     print(f"instance: {inst}")
     print(f"policy:   {report.policy}")
+    if report.kernel is not None and report.kernel["active"] != "numpy":
+        print(f"kernel:   {report.kernel['active']}")
     print(f"E[T] = {report.mean:.3f} steps   95% CI [{lo:.3f}, {hi:.3f}] "
           f"({args.trials} trials)")
     print(f"lower bound = {report.lower_bound:.3f}   "
@@ -157,7 +160,8 @@ def _cmd_sweep(args) -> int:
         seed=args.seed_instance,
     )
     config = SimConfig(n_trials=args.trials, seed=args.seed,
-                       max_steps=args.max_steps, discipline=args.discipline)
+                       max_steps=args.max_steps, discipline=args.discipline,
+                       kernel=args.kernel)
     reports = evaluate_grid(
         grid,
         args.policy or ("auto",),
@@ -190,12 +194,20 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import os
     import signal
 
+    from repro.kernels import KERNEL_ENV_VAR
     from repro.server import SchedulingServer, make_executor
 
+    if args.kernel is not None:
+        # The serve knob is process-wide: exporting it makes the serial
+        # executor, request-time resolution, and /healthz all agree, and
+        # warm-pool workers get it explicitly through the initializer.
+        os.environ[KERNEL_ENV_VAR] = args.kernel
     executor = make_executor(args.executor, args.workers,
-                             solve_cache_entries=args.solve_cache)
+                             solve_cache_entries=args.solve_cache,
+                             kernel=args.kernel)
 
     async def _main() -> None:
         server = SchedulingServer(
@@ -309,6 +321,9 @@ def main(argv=None) -> int:
     r.add_argument("--discipline", choices=["v1", "v2"], default=None,
                    help="RNG discipline (default: $REPRO_DISCIPLINE or v1; "
                         "v2 = batch-native draws, statistically equivalent)")
+    r.add_argument("--kernel", choices=KERNELS, default=None,
+                   help="hot-loop kernel backend (default: $REPRO_KERNEL or "
+                        "numpy; numba = JIT-compiled, bit-identical samples)")
     r.set_defaults(func=_cmd_run)
 
     ga = sub.add_parser("gantt", help="render one execution as ASCII")
@@ -347,6 +362,9 @@ def main(argv=None) -> int:
     s.add_argument("--workers", type=int, default=None)
     s.add_argument("--discipline", choices=["v1", "v2"], default=None,
                    help="RNG discipline (default: $REPRO_DISCIPLINE or v1)")
+    s.add_argument("--kernel", choices=KERNELS, default=None,
+                   help="hot-loop kernel backend (default: $REPRO_KERNEL or "
+                        "numpy)")
     s.add_argument("--json", default=None, help="also dump reports to this file")
     s.set_defaults(func=_cmd_sweep)
 
@@ -372,6 +390,10 @@ def main(argv=None) -> int:
                     help="max concurrently executing requests (default 8)")
     sv.add_argument("--drain-timeout", type=float, default=10.0,
                     help="seconds to wait for in-flight requests at shutdown")
+    sv.add_argument("--kernel", choices=KERNELS, default=None,
+                    help="hot-loop kernel backend for the whole service "
+                         "(default: $REPRO_KERNEL or numpy); warm-pool "
+                         "workers pre-compile it at pool start-up")
     sv.add_argument("--no-prewarm", dest="prewarm", action="store_false",
                     help="skip building the worker pool before accepting "
                          "traffic (first request then pays the spawn cost)")

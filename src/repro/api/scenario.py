@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.phased import LP_REUSE_MODES, resolve_lp_reuse
 from repro.errors import InvalidScenarioError
+from repro.kernels import KERNELS, resolve_kernel
 from repro.util.rng import DISCIPLINES, resolve_discipline
 from repro.instance.generators import (
     chain_instance,
@@ -81,6 +82,22 @@ class SimConfig:
         cached round schedule restricted to its columns), or ``None`` to
         resolve through ``REPRO_LP_REUSE`` at run time (default exact).
         See :mod:`repro.core.phased`.
+    kernel:
+        Hot-loop kernel backend: ``"numpy"`` (default), ``"numba"``
+        (compiled fused steppers, bit-identical outputs, graceful numpy
+        fallback when numba is missing), ``"python"`` (uncompiled
+        reference loops), or ``None`` to resolve through the
+        ``REPRO_KERNEL`` environment variable at run time.  See
+        :mod:`repro.kernels`.
+    substreams:
+        How sweep cells consume the seed's randomness: ``"shared"`` (the
+        default; every policy sees the same trial RNG tree / batch
+        streams — common-random-numbers pairing, minimum-variance policy
+        *differences*) or ``"per-policy"`` (each policy in an
+        ``evaluate_grid`` sweep draws from its own
+        ``BatchStreams.child`` substream — independent estimates per
+        cell, minimum-variance cell *means*).  Single-policy
+        ``simulate()`` calls are unaffected.
     """
 
     n_trials: int = 30
@@ -89,6 +106,8 @@ class SimConfig:
     max_steps: int = DEFAULT_MAX_STEPS
     discipline: str | None = None
     lp_reuse: str | None = None
+    kernel: str | None = None
+    substreams: str = "shared"
 
     def __post_init__(self):
         if self.n_trials < 1:
@@ -107,6 +126,16 @@ class SimConfig:
                 f"unknown lp_reuse mode {self.lp_reuse!r}; expected one of "
                 f"{LP_REUSE_MODES} (or None for the environment default)"
             )
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise InvalidScenarioError(
+                f"unknown kernel backend {self.kernel!r}; expected one of "
+                f"{KERNELS} (or None for the environment default)"
+            )
+        if self.substreams not in ("shared", "per-policy"):
+            raise InvalidScenarioError(
+                f"unknown substreams mode {self.substreams!r}; expected "
+                f"'shared' or 'per-policy'"
+            )
 
     def resolved_discipline(self) -> str:
         """The discipline trials will actually run under (env-resolved)."""
@@ -115,6 +144,11 @@ class SimConfig:
     def resolved_lp_reuse(self) -> str:
         """The lp_reuse mode trials will actually run under (env-resolved)."""
         return resolve_lp_reuse(self.lp_reuse)
+
+    def resolved_kernel(self) -> str:
+        """The kernel backend trials will request (env-resolved; a missing
+        numba still degrades to numpy at run time)."""
+        return resolve_kernel(self.kernel)
 
     def to_dict(self) -> dict:
         """JSON-compatible representation."""

@@ -42,6 +42,7 @@ from repro.api.registry import default_policy_for, policy_factory, policy_info
 from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
 from repro.core.phased import install_solve_cache
 from repro.instance.instance import SUUInstance
+from repro.kernels import kernel_info, resolve_kernel, warmup as warmup_kernel
 from repro.lp.stats import lp_stats_delta, lp_stats_snapshot
 from repro.sim.batch import run_policy_batch
 from repro.sim.results import MakespanStats
@@ -97,6 +98,10 @@ class Report:
         ``lp_solves``, ``assembly_seconds``, ``reuse_hits``,
         ``coalesced_batches``, ``coalesced_solves``), summed across worker
         chunks.  ``None`` on legacy paths that did not collect it.
+    kernel:
+        The resolved kernel backend (:func:`repro.kernels.kernel_info`
+        keys: ``requested``, ``active``, ``numba_available``,
+        ``warmup_seconds``) the trials ran on.  ``None`` on legacy paths.
     """
 
     scenario: Scenario | None
@@ -106,6 +111,7 @@ class Report:
     config: SimConfig
     per_job: "PerJobStats | None" = None
     lp_stats: dict | None = None
+    kernel: dict | None = None
 
     @property
     def mean(self) -> float:
@@ -132,6 +138,7 @@ class Report:
             "config": self.config.to_dict(),
             "per_job": self.per_job.to_dict() if self.per_job else None,
             "lp": self.lp_stats,
+            "kernel": self.kernel,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -145,6 +152,7 @@ class Report:
 def run_trial_batch(
     instance, factory, rngs, semantics, max_steps, want_completions=False,
     discipline="v1", streams=None, lp_reuse="exact", want_lp_stats=False,
+    kernel="numpy", validate=True,
 ):
     """Run one chunk of Monte Carlo trials; returns the makespans.
 
@@ -161,8 +169,11 @@ def run_trial_batch(
     v2 the chunk reads its global rows of the run's batch streams
     (``streams`` arrives offset-rebased), so samples are still invariant
     to chunk layout — they are just v2 samples.  The discipline — and,
-    identically, the ``lp_reuse`` mode — is resolved by the *caller* and
-    passed explicitly so workers never consult their own environment.
+    identically, the ``lp_reuse`` mode and the ``kernel`` backend — is
+    resolved by the *caller* and passed explicitly so workers never
+    consult their own environment.  ``validate=False`` marks the policy
+    as trusted (registry-dispatched): per-step assignment validation runs
+    on the first step only (see :func:`repro.sim.batch.run_policy_batch`).
 
     With ``want_completions=True`` the chunk's ``(n_trials, n_jobs)``
     completion matrix rides along as a second return value (the raw
@@ -175,7 +186,7 @@ def run_trial_batch(
     batch = run_policy_batch(
         instance, factory, trial_rngs=rngs, semantics=semantics,
         max_steps=max_steps, discipline=discipline, streams=streams,
-        lp_reuse=lp_reuse,
+        lp_reuse=lp_reuse, kernel=kernel, validate=validate,
     )
     out = (batch.makespans,)
     if want_completions:
@@ -186,18 +197,25 @@ def run_trial_batch(
 
 
 def _resolve_policy(policy, instance, policy_kwargs):
-    """Normalize a policy spec into ``(label, zero-arg factory)``."""
+    """Normalize a policy spec into ``(label, zero-arg factory, trusted)``.
+
+    ``trusted`` is True for registry-dispatched specs (a name or
+    ``"auto"``): those policies carry the library's own test coverage, so
+    the batch driver validates their assignments on the first step only
+    (``validate=False``).  User-supplied classes and factories keep full
+    per-step validation.
+    """
     if isinstance(policy, str):
         name = default_policy_for(instance) if policy == "auto" else policy
         info = policy_info(name)
-        return info.name, policy_factory(info.name, **policy_kwargs)
+        return info.name, policy_factory(info.name, **policy_kwargs), True
     if isinstance(policy, type):
         label = getattr(policy, "name", policy.__name__)
-        return label, _with_kwargs(policy, policy_kwargs)
+        return label, _with_kwargs(policy, policy_kwargs), False
     # Otherwise treat it as a zero-argument factory (each trial needs a
     # fresh policy, so already-constructed instances are not accepted).
     label = getattr(policy, "name", getattr(policy, "__name__", "policy"))
-    return str(label), _with_kwargs(policy, policy_kwargs)
+    return str(label), _with_kwargs(policy, policy_kwargs), False
 
 
 def _with_kwargs(fn, kwargs):
@@ -226,25 +244,42 @@ WORKER_SOLVE_CACHE_ENTRIES = 4096
 MIN_CHUNK_TRIALS = 64
 
 
+def _init_worker(solve_cache_entries: int, kernel: str) -> None:
+    """Pool-worker initializer: solve cache + kernel warm-up.
+
+    Runs once per ``spawn``-ed worker.  Installing the solve cache keeps
+    round-1 LPs warm across chunks; warming the kernel backend makes a
+    numba worker JIT-compile (or load the on-disk cache) *before* its
+    first chunk, so warm-pool workers compile once and every subsequent
+    request reuses the machine code.
+    """
+    install_solve_cache(solve_cache_entries)
+    warmup_kernel(kernel)
+
+
 def worker_pool(n_workers: int | None = None,
-                solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES) -> ProcessPoolExecutor:
+                solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES,
+                kernel: str | None = None) -> ProcessPoolExecutor:
     """Construct the standard trial-chunk worker pool.
 
     The single place pool workers are configured: ``spawn`` start method
-    (platform-uniform, no inherited interpreter state) and the process
-    solve cache installed through the initializer so every worker keeps a
-    warm cache across all chunks, grid cells, and server requests it
-    handles.  Callers own the lifecycle — :func:`simulate` /
-    :func:`evaluate_grid` build one per call when asked for the process
-    backend with no injected executor (the historical behavior), while
+    (platform-uniform, no inherited interpreter state), the process solve
+    cache installed through the initializer so every worker keeps a warm
+    cache across all chunks, grid cells, and server requests it handles,
+    and the kernel backend (resolved *here*, in the parent — workers never
+    consult their own environment) pre-warmed so JIT compilation happens
+    at pool start-up, not inside the first chunk.  Callers own the
+    lifecycle — :func:`simulate` / :func:`evaluate_grid` build one per
+    call when asked for the process backend with no injected executor
+    (the historical behavior), while
     :class:`repro.server.executors.WarmPoolExecutor` keeps one alive
     across requests.
     """
     return ProcessPoolExecutor(
         max_workers=n_workers,
         mp_context=get_context(_MP_START_METHOD),
-        initializer=install_solve_cache,
-        initargs=(solve_cache_entries,),
+        initializer=_init_worker,
+        initargs=(solve_cache_entries, resolve_kernel(kernel)),
     )
 
 
@@ -278,7 +313,8 @@ def _sum_lp_deltas(deltas) -> dict:
 
 def _map_chunks(pool, n_workers, instance, factory, rngs, config,
                 want_completions=False, discipline="v1", streams=None,
-                lp_reuse="exact", want_lp_stats=False):
+                lp_reuse="exact", want_lp_stats=False, kernel="numpy",
+                validate=True):
     """Fan trial chunks out over ``pool`` and reassemble them in order.
 
     Under discipline v2 every chunk receives the run's streams re-based at
@@ -294,7 +330,7 @@ def _map_chunks(pool, n_workers, instance, factory, rngs, config,
                 (instance, factory, rngs[lo:hi], config.semantics,
                  config.max_steps, want_completions, discipline,
                  None if streams is None else streams.with_offset(lo),
-                 lp_reuse, want_lp_stats)
+                 lp_reuse, want_lp_stats, kernel, validate)
                 for lo, hi in bounds
             ]
         ),
@@ -381,6 +417,7 @@ def _spec_fast_path_eligible(spec, discipline: str = "v1") -> bool:
 def _run_batched(
     instance, factory, config: SimConfig, backend: str, n_workers, pool=None,
     want_completions=False, force_transport=False, want_lp_stats=False,
+    validate=True, substream=None,
 ):
     """Dispatch the trials on the requested backend; returns all samples.
 
@@ -392,6 +429,13 @@ def _run_batched(
     ``force_transport`` disables the small-batch fast path: an explicitly
     injected executor owns the transport decision, and its warm workers
     (not this process) are where cache reuse should accumulate.
+    ``validate=False`` marks a trusted (registry-dispatched) policy —
+    per-step assignment validation runs on the first step only.
+    ``substream`` (``config.substreams == "per-policy"`` in grid sweeps)
+    re-roots *all* the run's randomness — the v1 trial tree and the v2
+    batch streams alike — at :meth:`BatchStreams.child` of that index, so
+    the same seed gives each compared policy statistically independent
+    draws instead of common random numbers.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -399,13 +443,21 @@ def _run_batched(
     # own environment; under v2 the whole run shares one stream root
     # addressed by global trial index (chunk-layout invariant).
     discipline = config.resolved_discipline()
-    # Same caller-side resolution for the lp_reuse mode: workers receive
-    # it explicitly and never read their own REPRO_LP_REUSE.
+    # Same caller-side resolution for the lp_reuse mode and the kernel
+    # backend: workers receive them explicitly and never read their own
+    # REPRO_LP_REUSE / REPRO_KERNEL.
     lp_reuse = config.resolved_lp_reuse()
+    kernel = config.resolved_kernel()
+    sub_root = None
+    if substream is not None:
+        sub_root = BatchStreams(run_seed_sequence(config.seed)).child(substream).root
     streams = None
     if discipline == "v2":
-        streams = BatchStreams(run_seed_sequence(config.seed))
-    rngs = spawn_rngs(ensure_rng(config.seed), config.n_trials)
+        streams = BatchStreams(sub_root if sub_root is not None else
+                               run_seed_sequence(config.seed))
+    base_rng = (ensure_rng(config.seed) if sub_root is None
+                else np.random.default_rng(sub_root))
+    rngs = spawn_rngs(base_rng, config.n_trials)
     # Serial-batch fast path: for fast-path-eligible policies, small
     # batches lose more to pool dispatch than they gain from parallelism.
     # Identical samples either way — only the transport changes.
@@ -419,17 +471,20 @@ def _run_batched(
         return run_trial_batch(
             instance, factory, rngs, config.semantics, config.max_steps,
             want_completions, discipline, streams, lp_reuse, want_lp_stats,
+            kernel, validate,
         )
     n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
     if pool is not None:
         return _map_chunks(
             pool, n_workers, instance, factory, rngs, config,
             want_completions, discipline, streams, lp_reuse, want_lp_stats,
+            kernel, validate,
         )
-    with worker_pool(n_workers) as pool:
+    with worker_pool(n_workers, kernel=kernel) as pool:
         return _map_chunks(
             pool, n_workers, instance, factory, rngs, config,
             want_completions, discipline, streams, lp_reuse, want_lp_stats,
+            kernel, validate,
         )
 
 
@@ -521,18 +576,20 @@ def _simulate_instance(
     bound=None,
     per_job=False,
     force_transport=False,
+    substream=None,
 ):
     """Shared core of :func:`simulate` / :func:`evaluate_grid`.
 
     ``pool`` and ``bound`` let grid sweeps (and injected executors) reuse
     one process pool and one LP lower-bound solve across the cells that
-    share a scenario.
+    share a scenario; ``substream`` is the per-policy stream index grid
+    sweeps pass under ``config.substreams == "per-policy"``.
     """
-    label, factory = _resolve_policy(policy, instance, policy_kwargs)
+    label, factory, trusted = _resolve_policy(policy, instance, policy_kwargs)
     out = _run_batched(
         instance, factory, config, backend, n_workers, pool=pool,
         want_completions=per_job, force_transport=force_transport,
-        want_lp_stats=True,
+        want_lp_stats=True, validate=not trusted, substream=substream,
     )
     samples = out[0]
     lp_stats = out[-1]
@@ -553,6 +610,7 @@ def _simulate_instance(
         config=config,
         per_job=job_stats,
         lp_stats=lp_stats,
+        kernel=kernel_info(config.resolved_kernel()),
     )
 
 
@@ -606,18 +664,23 @@ def evaluate_grid(
         and all(_spec_fast_path_eligible(p, discipline) for p in policies)
     ):
         n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
-        pool_cm = worker_pool(n_workers)
+        pool_cm = worker_pool(n_workers, kernel=config.resolved_kernel())
+    # Per-policy substreams: under "per-policy" every policy column gets
+    # its own child of the run's stream root (independent estimates);
+    # the "shared" default keeps common random numbers across policies.
+    per_policy = config.substreams == "per-policy"
     reports = []
     with pool_cm as pool:
         for scenario in grid:
             instance = scenario.to_instance()
             bound = _lower_bound(instance)
-            for policy in policies:
+            for k, policy in enumerate(policies):
                 reports.append(
                     _simulate_instance(
                         scenario, instance, policy, config, backend,
                         n_workers, {}, pool=pool, bound=bound,
                         per_job=per_job, force_transport=forced,
+                        substream=k if per_policy else None,
                     )
                 )
     return reports

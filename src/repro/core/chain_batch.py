@@ -63,6 +63,7 @@ import numpy as np
 from repro.core.phased import RoundScheduleCache
 from repro.core.suu_i_sem import paper_round_count
 from repro.errors import ReproError
+from repro.kernels import _stepimpl, active_backend
 from repro.schedule.base import IDLE, IntegralAssignment
 from repro.schedule.oblivious import FiniteObliviousSchedule
 from repro.schedule.pseudo import Pause
@@ -74,10 +75,17 @@ _SUPER = 0
 _SEM = 1
 _FALLBACK = 2
 
-# Item-kind codes in the flattened chain-program tables.
+# Item-kind codes in the flattened chain-program tables.  The kernel
+# backends (repro.kernels) hard-code the same values in their fused
+# chain transitions, so a drift here would silently corrupt cursors.
 _KIND_BLOCK = 0
 _KIND_PAUSE = 1
 _KIND_END = 2
+assert (_KIND_BLOCK, _KIND_PAUSE, _KIND_END) == (
+    _stepimpl.KIND_BLOCK,
+    _stepimpl.KIND_PAUSE,
+    _stepimpl.KIND_END,
+)
 
 
 def long_repeat_schedule(plan, jobs, n_machines: int, n_jobs: int):
@@ -262,10 +270,14 @@ class ChainCursorBatch:
                 else:
                     self._kind[c, p] = _KIND_BLOCK
                     self._need[c, p] = max(1, item.length)
-        self._c_idx = np.arange(C, dtype=np.int64)
         #: Signature encoding base: ``pos * tmult + tau`` is collision-free
         #: because ``tau`` never reaches a block's effective length.
         self._tmult = int(self._need.max()) + 1 if C else 2
+        #: Kernel backend driving the whole-batch (trials, chains)
+        #: transitions — bound at construction so the cursors keep one
+        #: backend for their lifetime (run_policy_batch installs the
+        #: run's resolved backend via repro.kernels.kernel_context).
+        self._kernel = active_backend()
 
         # The ISSUE's matrices: chain cursors as (n_trials, n_chains) ints.
         self.chain_pos = np.zeros((B, C), dtype=np.int64)
@@ -349,27 +361,6 @@ class ChainCursorBatch:
     # Signature-grouped boundary stepping (the scalar policy's
     # transitions, as whole-batch matrix updates)
     # ------------------------------------------------------------------
-    def _enter_items(self, entered: np.ndarray, pos, tau, dr):
-        """Vectorized item entry for every ``(trial, chain)`` in ``entered``.
-
-        The one-deep analogue of the scalar ``_enter_item``: entering a
-        pause arms its countdown and defers the job for segment
-        registration; entering a block resets ``tau``.  Returns the
-        updated ``(tau, dr)`` plus the deferred-pause mask (or None).
-        """
-        ci = self._c_idx
-        newlive = entered & (pos < self._n_items_arr)
-        cp = np.minimum(pos, self._n_items_arr - 1)
-        kd = self._kind[ci, cp]
-        into_pause = newlive & (kd == _KIND_PAUSE)
-        into_block = newlive & (kd == _KIND_BLOCK)
-        dr = np.where(into_pause, self._ilen[ci, cp], dr)
-        tau = np.where(into_block, 0, tau)
-        deferred = None
-        if into_pause.any():
-            deferred = (into_pause, self._ijob[ci, cp])
-        return tau, dr, deferred
-
     def _register_deferred(self, trials, deferred, s_arr) -> None:
         """Queue deferred pause jobs under their registration segment."""
         if deferred is None:
@@ -382,25 +373,21 @@ class ChainCursorBatch:
             self._pending[b].setdefault(segment, []).append(int(jobs[i, j]))
 
     def _finish_superstep(self, F: np.ndarray, state) -> None:
-        """Advance chain cursors of trials ``F`` whose expansions drained."""
-        ci = self._c_idx
-        nit = self._n_items_arr
+        """Advance chain cursors of trials ``F`` whose expansions drained.
+
+        The ``(trials, chains)`` transition itself — block tallies, pause
+        countdowns, item advance/entry — runs in the kernel backend on
+        gathered cursor copies, scattered back here.
+        """
         pos = self.chain_pos[F]
         tau = self.tau[F]
         dr = self.delay_remaining[F]
-        live = self.started[F] & (pos < nit)
-        cp = np.minimum(pos, nit - 1)
-        kd = self._kind[ci, cp]
-        rem = state.remaining[F[:, None], self._ijob[ci, cp]]
-        isblk = live & (kd == _KIND_BLOCK)
-        ispse = live & (kd == _KIND_PAUSE)
-        done_blk = isblk & (tau + 1 >= self._need[ci, cp])
-        tau = np.where(isblk & ~done_blk, tau + 1, tau)
-        tau = np.where(done_blk & rem, 0, tau)  # retry the block
-        dr = np.where(ispse & (dr > 0), dr - 1, dr)
-        adv = (done_blk & ~rem) | (ispse & (dr == 0) & ~rem)
-        pos = np.where(adv, pos + 1, pos)
-        tau, dr, deferred = self._enter_items(adv, pos, tau, dr)
+        into_pause, pause_jobs = self._kernel.chain_finish(
+            F, pos, tau, dr, self.started[F], state.remaining,
+            self._kind, self._ilen, self._need, self._ijob,
+            self._n_items_arr,
+        )
+        deferred = (into_pause, pause_jobs) if into_pause.any() else None
         self.chain_pos[F] = pos
         self.tau[F] = tau
         self.delay_remaining[F] = dr
@@ -440,7 +427,6 @@ class ChainCursorBatch:
         assigned or fallback entered); trials keyed directly (the one-shot
         prelude-then-fallback quirk) are excluded.
         """
-        ci = self._c_idx
         nit = self._n_items_arr
         pos = self.chain_pos[Bs]
         # The scalar loop's pre-build check: a live trial whose chains
@@ -455,33 +441,26 @@ class ChainCursorBatch:
         std = self.started[Bs]
         s = self.superstep[Bs]
 
-        start_now = ~std & (self.delays[Bs] <= s[:, None])
-        std = std | start_now
-        tau, dr, deferred1 = self._enter_items(start_now, pos, tau, dr)
-
-        # Re-check pauses that expired while their job was incomplete
-        # (resolved by the segment-boundary SEM run).
-        live = std & (pos < nit)
-        cp = np.minimum(pos, nit - 1)
-        kd = self._kind[ci, cp]
-        rem = state.remaining[Bs[:, None], self._ijob[ci, cp]]
-        recovered = live & (kd == _KIND_PAUSE) & (dr == 0) & ~rem
-        pos = np.where(recovered, pos + 1, pos)
-        tau, dr, deferred2 = self._enter_items(recovered, pos, tau, dr)
+        # Chain starts, expired-pause recovery (resolved by the
+        # segment-boundary SEM run), and the (chain -> block item, tau)
+        # signature encoding run as one kernel-backend transition over
+        # the gathered (trials, chains) cursors.
+        pause1, pause1_jobs, pause2, pause2_jobs, enc = self._kernel.chain_build(
+            Bs, pos, tau, dr, std, self.delays[Bs], s, state.remaining,
+            self._kind, self._ilen, self._need, self._ijob, nit,
+            self._tmult,
+        )
 
         self.chain_pos[Bs] = pos
         self.tau[Bs] = tau
         self.delay_remaining[Bs] = dr
         self.started[Bs] = std
-        self._register_deferred(Bs, deferred1, s)
-        self._register_deferred(Bs, deferred2, s)
-
-        # Encode each trial's full (chain -> block item, tau) signature as
-        # one int vector; its bytes key the transition memo.
-        live = std & (pos < nit)
-        cp = np.minimum(pos, nit - 1)
-        isblk = live & (self._kind[ci, cp] == _KIND_BLOCK)
-        enc = np.where(isblk, pos * self._tmult + tau, -1)
+        self._register_deferred(
+            Bs, (pause1, pause1_jobs) if pause1.any() else None, s
+        )
+        self._register_deferred(
+            Bs, (pause2, pause2_jobs) if pause2.any() else None, s
+        )
 
         again: list = []
         keys = self._keys

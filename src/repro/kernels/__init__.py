@@ -1,0 +1,266 @@
+"""Pluggable hot-loop kernel backends (the ``REPRO_KERNEL`` axis).
+
+The batch engine's per-step inner body (:mod:`repro.sim.batch`) and the
+chain cursors' whole-batch boundary transitions
+(:mod:`repro.core.chain_batch`) are expressed as calls into a *backend*
+— a module exposing five functions with identical signatures:
+
+=============== ====================================================
+``accrue``      one step's mass accrual + assignment validation
+``commit``      completion commit / in-degree + eligibility refresh
+``drive_step``  the fused step: accrue + completion test + commit
+``chain_finish`` chain-cursor advance at a drained superstep
+``chain_build``  chain start / pause recovery / signature encoding
+=============== ====================================================
+
+Three backends are registered:
+
+``"numpy"`` (default)
+    The whole-batch array formulation — the reference implementation.
+``"numba"`` (opt-in)
+    ``@njit(cache=True)``-compiled fused loops over the same state;
+    bit-identical outputs, another integer factor at 10k+ trials.
+    Degrades gracefully: when numba is not importable the numpy backend
+    is substituted and a warning is logged **once** per process.
+``"python"``
+    The numba backend's loop nests run *uncompiled* — slow, but it lets
+    the fused logic be bit-identity-tested without numba installed.
+
+Resolution follows the discipline axis exactly: explicit argument
+(``SimConfig.kernel`` / ``run_policy_batch(kernel=...)``) → the
+``REPRO_KERNEL`` environment variable → ``"numpy"``.
+
+Because :class:`~repro.core.chain_batch.ChainCursorBatch` is constructed
+inside policies (not by the engine), the resolved backend is also scoped
+dynamically: :func:`kernel_context` installs it for the duration of a
+batch run and :func:`active_backend` reads it — the same pattern as
+``repro.core.phased.lp_reuse_context``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_ENV_VAR",
+    "active_backend",
+    "active_kernel",
+    "get_backend",
+    "kernel_context",
+    "kernel_info",
+    "numba_available",
+    "resolve_kernel",
+    "warmup",
+]
+
+#: Registered backend names; ``KERNELS[0]`` is the default.
+KERNELS = ("numpy", "numba", "python")
+
+#: Environment variable consulted when no explicit kernel is passed.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_logger = logging.getLogger(__name__)
+
+_loaded: dict = {}
+_numba_fallback_logged = False
+_warmup_seconds: dict[str, float] = {}
+
+#: Backend installed by :func:`kernel_context` (None -> resolve lazily).
+_ACTIVE = None
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """Resolve the kernel backend name.
+
+    Explicit ``kernel`` argument → ``REPRO_KERNEL`` environment variable →
+    ``"numpy"``.  Raises ``ValueError`` on unknown names (including via
+    the environment variable, so typos fail loudly).
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or KERNELS[0]
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel backend {kernel!r}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def numba_available() -> bool:
+    """True when the numba backend can actually compile (import works)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def get_backend(kernel: str | None = None):
+    """The backend module for ``kernel`` (resolved via :func:`resolve_kernel`).
+
+    Requesting ``"numba"`` without numba installed logs a warning once per
+    process and returns the numpy backend — callers never error on a
+    missing optional dependency (graceful degradation; the active name is
+    surfaced through :func:`kernel_info` / ``/healthz``).
+    """
+    global _numba_fallback_logged
+    kernel = resolve_kernel(kernel)
+    backend = _loaded.get(kernel)
+    if backend is not None:
+        return backend
+    if kernel == "numpy":
+        from repro.kernels import numpy_backend as backend
+    elif kernel == "python":
+        from repro.kernels import _stepimpl as backend
+    else:  # "numba"
+        try:
+            from repro.kernels import numba_backend as backend
+        except ImportError as exc:
+            if not _numba_fallback_logged:
+                _logger.warning(
+                    "kernel backend 'numba' unavailable (%s); "
+                    "falling back to 'numpy'",
+                    exc,
+                )
+                _numba_fallback_logged = True
+            backend = get_backend("numpy")
+    _loaded[kernel] = backend
+    return backend
+
+
+def active_backend():
+    """The backend scoped by the innermost :func:`kernel_context`.
+
+    Outside any context this resolves the environment default — safe for
+    code (scalar engines, tests) that runs without a batch driver.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    return get_backend(None)
+
+
+def active_kernel() -> str:
+    """Name of the currently active backend (after any fallback)."""
+    return active_backend().name
+
+
+@contextmanager
+def kernel_context(kernel: str | None = None):
+    """Scope the resolved kernel backend over a ``with`` block.
+
+    Mirrors ``lp_reuse_context``: :func:`run_policy_batch` installs the
+    run's backend here so components constructed *inside* the run (chain
+    cursors built by policy start hooks) pick it up via
+    :func:`active_backend` without signature changes.  Yields the backend
+    module.  Nested contexts restore the outer backend on exit.
+    """
+    global _ACTIVE
+    backend = get_backend(kernel)
+    prev = _ACTIVE
+    _ACTIVE = backend
+    try:
+        yield backend
+    finally:
+        _ACTIVE = prev
+
+
+def warmup(kernel: str | None = None) -> float:
+    """Pre-compile (and time) every kernel of the resolved backend.
+
+    Drives tiny synthetic batches through all five backend functions,
+    covering both completion modes and both the precedence-free and
+    DAG code paths, so a numba backend JIT-compiles every specialization
+    it will see at runtime.  Returns the wall-clock seconds spent; the
+    first measurement per backend is recorded for :func:`kernel_info`.
+    Idempotent: repeat calls re-run the (now cheap) warm path but keep
+    the recorded compile time.
+
+    Worker pools call this from their initializer so warm-pool workers
+    compile once and serve every subsequent request from the JIT cache.
+    """
+    backend = get_backend(kernel)
+    start = time.perf_counter()
+    B, n, m = 2, 3, 2
+    ell = np.full((m, n), 0.5, dtype=np.float64)
+    ell.setflags(write=False)  # instance.ell is read-only at runtime
+    indptr = np.array([0, 1, 1, 1], dtype=np.int64)
+    indices = np.array([1], dtype=np.int64)
+    indptr.setflags(write=False)
+    indices.setflags(write=False)
+    for independent in (True, False):
+        for mode in (0, 1):
+            a = np.array([[0, -1], [2, 0]], dtype=np.int64)
+            remaining = np.ones((B, n), dtype=bool)
+            indeg = np.zeros((B, n), dtype=np.int64)
+            if not independent:
+                indeg[:, 1] = 1
+            eligible = remaining & (indeg == 0)
+            mass = np.zeros((B, n), dtype=np.float64)
+            ct = np.zeros((B, n), dtype=np.int64)
+            busy = np.zeros(B, dtype=np.int64)
+            active = np.ones(B, dtype=bool)
+            theta = np.full((B, n), 0.25, dtype=np.float64)
+            u = np.full((B, n), 0.99, dtype=np.float64)
+            backend.drive_step(
+                a, ell, theta, u, mode, 1, remaining, eligible, indeg,
+                mass, ct, busy, active, indptr, indices, independent, True,
+            )
+            status, b, i, step_mass = backend.accrue(
+                a, ell, remaining, eligible, busy, independent, True
+            )
+            backend.commit(
+                step_mass > 0.0, 2, ct, remaining, eligible, indeg,
+                indptr, indices, active, independent,
+            )
+    F, C, P = 2, 2, 2
+    pos = np.zeros((F, C), dtype=np.int64)
+    tau = np.zeros((F, C), dtype=np.int64)
+    dr = np.zeros((F, C), dtype=np.int64)
+    started = np.ones((F, C), dtype=bool)
+    std = np.zeros((F, C), dtype=bool)
+    trials = np.arange(F, dtype=np.int64)
+    rem = np.ones((F, n), dtype=bool)
+    rem.setflags(write=False)
+    kind = np.zeros((C, P), dtype=np.int8)
+    kind[:, 1] = 1  # a pause after each block
+    ilen = np.ones((C, P), dtype=np.int64)
+    need = np.ones((C, P), dtype=np.int64)
+    ijob = np.zeros((C, P), dtype=np.int64)
+    nit = np.full(C, P, dtype=np.int64)
+    delays = np.zeros((F, C), dtype=np.int64)
+    s = np.zeros(F, dtype=np.int64)
+    backend.chain_build(
+        trials, pos, tau, dr, std, delays, s, rem,
+        kind, ilen, need, ijob, nit, P + 1,
+    )
+    backend.chain_finish(
+        trials, pos, tau, dr, started, rem, kind, ilen, need, ijob, nit
+    )
+    elapsed = time.perf_counter() - start
+    _warmup_seconds.setdefault(backend.name, elapsed)
+    return elapsed
+
+
+def kernel_info(kernel: str | None = None) -> dict:
+    """Reportable description of the resolved backend.
+
+    Keys: ``requested`` (post-resolution name), ``active`` (after any
+    numba→numpy fallback), ``numba_available``, and ``warmup_seconds``
+    (first measured :func:`warmup` duration in this process, or None if
+    the backend was never warmed here — e.g. compilation happened in
+    worker processes).  Surfaced in ``simulate()`` reports and
+    ``GET /healthz``.
+    """
+    requested = resolve_kernel(kernel)
+    backend = get_backend(requested)
+    return {
+        "requested": requested,
+        "active": backend.name,
+        "numba_available": numba_available(),
+        "warmup_seconds": _warmup_seconds.get(backend.name),
+    }

@@ -1,0 +1,280 @@
+"""Fused loop-nest implementations of the hot-loop kernels.
+
+This module is the *shared source* of the compiled backend: every function
+here is written in the numba-compilable subset of Python/numpy (plain
+loops, no fancy indexing, no object types) and is used two ways:
+
+* ``repro.kernels.numba_backend`` wraps each function in
+  ``numba.njit(cache=True)`` — the ``REPRO_KERNEL=numba`` fast path.
+* ``repro.kernels`` exposes the *uncompiled* functions as the ``"python"``
+  debug backend, so the fused logic is bit-identity-testable against the
+  numpy backend even on machines without numba (CI's default).
+
+The contract with :mod:`repro.kernels.numpy_backend` is exact: given the
+same inputs, every function must produce bit-identical array state.  The
+float-sensitive spots are annotated below; everything else is integer or
+boolean arithmetic where identity is structural.
+
+Item-kind codes in the chain tables match
+:mod:`repro.core.chain_batch`'s ``_KIND_*`` constants (block 0, pause 1,
+end 2) — asserted there at import time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+name = "python"
+
+KIND_BLOCK = 0
+KIND_PAUSE = 1
+KIND_END = 2
+
+# Violation codes returned by the step kernels (the driver raises the
+# actual ScheduleViolationError so messages stay identical across
+# backends).
+OK = 0
+BAD_RANGE = 1
+BAD_PRECEDENCE = 2
+
+
+def accrue(a, ell, remaining, eligible, busy, independent, check):
+    """One step's mass accrual: assignments -> delivered mass per job.
+
+    Returns ``(status, trial, machine, step_mass)``; on a non-zero status
+    the step must be abandoned (the driver raises).  ``busy`` is updated
+    in place.  Job ids are always range-checked (a compiled kernel must
+    never index out of bounds); ``check`` additionally gates the
+    precedence (eligibility) validation.
+
+    Float note: for a job hit by several machines in one step, masses
+    accumulate machine-ascending — the same order ``np.bincount`` sums
+    the flattened ``(trial, machine)`` weights in the numpy backend, so
+    the sums are bit-identical.
+    """
+    B, m = a.shape
+    n = remaining.shape[1]
+    step_mass = np.zeros((B, n), dtype=np.float64)
+    for b in range(B):
+        used = 0
+        for i in range(m):
+            j = a[b, i]
+            if j < -1 or j >= n:
+                return BAD_RANGE, b, i, step_mass
+            if j < 0 or not remaining[b, j]:
+                continue
+            if check and not independent and not eligible[b, j]:
+                return BAD_PRECEDENCE, b, i, step_mass
+            step_mass[b, j] += ell[i, j]
+            used += 1
+        busy[b] += used
+    return OK, -1, -1, step_mass
+
+
+def commit(done_now, t_next, completion_times, remaining, eligible, indeg,
+           succ_indptr, succ_indices, active, independent):
+    """Fold one step's completions into the batch state (in place).
+
+    Rows without completions are untouched: their ``eligible`` / ``active``
+    entries already satisfy the invariants the numpy backend re-derives
+    globally, so skipping them is value-identical and cheaper.
+    """
+    B, n = done_now.shape
+    for b in range(B):
+        row_done = False
+        for j in range(n):
+            if done_now[b, j]:
+                completion_times[b, j] = t_next
+                remaining[b, j] = False
+                row_done = True
+                if not independent:
+                    for k in range(succ_indptr[j], succ_indptr[j + 1]):
+                        indeg[b, succ_indices[k]] -= 1
+        if row_done:
+            alive = False
+            for j in range(n):
+                r = remaining[b, j]
+                eligible[b, j] = r and (independent or indeg[b, j] == 0)
+                alive = alive or r
+            active[b] = alive
+
+
+def drive_step(a, ell, theta, u, mode, t_next, remaining, eligible, indeg,
+               mass_accrued, completion_times, busy, active,
+               succ_indptr, succ_indices, independent, check):
+    """One fused engine step: accrual, completion test, and state commit.
+
+    The ~15 whole-batch array passes of the numpy path collapse into one
+    pass over the assignments plus one over the touched jobs per trial.
+    ``mode`` selects the completion rule: 0 = SUU* thresholds (``theta``),
+    1 = per-step uniforms (``u``, discipline v2).  Returns
+    ``(status, trial, machine)`` with the :func:`accrue` codes.
+
+    Float notes: the threshold test ``mass_accrued + s >= theta`` and the
+    survival test ``u >= 2.0 ** -s`` use exactly the numpy backend's
+    operand order, and per-job masses accumulate machine-ascending, so
+    the completion booleans — hence the whole trajectory — match bit for
+    bit (the test suite asserts this; see tests/test_kernels.py).
+    """
+    B, m = a.shape
+    n = remaining.shape[1]
+    sm = np.zeros(n, dtype=np.float64)
+    touched = np.empty(m, dtype=np.int64)
+    for b in range(B):
+        used = 0
+        ntouch = 0
+        for i in range(m):
+            j = a[b, i]
+            if j < -1 or j >= n:
+                return BAD_RANGE, b, i
+            if j < 0 or not remaining[b, j]:
+                continue
+            if check and not independent and not eligible[b, j]:
+                return BAD_PRECEDENCE, b, i
+            if sm[j] == 0.0:
+                touched[ntouch] = j
+                ntouch += 1
+            sm[j] += ell[i, j]
+            used += 1
+        busy[b] += used
+        row_done = False
+        for k in range(ntouch):
+            j = touched[k]
+            s = sm[j]
+            sm[j] = 0.0
+            # Zero-mass assignments (ell == 0) accrue nothing and can
+            # never complete — and a duplicate ``touched`` entry (first
+            # machine had zero mass) lands here too, adding +0.0.
+            if s <= 0.0:
+                mass_accrued[b, j] += s
+                continue
+            if mode == 0:
+                done = mass_accrued[b, j] + s >= theta[b, j]
+            else:
+                done = u[b, j] >= 2.0 ** (-s)
+            mass_accrued[b, j] += s
+            if done:
+                completion_times[b, j] = t_next
+                remaining[b, j] = False
+                row_done = True
+                if not independent:
+                    for p in range(succ_indptr[j], succ_indptr[j + 1]):
+                        indeg[b, succ_indices[p]] -= 1
+        if row_done:
+            alive = False
+            for j in range(n):
+                r = remaining[b, j]
+                eligible[b, j] = r and (independent or indeg[b, j] == 0)
+                alive = alive or r
+            active[b] = alive
+    return OK, -1, -1
+
+
+def chain_finish(trials, pos, tau, dr, started, remaining,
+                 kind, ilen, need, ijob, nit):
+    """Advance chain cursors of trials whose superstep expansion drained.
+
+    The fused form of ``ChainCursorBatch._finish_superstep``'s matrix
+    transition: blocks count ``tau`` up (retrying while their job
+    remains), pauses count ``delay_remaining`` down, and drained items
+    advance ``pos`` and enter the next item.  ``pos`` / ``tau`` / ``dr``
+    are gathered ``(F, C)`` copies updated in place (the caller scatters
+    them back); ``remaining`` is the engine's full ``(B, n)`` matrix
+    indexed through ``trials``.  Returns ``(into_pause, pause_jobs)`` for
+    deferred segment registration.
+    """
+    F, C = pos.shape
+    into_pause = np.zeros((F, C), dtype=np.bool_)
+    pause_jobs = np.zeros((F, C), dtype=np.int64)
+    for k in range(F):
+        b = trials[k]
+        for c in range(C):
+            p = pos[k, c]
+            if not started[k, c] or p >= nit[c]:
+                continue
+            kd = kind[c, p]
+            rem = remaining[b, ijob[c, p]]
+            adv = False
+            if kd == KIND_BLOCK:
+                if tau[k, c] + 1 >= need[c, p]:
+                    if rem:
+                        tau[k, c] = 0  # retry the block
+                    else:
+                        adv = True
+                else:
+                    tau[k, c] += 1
+            elif kd == KIND_PAUSE:
+                if dr[k, c] > 0:
+                    dr[k, c] -= 1
+                if dr[k, c] == 0 and not rem:
+                    adv = True
+            if adv:
+                p += 1
+                pos[k, c] = p
+                if p < nit[c]:
+                    kd = kind[c, p]
+                    if kd == KIND_PAUSE:
+                        dr[k, c] = ilen[c, p]
+                        into_pause[k, c] = True
+                        pause_jobs[k, c] = ijob[c, p]
+                    elif kd == KIND_BLOCK:
+                        tau[k, c] = 0
+    return into_pause, pause_jobs
+
+
+def chain_build(trials, pos, tau, dr, std, delays, s, remaining,
+                kind, ilen, need, ijob, nit, tmult):
+    """Start due chains, recover expired pauses, and encode signatures.
+
+    The fused form of ``ChainCursorBatch._build_superstep``'s matrix
+    preamble: chains whose delay has elapsed start (entering their first
+    item), pauses that expired while their job was still incomplete —
+    resolved since by a segment run — advance past, and each live block
+    encodes as ``pos * tmult + tau`` (dead/paused chains encode -1).
+    ``pos`` / ``tau`` / ``dr`` / ``std`` are gathered ``(F, C)`` copies
+    updated in place.  Returns the two deferred-pause registrations (one
+    per entry wave, matching the numpy backend's order) and the
+    signature-encoding matrix.
+    """
+    F, C = pos.shape
+    pause1 = np.zeros((F, C), dtype=np.bool_)
+    pause1_jobs = np.zeros((F, C), dtype=np.int64)
+    pause2 = np.zeros((F, C), dtype=np.bool_)
+    pause2_jobs = np.zeros((F, C), dtype=np.int64)
+    enc = np.full((F, C), -1, dtype=np.int64)
+    for k in range(F):
+        b = trials[k]
+        for c in range(C):
+            p = pos[k, c]
+            if not std[k, c] and delays[k, c] <= s[k]:
+                std[k, c] = True
+                if p < nit[c]:
+                    kd = kind[c, p]
+                    if kd == KIND_PAUSE:
+                        dr[k, c] = ilen[c, p]
+                        pause1[k, c] = True
+                        pause1_jobs[k, c] = ijob[c, p]
+                    elif kd == KIND_BLOCK:
+                        tau[k, c] = 0
+            if not std[k, c]:
+                continue
+            p = pos[k, c]
+            if (
+                p < nit[c]
+                and kind[c, p] == KIND_PAUSE
+                and dr[k, c] == 0
+                and not remaining[b, ijob[c, p]]
+            ):
+                p += 1
+                pos[k, c] = p
+                if p < nit[c]:
+                    kd = kind[c, p]
+                    if kd == KIND_PAUSE:
+                        dr[k, c] = ilen[c, p]
+                        pause2[k, c] = True
+                        pause2_jobs[k, c] = ijob[c, p]
+                    elif kd == KIND_BLOCK:
+                        tau[k, c] = 0
+            if p < nit[c] and kind[c, p] == KIND_BLOCK:
+                enc[k, c] = p * tmult + tau[k, c]
+    return pause1, pause1_jobs, pause2, pause2_jobs, enc

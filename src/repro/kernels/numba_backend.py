@@ -1,0 +1,29 @@
+"""The numba-compiled kernel backend (``REPRO_KERNEL=numba``).
+
+Wraps every fused loop-nest in :mod:`repro.kernels._stepimpl` with
+``numba.njit(cache=True)``: the first call per signature compiles (and
+populates the on-disk cache next to ``_stepimpl.py``), later calls — and
+later *processes*, e.g. warm-pool workers — reuse the cached machine
+code.  Importing this module raises ``ImportError`` when numba is not
+installed; :func:`repro.kernels.get_backend` catches that and falls back
+to the numpy backend with a single logged warning.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.kernels import _stepimpl
+
+name = "numba"
+
+# fastmath stays off: the backend contract is bit-identical float
+# behavior with the numpy path (strict IEEE ordering of every sum and
+# comparison), which fastmath's reassociation would break.
+_jit = numba.njit(cache=True, fastmath=False)
+
+accrue = _jit(_stepimpl.accrue)
+commit = _jit(_stepimpl.commit)
+drive_step = _jit(_stepimpl.drive_step)
+chain_finish = _jit(_stepimpl.chain_finish)
+chain_build = _jit(_stepimpl.chain_build)

@@ -1,0 +1,180 @@
+"""The default (pure-numpy) kernel backend.
+
+These are the whole-batch array formulations lifted verbatim out of
+``repro.sim.batch._drive_batch`` and ``repro.core.chain_batch`` — the
+reference implementations every other backend must match bit for bit.
+See :mod:`repro.kernels._stepimpl` for the shared fused-loop source the
+``"numba"`` and ``"python"`` backends run, and :mod:`repro.kernels` for
+the registry/resolution machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels._stepimpl import (
+    BAD_PRECEDENCE,
+    BAD_RANGE,
+    KIND_BLOCK,
+    KIND_PAUSE,
+    OK,
+)
+
+name = "numpy"
+
+
+def accrue(a, ell, remaining, eligible, busy, independent, check):
+    """One step's mass accrual (see :func:`._stepimpl.accrue`).
+
+    ``remaining`` / ``eligible`` must be C-contiguous (their ``.ravel()``
+    views share memory), which the batch driver guarantees.
+    """
+    B, m = a.shape
+    n = remaining.shape[1]
+    if check and ((a >= n).any() or (a < -1).any()):
+        bad = (a >= n) | (a < -1)
+        b, i = np.argwhere(bad)[0]
+        return BAD_RANGE, int(b), int(i), np.zeros((B, n), dtype=np.float64)
+    assigned = a >= 0
+    clipped = np.maximum(a, 0)  # IDLE -> job 0 with zero weight below
+    flat_base = (np.arange(B, dtype=np.int64) * n)[:, None]
+    flat_all = flat_base + clipped  # (B, m) indices into (B*n,) planes
+    # As in the scalar engine: assignments to completed jobs idle
+    # silently, assignments to remaining-but-ineligible jobs are
+    # precedence violations.  Inactive trials have remaining all-False,
+    # so they can never trip the check.
+    effective = assigned & remaining.ravel()[flat_all]
+    if check and not independent:
+        bad = effective & ~eligible.ravel()[flat_all]
+        if bad.any():
+            b, i = np.argwhere(bad)[0]
+            return BAD_PRECEDENCE, int(b), int(i), np.zeros((B, n), dtype=np.float64)
+    machine_base = (np.arange(m, dtype=np.int64) * n)[None, :]
+    weights = ell.ravel()[machine_base + clipped] * effective
+    step_mass = np.bincount(
+        flat_all.ravel(), weights=weights.ravel(), minlength=B * n
+    ).reshape(B, n)
+    busy += effective.sum(axis=1)
+    return OK, -1, -1, step_mass
+
+
+def commit(done_now, t_next, completion_times, remaining, eligible, indeg,
+           succ_indptr, succ_indices, active, independent):
+    """Fold one step's completions into the batch state (in place)."""
+    if not done_now.any():
+        return
+    completion_times[done_now] = t_next
+    remaining &= ~done_now
+    if independent:
+        np.copyto(eligible, remaining)
+    else:
+        done_trials, done_jobs = np.nonzero(done_now)
+        origins, successors = _successors_flat(succ_indptr, succ_indices, done_jobs)
+        if successors.size:
+            np.subtract.at(indeg, (done_trials[origins], successors), 1)
+        np.logical_and(remaining, indeg == 0, out=eligible)
+    np.any(remaining, axis=1, out=active)
+
+
+def drive_step(a, ell, theta, u, mode, t_next, remaining, eligible, indeg,
+               mass_accrued, completion_times, busy, active,
+               succ_indptr, succ_indices, independent, check):
+    """One engine step (see :func:`._stepimpl.drive_step`): accrue,
+    threshold, commit — here as the original whole-batch array passes."""
+    status, b, i, step_mass = accrue(
+        a, ell, remaining, eligible, busy, independent, check
+    )
+    if status != OK:
+        return status, b, i
+    if mode == 0:
+        done_now = (step_mass > 0.0) & (mass_accrued + step_mass >= theta)
+    else:
+        # v2 suu: jobs survive a step of delivered mass L with probability
+        # 2^-L, tested against the whole-batch uniform matrix.
+        done_now = (step_mass > 0.0) & (u >= np.power(2.0, -step_mass))
+    mass_accrued += step_mass
+    commit(
+        done_now, t_next, completion_times, remaining, eligible, indeg,
+        succ_indptr, succ_indices, active, independent,
+    )
+    return OK, -1, -1
+
+
+def _successors_flat(indptr, indices, jobs):
+    """CSR successor gather — `PrecedenceGraph.successors_flat` on raw arrays."""
+    counts = indptr[jobs + 1] - indptr[jobs]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    origins = np.repeat(np.arange(jobs.size, dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return origins, indices[indptr[jobs][origins] + within]
+
+
+def chain_finish(trials, pos, tau, dr, started, remaining,
+                 kind, ilen, need, ijob, nit):
+    """Whole-batch chain-cursor transition at a drained superstep (the
+    matrix body of ``ChainCursorBatch._finish_superstep``)."""
+    C = pos.shape[1]
+    c_idx = np.arange(C, dtype=np.int64)
+    live = started & (pos < nit)
+    cp = np.minimum(pos, nit - 1)
+    kd = kind[c_idx, cp]
+    rem = remaining[trials[:, None], ijob[c_idx, cp]]
+    isblk = live & (kd == KIND_BLOCK)
+    ispse = live & (kd == KIND_PAUSE)
+    done_blk = isblk & (tau + 1 >= need[c_idx, cp])
+    np.copyto(tau, np.where(isblk & ~done_blk, tau + 1, tau))
+    np.copyto(tau, np.where(done_blk & rem, 0, tau))  # retry the block
+    np.copyto(dr, np.where(ispse & (dr > 0), dr - 1, dr))
+    adv = (done_blk & ~rem) | (ispse & (dr == 0) & ~rem)
+    np.copyto(pos, np.where(adv, pos + 1, pos))
+    into_pause, pause_jobs = _enter_items(adv, pos, tau, dr, kind, ilen, ijob, nit)
+    return into_pause, pause_jobs
+
+
+def chain_build(trials, pos, tau, dr, std, delays, s, remaining,
+                kind, ilen, need, ijob, nit, tmult):
+    """Whole-batch chain start/recovery/signature encoding (the matrix
+    preamble of ``ChainCursorBatch._build_superstep``)."""
+    C = pos.shape[1]
+    c_idx = np.arange(C, dtype=np.int64)
+    start_now = ~std & (delays <= s[:, None])
+    std |= start_now
+    pause1, pause1_jobs = _enter_items(
+        start_now, pos, tau, dr, kind, ilen, ijob, nit
+    )
+    live = std & (pos < nit)
+    cp = np.minimum(pos, nit - 1)
+    kd = kind[c_idx, cp]
+    rem = remaining[trials[:, None], ijob[c_idx, cp]]
+    # Pauses that expired while their job was still incomplete — resolved
+    # since by a segment run — advance past the pause now.
+    recovered = live & (kd == KIND_PAUSE) & (dr == 0) & ~rem
+    np.copyto(pos, np.where(recovered, pos + 1, pos))
+    pause2, pause2_jobs = _enter_items(
+        recovered, pos, tau, dr, kind, ilen, ijob, nit
+    )
+    live = std & (pos < nit)
+    cp = np.minimum(pos, nit - 1)
+    isblk = live & (kind[c_idx, cp] == KIND_BLOCK)
+    enc = np.where(isblk, cp * tmult + tau, -1)
+    return pause1, pause1_jobs, pause2, pause2_jobs, enc
+
+
+def _enter_items(entered, pos, tau, dr, kind, ilen, ijob, nit):
+    """Item-entry bookkeeping for chains that just advanced (or started):
+    arm entered pauses' countdowns, zero entered blocks' tallies."""
+    C = pos.shape[1]
+    c_idx = np.arange(C, dtype=np.int64)
+    newlive = entered & (pos < nit)
+    cp = np.minimum(pos, nit - 1)
+    kd = kind[c_idx, cp]
+    into_pause = newlive & (kd == KIND_PAUSE)
+    into_block = newlive & (kd == KIND_BLOCK)
+    np.copyto(dr, np.where(into_pause, ilen[c_idx, cp], dr))
+    np.copyto(tau, np.where(into_block, 0, tau))
+    return into_pause, ijob[c_idx, cp]

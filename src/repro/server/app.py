@@ -14,8 +14,9 @@ calls into a request/response service:
   cell's report, scenario-major.
 * ``GET /policies`` — the policy registry listing.
 * ``GET /healthz`` — liveness plus served/error counters, in-flight
-  depth, and the executor's stats (including a warm worker's solve-cache
-  counters — how warm-pool reuse is observed from the outside).
+  depth, the executor's stats (including a warm worker's solve-cache
+  counters — how warm-pool reuse is observed from the outside), and the
+  active kernel backend (:func:`repro.kernels.kernel_info`).
 
 The HTTP layer is deliberately minimal — stdlib ``asyncio`` streams, no
 framework: an HTTP/1.1 parser supporting keep-alive and
@@ -41,6 +42,7 @@ from repro.api.registry import list_policies
 from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
 from repro.api.service import evaluate_grid, simulate
 from repro.errors import ReproError
+from repro.kernels import kernel_info
 from repro.server.executors import RequestExecutor, default_executor
 
 __all__ = [
@@ -109,6 +111,8 @@ def _report_payload(report, include_samples: bool) -> dict:
         "scenario": report.scenario.to_dict() if report.scenario else None,
         "config": report.config.to_dict(),
     }
+    if report.kernel is not None:
+        payload["kernel"] = report.kernel
     if include_samples:
         payload["samples"] = report.stats.samples.tolist()
     if report.per_job is not None:
@@ -151,6 +155,10 @@ class SchedulingService:
             "served": self.served,
             "errors": self.errors,
             "executor": self.executor.stats(),
+            # The server process's kernel view: requested vs active backend
+            # (post numba-fallback) and the local warm-up time.  Warm-pool
+            # workers warm their own backend through the pool initializer.
+            "kernel": kernel_info(),
         }
 
     def policies(self, _body=None) -> dict:

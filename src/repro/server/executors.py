@@ -37,6 +37,7 @@ import threading
 
 from repro.api.service import WORKER_SOLVE_CACHE_ENTRIES, worker_pool
 from repro.core.phased import solve_cache_stats
+from repro.kernels import resolve_kernel
 
 __all__ = [
     "RequestExecutor",
@@ -136,15 +137,23 @@ class WarmPoolExecutor(RequestExecutor):
         Pool width (``None`` = CPU count).
     solve_cache_entries:
         Capacity installed into each worker's process solve cache.
+    kernel:
+        Kernel backend warmed into each worker through the pool
+        initializer (``None`` = resolve ``REPRO_KERNEL`` here, in the
+        server process).  With ``"numba"``, workers JIT-compile once at
+        pool start-up and serve every request from the compiled (and
+        on-disk-cached) kernels.
     """
 
     kind = "warm-pool"
     backend = "process"
 
     def __init__(self, n_workers: int | None = None,
-                 solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES):
+                 solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES,
+                 kernel: str | None = None):
         self.n_workers = n_workers
         self.solve_cache_entries = int(solve_cache_entries)
+        self.kernel = kernel
         self.requests = 0
         self.pools_built = 0
         self._pool = None
@@ -170,7 +179,9 @@ class WarmPoolExecutor(RequestExecutor):
         with self._lock:
             if self._pool is None:
                 self._pool = worker_pool(
-                    self.n_workers, solve_cache_entries=self.solve_cache_entries
+                    self.n_workers,
+                    solve_cache_entries=self.solve_cache_entries,
+                    kernel=self.kernel,
                 )
                 self.pools_built += 1
             return self._pool
@@ -207,6 +218,7 @@ class WarmPoolExecutor(RequestExecutor):
             pools_built=self.pools_built,
             warm=self.warm,
             n_workers=self.n_workers,
+            kernel=resolve_kernel(self.kernel),
         )
         worker_cache = self.cache_stats()
         if worker_cache is not None:
@@ -247,13 +259,18 @@ def set_default_executor(executor: RequestExecutor | None) -> RequestExecutor | 
 
 
 def make_executor(kind: str, n_workers: int | None = None,
-                  solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES) -> RequestExecutor:
+                  solve_cache_entries: int = WORKER_SOLVE_CACHE_ENTRIES,
+                  kernel: str | None = None) -> RequestExecutor:
     """Construct an executor by registry name (CLI entry point).
 
-    ``kind`` is one of :data:`EXECUTOR_KINDS`.
+    ``kind`` is one of :data:`EXECUTOR_KINDS`; ``kernel`` reaches
+    warm-pool workers through the pool initializer (serial executors run
+    in-process, where the service layer resolves the kernel itself).
     """
     if kind == "serial":
         return SerialExecutor()
     if kind == "warm-pool":
-        return WarmPoolExecutor(n_workers, solve_cache_entries=solve_cache_entries)
+        return WarmPoolExecutor(
+            n_workers, solve_cache_entries=solve_cache_entries, kernel=kernel
+        )
     raise ValueError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")

@@ -85,6 +85,8 @@ import numpy as np
 
 from repro.errors import ScheduleViolationError, SimulationHorizonError
 from repro.instance.instance import SUUInstance
+from repro.kernels import active_backend, kernel_context
+from repro.kernels._stepimpl import BAD_RANGE, OK
 from repro.schedule.base import (
     IDLE,
     BatchSimulationState,
@@ -136,6 +138,10 @@ class BatchSimResult:
     discipline:
         The RNG discipline the samples were drawn under (``"v1"`` or
         ``"v2"``; see the module docstring).
+    kernel:
+        The kernel backend that drove the run (``"numpy"``, ``"numba"``
+        or ``"python"``; see :mod:`repro.kernels`).  Informational on
+        the scalar fallback path, which has no batch hot loop.
     """
 
     makespans: np.ndarray
@@ -145,6 +151,7 @@ class BatchSimResult:
     policy_name: str
     vectorized: bool
     discipline: str = "v1"
+    kernel: str = "numpy"
 
     @property
     def n_trials(self) -> int:
@@ -171,6 +178,8 @@ def run_policy_batch(
     discipline: str | None = None,
     streams: BatchStreams | None = None,
     lp_reuse: str | None = None,
+    kernel: str | None = None,
+    validate: bool = True,
 ) -> BatchSimResult:
     """Execute ``n_trials`` independent runs of ``policy``, vectorized.
 
@@ -217,6 +226,24 @@ def run_policy_batch(
         schedules for survivor subsets within the documented coverage
         eps), or ``None`` to resolve through ``REPRO_LP_REUSE``.  See
         :mod:`repro.core.phased`.
+    kernel:
+        Hot-loop kernel backend: ``"numpy"`` (default), ``"numba"``
+        (compiled fused steppers; bit-identical outputs, falls back to
+        numpy with a logged warning when numba is missing), ``"python"``
+        (the compiled loops run uncompiled — debugging/testing), or
+        ``None`` to resolve through ``REPRO_KERNEL``.  See
+        :mod:`repro.kernels`.
+    validate:
+        When True (default), the per-step assignment checks (shape,
+        dtype, job-id range, precedence eligibility) run every timestep.
+        When False, the range/eligibility checks run only on the first
+        step — the trusted-policy fast path used by the registry-backed
+        service front ends.  Shape/dtype checks always run (they are
+        O(1)), and the loop-nest backends always range-check internally
+        (a compiled kernel must never index out of bounds), so with
+        ``validate=False`` a misbehaving policy yields semantically
+        wrong trajectories on the numpy backend rather than memory
+        errors.
 
     Raises
     ------
@@ -272,16 +299,16 @@ def run_policy_batch(
     # Imported here: repro.core pulls policy modules that import this one.
     from repro.core.phased import lp_reuse_context
 
-    with lp_reuse_context(lp_reuse):
+    with lp_reuse_context(lp_reuse), kernel_context(kernel):
         if supports_batch(probe):
             return _run_vectorized(
                 instance, probe, trial_rngs, semantics, max_steps, thresholds,
-                discipline, streams,
+                discipline, streams, validate,
             )
         if supports_phased(probe):
             return _run_phased(
                 instance, probe, trial_rngs, semantics, max_steps, thresholds,
-                discipline, streams,
+                discipline, streams, validate,
             )
         return _run_fallback(
             instance, probe, factory, trial_rngs, semantics, max_steps, thresholds,
@@ -324,12 +351,13 @@ def _run_fallback(
         policy_name=name,
         vectorized=False,
         discipline=discipline,
+        kernel=active_backend().name,
     )
 
 
 def _run_vectorized(
     instance, policy, trial_rngs, semantics, max_steps, thresholds,
-    discipline, streams,
+    discipline, streams, validate=True,
 ) -> BatchSimResult:
     """The broadcast path: one ``assign_batch`` call drives all trials."""
     B, n = len(trial_rngs), instance.n_jobs
@@ -359,7 +387,7 @@ def _run_vectorized(
             outcome_rngs = [outcome for _, outcome in pairs]
     return _drive_batch(
         instance, policy.name, policy.assign_batch, B, semantics, max_steps,
-        theta, outcome_rngs, discipline, streams,
+        theta, outcome_rngs, discipline, streams, validate,
     )
 
 
@@ -409,7 +437,7 @@ class _GroupedDispatch:
 
 def _run_phased(
     instance, policy, trial_rngs, semantics, max_steps, thresholds,
-    discipline, streams,
+    discipline, streams, validate=True,
 ) -> BatchSimResult:
     """The grouped-dispatch path for :class:`PhasedPolicy` implementations."""
     B, n = len(trial_rngs), instance.n_jobs
@@ -451,13 +479,19 @@ def _run_phased(
     dispatch = _GroupedDispatch(policy, B, instance.n_machines)
     return _drive_batch(
         instance, policy.name, dispatch, B, semantics, max_steps, theta,
-        outcome_rngs, discipline, streams,
+        outcome_rngs, discipline, streams, validate,
     )
+
+
+#: Placeholder for the unused completion-rule operand (theta under suu,
+#: uniforms under suu_star): keeps backend call signatures uniform so a
+#: compiled backend sees one type per argument slot.  Never indexed.
+_UNUSED = np.zeros((0, 0), dtype=np.float64)
 
 
 def _drive_batch(
     instance, policy_name, assign, B, semantics, max_steps, theta,
-    outcome_rngs, discipline="v1", streams=None,
+    outcome_rngs, discipline="v1", streams=None, validate=True,
 ) -> BatchSimResult:
     """The lock-stepped all-trials engine (see module docstring).
 
@@ -467,10 +501,18 @@ def _drive_batch(
     Under ``suu`` semantics, completions come from the per-trial
     ``outcome_rngs`` (v1) or from one whole-batch stream draw per step
     (v2, ``streams`` set).
+
+    The step body itself lives in the active kernel backend (see
+    :mod:`repro.kernels`): one fused ``drive_step`` call per step on the
+    v2-``suu`` and ``suu_star`` paths; an ``accrue`` / rng draw /
+    ``commit`` split on the v1-``suu`` path, whose per-trial generator
+    consumption cannot cross the compiled boundary.
     """
     n, m = instance.n_jobs, instance.n_machines
     ell = instance.ell
     graph = instance.graph
+    backend = active_backend()
+    succ_indptr, succ_indices = graph.successors_csr()
 
     remaining = np.ones((B, n), dtype=bool)
     indeg = np.repeat(graph.in_degree_array()[None, :], B, axis=0)
@@ -480,14 +522,9 @@ def _drive_batch(
     busy = np.zeros(B, dtype=np.int64)
     active = np.ones(B, dtype=bool)
     # Independent instances can never trip the precedence check (eligible
-    # is identically remaining), so the per-step validation gather and the
-    # in-degree bookkeeping collapse away.
+    # is identically remaining), so the backends collapse the validation
+    # gather and the in-degree bookkeeping away.
     independent = graph.n_edges == 0
-    flat_base = (np.arange(B, dtype=np.int64) * n)[:, None]  # (B, 1)
-    ell_flat = ell.ravel()
-    machine_base = (np.arange(m, dtype=np.int64) * n)[None, :]  # (1, m)
-    remaining_flat = remaining.ravel()  # shared memory with `remaining`
-    eligible_flat = eligible.ravel()
 
     state = BatchSimulationState(
         t=0,
@@ -495,6 +532,16 @@ def _drive_batch(
         eligible=_readonly_view(eligible),
         mass_accrued=_readonly_view(mass_accrued),
         active=_readonly_view(active),
+    )
+
+    # The completion rule the fused step applies: mode 0 thresholds
+    # accrued mass against theta (suu_star), mode 1 tests one whole-batch
+    # uniform matrix per step (suu under v2).  v1 suu never reaches the
+    # fused step — see the loop body.
+    v1_suu = semantics == "suu" and streams is None
+    mode = 1 if semantics == "suu" else 0
+    theta_arg = _UNUSED if mode == 1 else np.ascontiguousarray(
+        theta, dtype=np.float64
     )
 
     t = 0
@@ -516,63 +563,35 @@ def _drive_batch(
             raise ScheduleViolationError(
                 f"{policy_name!r} returned non-integer assignment dtype {a.dtype}"
             )
-        if (a >= n).any() or (a < IDLE).any():
-            raise ScheduleViolationError(
-                f"{policy_name!r} assigned an out-of-range job id"
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        check = validate or t == 0
+
+        if v1_suu:
+            # The per-trial Generator draws in _draw_suu_completions keep
+            # v1 bit-identical to the serial engine and cannot move into
+            # a compiled kernel, so this path splits the step around them.
+            status, vb, vi, step_mass = backend.accrue(
+                a, ell, remaining, eligible, busy, independent, check
             )
-
-        assigned = a >= 0
-        clipped = np.maximum(a, 0)  # IDLE -> job 0 with zero weight below
-        flat_all = flat_base + clipped  # (B, m) indices into (B*n,) planes
-        # As in the scalar engine: assignments to completed jobs idle
-        # silently, assignments to remaining-but-ineligible jobs are
-        # precedence violations.  Inactive trials have remaining all-False,
-        # so they can never trip the check.
-        effective = assigned & remaining_flat[flat_all]
-        if not independent:
-            bad = effective & ~eligible_flat[flat_all]
-            if bad.any():
-                b, i = np.argwhere(bad)[0]
-                raise ScheduleViolationError(
-                    f"{policy_name!r} assigned machine {int(i)} to job "
-                    f"{int(a[b, i])} whose predecessors are incomplete "
-                    f"(t={t}, trial={int(b)})"
-                )
-
-        weights = ell_flat[machine_base + clipped] * effective
-        step_mass = np.bincount(
-            flat_all.ravel(), weights=weights.ravel(), minlength=B * n
-        ).reshape(B, n)
-        busy += effective.sum(axis=1)
-
-        if semantics == "suu":
-            if streams is not None:
-                # v2: one (B, n) uniform matrix per step — jobs survive a
-                # step of delivered mass L with probability 2^-L, exactly
-                # the scalar rule, but drawn batch-wide in one call.
-                u = streams.step_uniforms(t, B, n)
-                done_now = (step_mass > 0.0) & (
-                    u >= np.power(2.0, -step_mass)
-                )
-            else:
-                done_now = _draw_suu_completions(step_mass, outcome_rngs)
+            if status != OK:
+                _raise_violation(status, policy_name, a, vb, vi, t)
+            done_now = _draw_suu_completions(step_mass, outcome_rngs)
+            mass_accrued += step_mass
+            t += 1
+            backend.commit(
+                done_now, t, completion_times, remaining, eligible, indeg,
+                succ_indptr, succ_indices, active, independent,
+            )
         else:
-            done_now = (step_mass > 0.0) & (mass_accrued + step_mass >= theta)
-        mass_accrued += step_mass
-
-        t += 1
-        if done_now.any():
-            completion_times[done_now] = t
-            remaining &= ~done_now
-            if independent:
-                np.copyto(eligible, remaining)
-            else:
-                done_trials, done_jobs = np.nonzero(done_now)
-                origins, successors = graph.successors_flat(done_jobs)
-                if successors.size:
-                    np.subtract.at(indeg, (done_trials[origins], successors), 1)
-                np.logical_and(remaining, indeg == 0, out=eligible)
-            np.any(remaining, axis=1, out=active)
+            u = streams.step_uniforms(t, B, n) if mode == 1 else _UNUSED
+            status, vb, vi = backend.drive_step(
+                a, ell, theta_arg, u, mode, t + 1, remaining, eligible,
+                indeg, mass_accrued, completion_times, busy, active,
+                succ_indptr, succ_indices, independent, check,
+            )
+            if status != OK:
+                _raise_violation(status, policy_name, a, vb, vi, t)
+            t += 1
 
     return BatchSimResult(
         makespans=completion_times.max(axis=1),
@@ -582,6 +601,22 @@ def _drive_batch(
         policy_name=policy_name,
         vectorized=True,
         discipline=discipline,
+        kernel=backend.name,
+    )
+
+
+def _raise_violation(status, policy_name, a, b, i, t):
+    """Raise the ScheduleViolationError a backend reported as a status code
+    (backends return codes instead of raising so the compiled ones stay
+    exception-free); messages match the pre-backend driver exactly."""
+    if status == BAD_RANGE:
+        raise ScheduleViolationError(
+            f"{policy_name!r} assigned an out-of-range job id"
+        )
+    raise ScheduleViolationError(
+        f"{policy_name!r} assigned machine {int(i)} to job "
+        f"{int(a[b, i])} whose predecessors are incomplete "
+        f"(t={t}, trial={int(b)})"
     )
 
 

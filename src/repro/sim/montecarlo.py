@@ -59,6 +59,7 @@ def estimate_expected_makespan(
     semantics: str = "suu",
     max_steps: int = DEFAULT_MAX_STEPS,
     discipline: str | None = None,
+    kernel: str | None = None,
 ) -> MakespanStats:
     """Estimate ``E[T_policy]`` by simulation.
 
@@ -72,6 +73,10 @@ def estimate_expected_makespan(
         environment).  Under v1 the samples are bit-identical to the
         historical per-trial loop; under v2 they are statistically
         equivalent batch-native draws.
+    kernel:
+        Hot-loop kernel backend (``"numpy"``/``"numba"``/``"python"``;
+        ``None`` resolves through ``REPRO_KERNEL``).  Backends are
+        bit-identical — the knob only changes wall-clock time.
 
     All dispatch lives in :func:`~repro.sim.batch.run_policy_batch`:
     batch-capable policies drive every trial at once, the rest loop the
@@ -89,6 +94,7 @@ def estimate_expected_makespan(
         semantics=semantics,
         max_steps=max_steps,
         discipline=discipline,
+        kernel=kernel,
     )
     return batch.stats()
 
@@ -101,6 +107,7 @@ def compare_policies(
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
     discipline: str | None = None,
+    kernel: str | None = None,
 ) -> dict[str, MakespanStats]:
     """Paired Monte Carlo comparison with common random numbers.
 
@@ -155,6 +162,7 @@ def compare_policies(
             max_steps=max_steps,
             discipline=discipline,
             streams=None if streams is None else streams.child(k),
+            kernel=kernel,
         ).stats(label)
         for k, label in enumerate(labels)
     }

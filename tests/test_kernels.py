@@ -1,0 +1,423 @@
+"""Tests for the pluggable hot-loop kernel axis (``REPRO_KERNEL``).
+
+Five layers of guarantees:
+
+* **Resolution**: explicit argument → ``REPRO_KERNEL`` env var →
+  ``"numpy"``, with loud failures on typos (argument and env alike) and
+  ``SimConfig`` validating its ``kernel`` / ``substreams`` knobs.
+* **Graceful degradation**: requesting ``"numba"`` without numba
+  installed logs one warning and silently serves the numpy backend —
+  nothing errors, and the fallback is visible in :func:`kernel_info`.
+* **Bit-identity**: the ``"python"`` backend — the *same* fused loop
+  nests the numba backend compiles, run uncompiled — reproduces the
+  numpy reference trial-for-trial across policies × semantics ×
+  disciplines; when numba is installed the compiled backend is held to
+  the identical contract (skip-marked otherwise).
+* **Validation hoist**: per-step assignment validation always runs at
+  ``t == 0``; ``validate=False`` (the trusted registry path) skips later
+  steps, and the service layer wires the trust flag automatically.
+* **Threading**: the knob reaches :func:`simulate` / ``evaluate_grid``
+  reports, worker pools, the request server (``/healthz``), and the CLI;
+  per-policy substreams (``SimConfig.substreams``) break common random
+  numbers in grid sweeps without touching single-policy runs.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.api.scenario import Scenario, SimConfig
+from repro.api.service import evaluate_grid, simulate
+from repro.baselines.greedy_lr import GreedyLRPolicy
+from repro.core.suu_c import SUUCPolicy
+from repro.core.suu_i_sem import SUUISemPolicy
+from repro.core.suu_t import SUUTPolicy
+from repro.errors import InvalidScenarioError, ScheduleViolationError
+from repro.instance import (
+    PrecedenceGraph,
+    SUUInstance,
+    chain_instance,
+    independent_instance,
+)
+from repro.kernels import (
+    KERNEL_ENV_VAR,
+    KERNELS,
+    active_kernel,
+    get_backend,
+    kernel_context,
+    kernel_info,
+    numba_available,
+    resolve_kernel,
+    warmup,
+)
+from repro.schedule.base import VectorizedPolicy
+from repro.sim.batch import run_policy_batch
+
+
+@pytest.fixture(autouse=True)
+def _clean_kernel_env(monkeypatch):
+    """Default every test to an unset REPRO_KERNEL; tests that probe the
+    env resolution set it explicitly."""
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"
+)
+
+#: Non-default backends held to the bit-identity contract.  The python
+#: backend is the numba loop nests uncompiled, so it covers the fused
+#: logic even where numba cannot install.
+ALT_KERNELS = [
+    "python",
+    pytest.param("numba", marks=requires_numba),
+]
+
+
+def make_instance(kind):
+    if kind == "independent":
+        return independent_instance(12, 4, "uniform", rng=3)
+    if kind == "chains":
+        return chain_instance(12, 4, 3, "uniform", rng=7)
+    raise ValueError(kind)
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert resolve_kernel() == "numpy"
+        assert KERNELS[0] == "numpy"
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        assert resolve_kernel() == "python"
+        assert SimConfig().resolved_kernel() == "python"
+
+    def test_unknown_argument_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("jax")
+
+    def test_unknown_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "nmba")  # typo
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel()
+
+    def test_simconfig_validates_kernel(self):
+        assert SimConfig(kernel="python").resolved_kernel() == "python"
+        with pytest.raises(InvalidScenarioError, match="kernel"):
+            SimConfig(kernel="jax")
+
+    def test_simconfig_validates_substreams(self):
+        SimConfig(substreams="per-policy")  # accepted
+        with pytest.raises(InvalidScenarioError, match="substreams"):
+            SimConfig(substreams="independent")
+
+    def test_simconfig_round_trips_kernel(self):
+        config = SimConfig(kernel="python", substreams="per-policy")
+        clone = SimConfig.from_dict(config.to_dict())
+        assert clone.kernel == "python"
+        assert clone.substreams == "per-policy"
+
+
+class TestBackendsAndFallback:
+    def test_named_backends(self):
+        assert get_backend("numpy").name == "numpy"
+        assert get_backend("python").name == "python"
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_missing_numba_falls_back_and_logs_once(self, monkeypatch, caplog):
+        monkeypatch.setattr(kernels, "_numba_fallback_logged", False)
+        monkeypatch.delitem(kernels._loaded, "numba", raising=False)
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            backend = get_backend("numba")
+            assert backend.name == "numpy"
+            again = get_backend("numba")
+            assert again is backend
+        warnings = [r for r in caplog.records if "falling back" in r.message]
+        assert len(warnings) == 1
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_missing_numba_never_errors_end_to_end(self, small_independent):
+        report = simulate(
+            small_independent, "greedy-lr", SimConfig(n_trials=4, seed=1,
+                                                      kernel="numba")
+        )
+        assert report.kernel["requested"] == "numba"
+        assert report.kernel["active"] == "numpy"
+        assert report.kernel["numba_available"] is False
+
+    @requires_numba
+    def test_numba_backend_loads(self):
+        assert get_backend("numba").name == "numba"
+
+    def test_kernel_context_scopes_and_restores(self):
+        assert active_kernel() == "numpy"
+        with kernel_context("python") as backend:
+            assert backend.name == "python"
+            assert active_kernel() == "python"
+            with kernel_context("numpy"):
+                assert active_kernel() == "numpy"
+            assert active_kernel() == "python"
+        assert active_kernel() == "numpy"
+
+    def test_warmup_and_info(self):
+        seconds = warmup("python")
+        assert seconds >= 0.0
+        info = kernel_info("python")
+        assert info["requested"] == "python"
+        assert info["active"] == "python"
+        assert info["warmup_seconds"] is not None
+        assert isinstance(info["numba_available"], bool)
+
+
+class TestBitIdentity:
+    """numpy-vs-{python,numba} sample equality across the engine grid."""
+
+    CASES = [
+        (GreedyLRPolicy, "independent", "suu"),
+        (GreedyLRPolicy, "independent", "suu_star"),
+        (SUUISemPolicy, "independent", "suu"),
+        (SUUISemPolicy, "independent", "suu_star"),
+        (SUUCPolicy, "chains", "suu"),
+        (SUUTPolicy, "chains", "suu_star"),
+    ]
+
+    @pytest.mark.parametrize("kernel", ALT_KERNELS)
+    @pytest.mark.parametrize("discipline", ["v1", "v2"])
+    @pytest.mark.parametrize(
+        "factory,shape,semantics",
+        CASES,
+        ids=[f"{f.__name__}-{sh}-{sem}" for f, sh, sem in CASES],
+    )
+    def test_backend_bit_identity(self, factory, shape, semantics,
+                                  discipline, kernel):
+        inst = make_instance(shape)
+        ref = run_policy_batch(
+            inst, factory, 8, rng=21, semantics=semantics,
+            discipline=discipline, kernel="numpy",
+        )
+        got = run_policy_batch(
+            inst, factory, 8, rng=21, semantics=semantics,
+            discipline=discipline, kernel=kernel,
+        )
+        assert ref.kernel == "numpy"
+        assert got.kernel == kernel
+        assert np.array_equal(ref.makespans, got.makespans)
+        assert np.array_equal(ref.completion_times, got.completion_times)
+
+    @pytest.mark.parametrize("kernel", ALT_KERNELS)
+    def test_env_selected_backend_bit_identity(self, kernel, monkeypatch):
+        inst = make_instance("independent")
+        ref = run_policy_batch(inst, GreedyLRPolicy, 8, rng=4)
+        monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+        got = run_policy_batch(inst, GreedyLRPolicy, 8, rng=4)
+        assert got.kernel == kernel
+        assert np.array_equal(ref.makespans, got.makespans)
+
+
+class _EagerChainPolicy(VectorizedPolicy):
+    """Machine 0 always works job 0 (completed assignments are skipped
+    harmlessly); machine 1 works ``early_job`` at the first step and job
+    1 from then on — a precedence violation in every trial whose job 0
+    is still unfinished."""
+
+    name = "eager-chain"
+
+    def __init__(self, early_job=0):
+        self._early = early_job
+        self._step = 0
+
+    def start(self, instance, rng):
+        pass
+
+    def assign(self, state):  # pragma: no cover - scalar path unused
+        raise NotImplementedError
+
+    def assign_batch(self, state):
+        second = self._early if self._step == 0 else 1
+        self._step += 1
+        out = np.zeros((state.n_trials, 2), dtype=np.int64)
+        out[:, 1] = second
+        return out
+
+
+class _BadJobPolicy(VectorizedPolicy):
+    name = "bad-job"
+
+    def start(self, instance, rng):
+        self._m = instance.n_machines
+
+    def assign(self, state):  # pragma: no cover - scalar path unused
+        raise NotImplementedError
+
+    def assign_batch(self, state):
+        return np.full((state.n_trials, self._m), -5, dtype=np.int64)
+
+
+def _chain2_instance():
+    graph = PrecedenceGraph(2, [(0, 1)])
+    return SUUInstance(np.full((2, 2), 0.5), graph)
+
+
+class TestValidateKnob:
+    @pytest.mark.parametrize("kernel", ["numpy", "python"])
+    def test_first_step_always_validated(self, kernel):
+        # Even trusted runs check t == 0: a policy broken from the start
+        # fails fast regardless of the knob.
+        with pytest.raises(ScheduleViolationError, match="predecessors"):
+            run_policy_batch(
+                _chain2_instance(), lambda: _EagerChainPolicy(early_job=1),
+                3, rng=0, kernel=kernel, validate=False,
+            )
+
+    @pytest.mark.parametrize("kernel", ["numpy", "python"])
+    def test_range_check_at_first_step(self, kernel):
+        with pytest.raises(ScheduleViolationError, match="out-of-range"):
+            run_policy_batch(
+                _chain2_instance(), _BadJobPolicy, 3, rng=0,
+                kernel=kernel, validate=False,
+            )
+
+    @pytest.mark.parametrize("kernel", ["numpy", "python"])
+    def test_late_violation_caught_when_validating(self, kernel):
+        with pytest.raises(ScheduleViolationError, match="predecessors"):
+            run_policy_batch(
+                _chain2_instance(), _EagerChainPolicy, 8, rng=0,
+                kernel=kernel, validate=True,
+            )
+
+    @pytest.mark.parametrize("kernel", ["numpy", "python"])
+    def test_late_violation_skipped_when_trusted(self, kernel):
+        # The trust contract: after the first step the driver stops
+        # checking, so the (broken) policy runs to completion unharmed.
+        result = run_policy_batch(
+            _chain2_instance(), _EagerChainPolicy, 8, rng=0,
+            kernel=kernel, validate=False,
+        )
+        assert (result.makespans >= 1).all()
+
+    def test_registry_policies_run_trusted(self, small_independent, monkeypatch):
+        import repro.api.service as service
+        import repro.sim.batch as batch
+
+        seen = []
+
+        def spy(*args, **kwargs):
+            seen.append(kwargs.get("validate"))
+            return batch.run_policy_batch(*args, **kwargs)
+
+        monkeypatch.setattr(service, "run_policy_batch", spy)
+        config = SimConfig(n_trials=4, seed=1)
+        simulate(small_independent, "greedy-lr", config)
+        simulate(small_independent, GreedyLRPolicy, config)
+        assert seen == [False, True]
+
+
+class TestSubstreams:
+    @pytest.mark.parametrize("discipline", ["v1", "v2"])
+    def test_shared_default_keeps_common_random_numbers(self, discipline):
+        sc = Scenario(shape="independent", n_jobs=10, n_machines=4,
+                      model="specialist", seed=3)
+        config = SimConfig(n_trials=8, seed=5, discipline=discipline)
+        a, b = evaluate_grid([sc], ("sem", "sem"), config=config)
+        assert np.array_equal(a.stats.samples, b.stats.samples)
+
+    @pytest.mark.parametrize("discipline", ["v1", "v2"])
+    def test_per_policy_substreams_are_independent(self, discipline):
+        sc = Scenario(shape="independent", n_jobs=10, n_machines=4,
+                      model="specialist", seed=3)
+        config = SimConfig(n_trials=8, seed=5, discipline=discipline,
+                           substreams="per-policy")
+        a, b = evaluate_grid([sc], ("sem", "sem"), config=config)
+        assert not np.array_equal(a.stats.samples, b.stats.samples)
+        # Deterministic in the seed: a second sweep reproduces both cells.
+        a2, b2 = evaluate_grid([sc], ("sem", "sem"), config=config)
+        assert np.array_equal(a.stats.samples, a2.stats.samples)
+        assert np.array_equal(b.stats.samples, b2.stats.samples)
+
+    def test_single_policy_simulate_unaffected(self, small_independent):
+        shared = simulate(small_independent, "greedy-lr",
+                          SimConfig(n_trials=6, seed=2))
+        per = simulate(small_independent, "greedy-lr",
+                       SimConfig(n_trials=6, seed=2, substreams="per-policy"))
+        assert np.array_equal(shared.stats.samples, per.stats.samples)
+
+
+class TestThreading:
+    def test_report_surfaces_kernel(self, small_independent):
+        report = simulate(small_independent, "greedy-lr",
+                          SimConfig(n_trials=4, seed=1, kernel="python"))
+        assert report.kernel["requested"] == "python"
+        assert report.kernel["active"] == "python"
+        payload = report.to_dict()
+        assert payload["kernel"]["active"] == "python"
+        assert payload["config"]["kernel"] == "python"
+
+    def test_grid_reports_surface_kernel(self):
+        sc = Scenario(shape="independent", n_jobs=8, n_machines=3,
+                      model="specialist", seed=1)
+        reports = evaluate_grid([sc], ("sem",),
+                                config=SimConfig(n_trials=4, seed=1,
+                                                 kernel="python"))
+        assert reports[0].kernel["active"] == "python"
+
+    def test_config_kernel_changes_no_sample(self, small_independent):
+        ref = simulate(small_independent, "greedy-lr",
+                       SimConfig(n_trials=6, seed=2))
+        alt = simulate(small_independent, "greedy-lr",
+                       SimConfig(n_trials=6, seed=2, kernel="python"))
+        assert np.array_equal(ref.stats.samples, alt.stats.samples)
+
+    def test_healthz_reports_kernel(self, monkeypatch):
+        from repro.server.app import SchedulingService
+
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        status, payload = SchedulingService().handle("GET", "/healthz", None)
+        assert status == 200
+        assert payload["kernel"]["active"] == "python"
+
+    def test_server_simulate_accepts_kernel_config(self):
+        from repro.server.app import SchedulingService
+
+        body = {
+            "scenario": {"shape": "independent", "n_jobs": 8,
+                         "n_machines": 3, "model": "specialist", "seed": 1},
+            "policy": "sem",
+            "config": {"n_trials": 4, "seed": 1, "kernel": "python"},
+        }
+        status, payload = SchedulingService().handle("POST", "/simulate", body)
+        assert status == 200
+        assert payload["config"]["kernel"] == "python"
+        assert payload["kernel"]["active"] == "python"
+
+    def test_warm_pool_executor_reports_kernel(self):
+        from repro.server.executors import make_executor
+
+        executor = make_executor("warm-pool", 1, kernel="python")
+        try:
+            assert executor.stats()["kernel"] == "python"
+            assert not executor.warm  # stats alone must not build the pool
+        finally:
+            executor.close()
+
+    def test_cli_run_accepts_kernel(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "inst.json")
+        assert main(["generate", "--shape", "independent", "--jobs", "8",
+                     "--machines", "3", "--seed", "1", "--out", path]) == 0
+        assert main(["run", path, "--policy", "greedy-lr", "--trials", "4",
+                     "--kernel", "python"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel:   python" in out
+
+    def test_cli_rejects_unknown_kernel(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "whatever.json", "--kernel", "jax"])
