@@ -32,11 +32,18 @@ KERNELS_BASELINE ?= BENCH_8.json
 # non-empty without numba.  The numpy/numba pairs hard-assert their
 # bit-identity and >= 2x floor inside bench_kernels.py itself.
 KERNELS_TOLERANCE ?= 0.5
+PARALLEL_JSON ?= bench_parallel_current.json
+PARALLEL_BASELINE ?= BENCH_9.json
+# Serial-vs-threaded ratios depend on how loaded the runner's cores are;
+# the hard guarantees (bit-identity always, the 2x prange floor on
+# >= 4-core boxes) are asserted inside bench_parallel.py itself.
+PARALLEL_TOLERANCE ?= 0.5
 COV_FLOOR ?= 85
 
 .PHONY: test test-v2 test-kernel-python lint cov bench bench-check \
 	bench-service bench-service-check bench-lpwall bench-lpwall-check \
-	bench-kernels bench-kernels-check smoke tables
+	bench-kernels bench-kernels-check bench-parallel \
+	bench-parallel-check smoke tables
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -110,6 +117,17 @@ bench-kernels:
 bench-kernels-check: bench-kernels
 	$(PYTHON) benchmarks/check_regression.py $(KERNELS_BASELINE) \
 		$(KERNELS_JSON) --mode ratio --tolerance $(KERNELS_TOLERANCE)
+
+# Trial-parallelism benchmarks: serial vs kernel_threads pairs at 10k
+# trials — GIL-bound numpy shard rows everywhere, the in-kernel prange
+# row (bit-identity + 2x floor on >= 4 cores, in-bench) with numba.
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_parallel.py \
+		--benchmark-json=$(PARALLEL_JSON) -q
+
+bench-parallel-check: bench-parallel
+	$(PYTHON) benchmarks/check_regression.py $(PARALLEL_BASELINE) \
+		$(PARALLEL_JSON) --mode ratio --tolerance $(PARALLEL_TOLERANCE)
 
 # End-to-end service smoke: boot `repro serve`, drive ~5s of open-loop
 # constant-RPS load, assert zero errors + p99 sanity, SIGTERM gracefully.

@@ -13,9 +13,10 @@ Two layers:
   - ``test_kern_base_<key>`` / ``test_kern_jit_<key>`` — the numpy
     reference vs the numba-compiled backend on the same row.  The jit
     side *hard-asserts* bit-identical makespan samples, and (on the
-    chain-heavy row) a >= 2x wall-clock speedup; both skip when numba is
-    not installed, so the committed baseline carries these pairs only
-    when produced on a numba-equipped runner.
+    chain-heavy row, on boxes with enough cores — see
+    :func:`conftest.enforce_speedup_floor`) a >= 2x wall-clock speedup;
+    both skip when numba is not installed, so the committed baseline
+    carries these pairs only when produced on a numba-equipped runner.
   - ``test_kern_checked_<key>`` / ``test_kern_trusted_<key>`` — the
     per-step assignment-validation knob (``validate=True`` vs the
     trusted first-step-only mode) on the numpy backend, runnable
@@ -32,6 +33,7 @@ import time
 import numpy as np
 import pytest
 
+from conftest import enforce_speedup_floor
 from repro.api.scenario import Scenario
 from repro.baselines.greedy_lr import GreedyLRPolicy
 from repro.core.lp1 import solve_lp1
@@ -106,6 +108,10 @@ N_TRIALS = 10_000
 SEED = 11
 #: Acceptance floor for the compiled backend on the chain-heavy row.
 JIT_SPEEDUP_FLOOR = 2.0
+#: Smallest box the jit floor is asserted on: a starved 1-core CI runner
+#: can time-slice the numpy and numba rows unfairly; the floor is still
+#: *recorded* there (``extra_info``), just not asserted.
+JIT_FLOOR_MIN_CORES = 2
 
 requires_numba = pytest.mark.skipif(
     not numba_available(), reason="numba not installed (REPRO_KERNEL=numba "
@@ -171,9 +177,9 @@ def _jit_side(benchmark, key: str, speedup_floor: float | None = None):
     print(f"\n{key}: numpy {base_seconds:.2f}s -> numba {seconds:.2f}s "
           f"({base_seconds / seconds:.2f}x; compile {compile_seconds:.2f}s)")
     if speedup_floor is not None:
-        assert base_seconds >= speedup_floor * seconds, (
-            f"{key}: numba {seconds:.2f}s vs numpy {base_seconds:.2f}s — "
-            f"below the {speedup_floor}x floor"
+        enforce_speedup_floor(
+            benchmark, f"{key} (numba vs numpy)", base_seconds, seconds,
+            speedup_floor, JIT_FLOOR_MIN_CORES,
         )
 
 

@@ -94,15 +94,19 @@ def _cmd_run(args) -> int:
         inst,
         name,
         SimConfig(n_trials=args.trials, seed=args.seed, max_steps=args.max_steps,
-                  discipline=args.discipline, kernel=args.kernel),
+                  discipline=args.discipline, kernel=args.kernel,
+                  kernel_threads=args.kernel_threads),
         backend=args.backend,
         n_workers=args.workers,
     )
     lo, hi = report.stats.ci95
     print(f"instance: {inst}")
     print(f"policy:   {report.policy}")
-    if report.kernel is not None and report.kernel["active"] != "numpy":
-        print(f"kernel:   {report.kernel['active']}")
+    if report.kernel is not None:
+        threads = report.kernel.get("threads", 1)
+        if report.kernel["active"] != "numpy" or threads > 1:
+            suffix = f" (threads={threads})" if threads > 1 else ""
+            print(f"kernel:   {report.kernel['active']}{suffix}")
     print(f"E[T] = {report.mean:.3f} steps   95% CI [{lo:.3f}, {hi:.3f}] "
           f"({args.trials} trials)")
     print(f"lower bound = {report.lower_bound:.3f}   "
@@ -161,7 +165,7 @@ def _cmd_sweep(args) -> int:
     )
     config = SimConfig(n_trials=args.trials, seed=args.seed,
                        max_steps=args.max_steps, discipline=args.discipline,
-                       kernel=args.kernel)
+                       kernel=args.kernel, kernel_threads=args.kernel_threads)
     reports = evaluate_grid(
         grid,
         args.policy or ("auto",),
@@ -197,7 +201,7 @@ def _cmd_serve(args) -> int:
     import os
     import signal
 
-    from repro.kernels import KERNEL_ENV_VAR
+    from repro.kernels import KERNEL_ENV_VAR, KERNEL_THREADS_ENV_VAR
     from repro.server import SchedulingServer, make_executor
 
     if args.kernel is not None:
@@ -205,9 +209,13 @@ def _cmd_serve(args) -> int:
         # executor, request-time resolution, and /healthz all agree, and
         # warm-pool workers get it explicitly through the initializer.
         os.environ[KERNEL_ENV_VAR] = args.kernel
+    if args.kernel_threads is not None:
+        # Same process-wide story for the trial-parallel worker count.
+        os.environ[KERNEL_THREADS_ENV_VAR] = str(args.kernel_threads)
     executor = make_executor(args.executor, args.workers,
                              solve_cache_entries=args.solve_cache,
-                             kernel=args.kernel)
+                             kernel=args.kernel,
+                             kernel_threads=args.kernel_threads)
 
     async def _main() -> None:
         server = SchedulingServer(
@@ -324,6 +332,9 @@ def main(argv=None) -> int:
     r.add_argument("--kernel", choices=KERNELS, default=None,
                    help="hot-loop kernel backend (default: $REPRO_KERNEL or "
                         "numpy; numba = JIT-compiled, bit-identical samples)")
+    r.add_argument("--kernel-threads", type=int, default=None,
+                   help="trial-parallel workers per batch (default: "
+                        "$REPRO_KERNEL_THREADS or 1; bit-identical samples)")
     r.set_defaults(func=_cmd_run)
 
     ga = sub.add_parser("gantt", help="render one execution as ASCII")
@@ -365,6 +376,9 @@ def main(argv=None) -> int:
     s.add_argument("--kernel", choices=KERNELS, default=None,
                    help="hot-loop kernel backend (default: $REPRO_KERNEL or "
                         "numpy)")
+    s.add_argument("--kernel-threads", type=int, default=None,
+                   help="trial-parallel workers per batch (default: "
+                        "$REPRO_KERNEL_THREADS or 1)")
     s.add_argument("--json", default=None, help="also dump reports to this file")
     s.set_defaults(func=_cmd_sweep)
 
@@ -394,6 +408,9 @@ def main(argv=None) -> int:
                     help="hot-loop kernel backend for the whole service "
                          "(default: $REPRO_KERNEL or numpy); warm-pool "
                          "workers pre-compile it at pool start-up")
+    sv.add_argument("--kernel-threads", type=int, default=None,
+                    help="trial-parallel workers per batch, service-wide "
+                         "(default: $REPRO_KERNEL_THREADS or 1)")
     sv.add_argument("--no-prewarm", dest="prewarm", action="store_false",
                     help="skip building the worker pool before accepting "
                          "traffic (first request then pays the spawn cost)")

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.phased import LP_REUSE_MODES, resolve_lp_reuse
 from repro.errors import InvalidScenarioError
-from repro.kernels import KERNELS, resolve_kernel
+from repro.kernels import KERNELS, resolve_kernel, resolve_kernel_threads
 from repro.util.rng import DISCIPLINES, resolve_discipline
 from repro.instance.generators import (
     chain_instance,
@@ -89,6 +89,13 @@ class SimConfig:
         reference loops), or ``None`` to resolve through the
         ``REPRO_KERNEL`` environment variable at run time.  See
         :mod:`repro.kernels`.
+    kernel_threads:
+        Trial-parallel worker count for one batch: with the numba backend
+        the compiled steppers run ``prange`` over trials in-kernel; with
+        the numpy/python backends the batch is split into contiguous trial
+        shards executed on a thread pool (bit-identical either way).
+        ``None`` resolves through ``REPRO_KERNEL_THREADS`` at run time
+        (default 1 — serial).
     substreams:
         How sweep cells consume the seed's randomness: ``"shared"`` (the
         default; every policy sees the same trial RNG tree / batch
@@ -107,6 +114,7 @@ class SimConfig:
     discipline: str | None = None
     lp_reuse: str | None = None
     kernel: str | None = None
+    kernel_threads: int | None = None
     substreams: str = "shared"
 
     def __post_init__(self):
@@ -131,6 +139,13 @@ class SimConfig:
                 f"unknown kernel backend {self.kernel!r}; expected one of "
                 f"{KERNELS} (or None for the environment default)"
             )
+        if self.kernel_threads is not None and (
+            not isinstance(self.kernel_threads, int) or self.kernel_threads < 1
+        ):
+            raise InvalidScenarioError(
+                f"kernel_threads must be an integer >= 1, got "
+                f"{self.kernel_threads!r} (or None for the environment default)"
+            )
         if self.substreams not in ("shared", "per-policy"):
             raise InvalidScenarioError(
                 f"unknown substreams mode {self.substreams!r}; expected "
@@ -149,6 +164,11 @@ class SimConfig:
         """The kernel backend trials will request (env-resolved; a missing
         numba still degrades to numpy at run time)."""
         return resolve_kernel(self.kernel)
+
+    def resolved_kernel_threads(self) -> int:
+        """The trial-parallel worker count trials will request
+        (env-resolved; non-numba backends still shard rather than prange)."""
+        return resolve_kernel_threads(self.kernel_threads)
 
     def to_dict(self) -> dict:
         """JSON-compatible representation."""

@@ -248,7 +248,6 @@ class ChainCursorBatch:
         self.superstep_limit = float(plan.superstep_limit)
         self.topo_global = self.job_map[np.asarray(plan.topo, dtype=np.int64)]
 
-        self._items = [p.items for p in plan.programs]
         self._n_items_arr = np.array(
             [len(p.items) for p in plan.programs], dtype=np.int64
         )
@@ -256,20 +255,44 @@ class ChainCursorBatch:
         # Flattened chain-program tables: item kind / length / job /
         # effective block length ("need"), padded to the longest chain so
         # the boundary transitions index them as (trials, chains) gathers.
+        # Alongside them, CSR spans of each block's (machine, count)
+        # pairs — item slot (c, p) flattens to c * P + p, pairs keep
+        # their tuple order — feed the kernel-side signature expansion.
         P = max(1, int(self._n_items_arr.max()) if C else 1)
         self._kind = np.full((C, P), _KIND_END, dtype=np.int8)
         self._ilen = np.zeros((C, P), dtype=np.int64)
         self._need = np.ones((C, P), dtype=np.int64)
         self._ijob = np.zeros((C, P), dtype=np.int64)
+        self._prelude_len = np.zeros((C, P), dtype=np.int64)
+        step_indptr = np.zeros(C * P + 1, dtype=np.int64)
+        pre_indptr = np.zeros(C * P + 1, dtype=np.int64)
+        step_pairs: list[tuple[int, int]] = []
+        pre_pairs: list[tuple[int, int]] = []
         for c, prog in enumerate(plan.programs):
-            for p, item in enumerate(prog.items):
-                self._ijob[c, p] = self.job_map[item.job]
-                self._ilen[c, p] = item.length
-                if isinstance(item, Pause):
-                    self._kind[c, p] = _KIND_PAUSE
-                else:
-                    self._kind[c, p] = _KIND_BLOCK
-                    self._need[c, p] = max(1, item.length)
+            for p in range(P):
+                cp = c * P + p
+                if p < len(prog.items):
+                    item = prog.items[p]
+                    self._ijob[c, p] = self.job_map[item.job]
+                    self._ilen[c, p] = item.length
+                    if isinstance(item, Pause):
+                        self._kind[c, p] = _KIND_PAUSE
+                    else:
+                        self._kind[c, p] = _KIND_BLOCK
+                        self._need[c, p] = max(1, item.length)
+                        self._prelude_len[c, p] = item.prelude_length
+                        step_pairs.extend(item.steps)
+                        pre_pairs.extend(item.prelude)
+                step_indptr[cp + 1] = len(step_pairs)
+                pre_indptr[cp + 1] = len(pre_pairs)
+        self._step_indptr = step_indptr
+        self._pre_indptr = pre_indptr
+        step_flat = np.array(step_pairs, dtype=np.int64).reshape(-1, 2)
+        pre_flat = np.array(pre_pairs, dtype=np.int64).reshape(-1, 2)
+        self._step_machine = np.ascontiguousarray(step_flat[:, 0])
+        self._step_count = np.ascontiguousarray(step_flat[:, 1])
+        self._pre_machine = np.ascontiguousarray(pre_flat[:, 0])
+        self._pre_count = np.ascontiguousarray(pre_flat[:, 1])
         #: Signature encoding base: ``pos * tmult + tau`` is collision-free
         #: because ``tau`` never reaches a block's effective length.
         self._tmult = int(self._need.max()) + 1 if C else 2
@@ -293,9 +316,11 @@ class ChainCursorBatch:
 
         # Superstep expansions memoized by encoded (chain -> item, tau)
         # signature bytes — the transition memo shared across trials and
-        # timesteps.  Rows are [prelude solo rows..., expansion rows...].
+        # timesteps.  Each entry is one (rows, machines) matrix laid out
+        # [prelude solo rows..., expansion rows...], built by the kernel
+        # backend's expand_signature.
         self._sig_ids: dict[bytes, int] = {}
-        self._sig_rows: list[list[np.ndarray]] = []
+        self._sig_rows: list[np.ndarray] = []
         self._sig_congestion: list[int] = []
         self._sig_n_prelude: list[int] = []
         # Row counts as a capacity-doubled array (vector-indexed every
@@ -493,41 +518,27 @@ class ChainCursorBatch:
 
         Entering blocks (``tau == 0``) contribute their prelude solo rows
         first, in chain order — the scalar policy's solo-queue emission
-        order — followed by the congestion-expansion rows.
+        order — followed by the congestion-expansion rows.  The row
+        construction itself runs in the kernel backend
+        (``expand_signature``) over the flat CSR tables built at
+        construction; this method owns the memo bookkeeping.
         """
-        t = self._tmult
-        parts = [
-            (c, int(e) // t, int(e) % t)
-            for c, e in enumerate(enc_row.tolist())
-            if e >= 0
-        ]
-        per_machine: list[list[int]] = [[] for _ in range(self.m)]
-        rows: list[np.ndarray] = []
-        for c, p, tu in parts:
-            item = self._items[c][p]
-            job = int(self.job_map[item.job])
-            if tu == 0 and item.prelude_length:
-                rows.extend(prelude_rows(item, job, self.m))
-            for i in item.machines_at(tu):
-                per_machine[i].append(job)
-        n_prelude = len(rows)
-        congestion = max((len(lst) for lst in per_machine), default=0)
-        for r in range(congestion):
-            row = self._idle_row.copy()
-            for i in range(self.m):
-                if r < len(per_machine[i]):
-                    row[i] = per_machine[i][r]
-            rows.append(row)
+        rows, n_prelude, congestion = self._kernel.expand_signature(
+            enc_row, self._tmult, self._ijob, self._prelude_len,
+            self._pre_indptr, self._pre_machine, self._pre_count,
+            self._step_indptr, self._step_machine, self._step_count,
+            self.m, IDLE,
+        )
         sid = len(self._sig_rows)
         self._sig_ids[sig_bytes] = sid
         self._sig_rows.append(rows)
-        self._sig_congestion.append(congestion)
-        self._sig_n_prelude.append(n_prelude)
+        self._sig_congestion.append(int(congestion))
+        self._sig_n_prelude.append(int(n_prelude))
         if sid >= self._sig_len_np.size:
             grown = np.zeros(2 * self._sig_len_np.size, dtype=np.int64)
             grown[: self._sig_len_np.size] = self._sig_len_np
             self._sig_len_np = grown
-        self._sig_len_np[sid] = len(rows)
+        self._sig_len_np[sid] = rows.shape[0]
         return sid
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ scalar assignment sequence exactly.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -91,7 +92,10 @@ LP_REUSE_MODES = ("exact", "subset")
 #: (vs a perfectly balanced repack of its surviving steps).
 DEFAULT_LP_REUSE_EPS = 0.25
 
-_ACTIVE_LP_REUSE: str | None = None
+#: lp_reuse scope installed by :func:`lp_reuse_context` — thread-local,
+#: so trial shards (repro.sim.batch, kernel_threads > 1) running
+#: concurrent batches in one process never see each other's mode.
+_lp_reuse_tls = threading.local()
 
 
 def resolve_lp_reuse(mode: str | None = None) -> str:
@@ -107,8 +111,9 @@ def resolve_lp_reuse(mode: str | None = None) -> str:
 
 def active_lp_reuse() -> str:
     """The lp_reuse mode in effect (context override, else environment)."""
-    if _ACTIVE_LP_REUSE is not None:
-        return _ACTIVE_LP_REUSE
+    active = getattr(_lp_reuse_tls, "mode", None)
+    if active is not None:
+        return active
     return resolve_lp_reuse()
 
 
@@ -122,15 +127,18 @@ def lp_reuse_eps() -> float:
 
 @contextmanager
 def lp_reuse_context(mode: str | None):
-    """Scope an lp_reuse mode over a batch run (thread-local enough: the
-    phased driver is single-threaded; solver threads never consult it)."""
-    global _ACTIVE_LP_REUSE
-    previous = _ACTIVE_LP_REUSE
-    _ACTIVE_LP_REUSE = resolve_lp_reuse(mode)
+    """Scope an lp_reuse mode over a batch run.
+
+    The scope is genuinely thread-local: each trial shard's recursive
+    batch run enters its own context on its own thread, so concurrent
+    shards never clobber (or prematurely restore) each other's mode.
+    """
+    previous = getattr(_lp_reuse_tls, "mode", None)
+    _lp_reuse_tls.mode = resolve_lp_reuse(mode)
     try:
         yield
     finally:
-        _ACTIVE_LP_REUSE = previous
+        _lp_reuse_tls.mode = previous
 
 
 class ProcessSolveCache:
@@ -175,6 +183,12 @@ class ProcessSolveCache:
         self._entries: OrderedDict = OrderedDict()
         #: digest -> set of live keys, LRU-ordered by last touch.
         self._digests: OrderedDict = OrderedDict()
+        #: Guards the dict/LRU bookkeeping: trial shards (kernel_threads
+        #: > 1) hit this process-wide cache from concurrent threads.
+        #: Misses compute *outside* the lock — a rare duplicated solve is
+        #: benign (the pipelines are deterministic), serializing every
+        #: shard on one LP solve is not.
+        self._mu = threading.RLock()
         self.solves = 0  # misses that ran a real solve pipeline
         self.hits = 0
 
@@ -215,51 +229,56 @@ class ProcessSolveCache:
         """
         if not self.enabled:
             return None
-        value = self._entries.get(key)
-        if value is not None:
-            self.hits += 1
-            self._touch(key)
-        return value
+        with self._mu:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+                self._touch(key)
+            return value
 
     def lookup(self, key, compute):
         """``compute()`` memoized under ``key`` (straight call if disabled)."""
         if not self.enabled:
             self.solves += 1
             return compute()
-        value = self._entries.get(key)
-        if value is not None:
-            self.hits += 1
-            self._touch(key)
-            return value
+        with self._mu:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+                self._touch(key)
+                return value
         value = compute()
-        self.solves += 1
-        self._entries[key] = value
-        digest = self._digest_of(key)
-        if digest is not None:
-            self._digests.setdefault(digest, set()).add(key)
-            self._digests.move_to_end(digest)
-            while len(self._digests) > max(1, self.max_instances):
-                self.evict_instance(next(iter(self._digests)))
-        while len(self._entries) > self.max_entries:
-            old_key, _ = self._entries.popitem(last=False)
-            self._forget(old_key)
+        with self._mu:
+            self.solves += 1
+            self._entries[key] = value
+            digest = self._digest_of(key)
+            if digest is not None:
+                self._digests.setdefault(digest, set()).add(key)
+                self._digests.move_to_end(digest)
+                while len(self._digests) > max(1, self.max_instances):
+                    self.evict_instance(next(iter(self._digests)))
+            while len(self._entries) > self.max_entries:
+                old_key, _ = self._entries.popitem(last=False)
+                self._forget(old_key)
         return value
 
     def evict_instance(self, digest) -> int:
         """Drop every entry scoped to ``digest``; returns how many."""
-        keys = self._digests.pop(digest, None)
-        if not keys:
-            return 0
-        for key in keys:
-            self._entries.pop(key, None)
-        return len(keys)
+        with self._mu:
+            keys = self._digests.pop(digest, None)
+            if not keys:
+                return 0
+            for key in keys:
+                self._entries.pop(key, None)
+            return len(keys)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self._digests.clear()
-        self.solves = 0
-        self.hits = 0
+        with self._mu:
+            self._entries.clear()
+            self._digests.clear()
+            self.solves = 0
+            self.hits = 0
 
 
 _SHARED_SOLVE_CACHE = ProcessSolveCache()

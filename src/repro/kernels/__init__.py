@@ -3,15 +3,16 @@
 The batch engine's per-step inner body (:mod:`repro.sim.batch`) and the
 chain cursors' whole-batch boundary transitions
 (:mod:`repro.core.chain_batch`) are expressed as calls into a *backend*
-— a module exposing five functions with identical signatures:
+— a module exposing six functions with identical signatures:
 
-=============== ====================================================
-``accrue``      one step's mass accrual + assignment validation
-``commit``      completion commit / in-degree + eligibility refresh
-``drive_step``  the fused step: accrue + completion test + commit
-``chain_finish`` chain-cursor advance at a drained superstep
-``chain_build``  chain start / pause recovery / signature encoding
-=============== ====================================================
+==================== ====================================================
+``accrue``           one step's mass accrual + assignment validation
+``commit``           completion commit / in-degree + eligibility refresh
+``drive_step``       the fused step: accrue + completion test + commit
+``chain_finish``     chain-cursor advance at a drained superstep
+``chain_build``      chain start / pause recovery / signature encoding
+``expand_signature`` superstep signature -> shared assignment rows
+==================== ====================================================
 
 Three backends are registered:
 
@@ -26,21 +27,35 @@ Three backends are registered:
     The numba backend's loop nests run *uncompiled* — slow, but it lets
     the fused logic be bit-identity-tested without numba installed.
 
+**Threads** (the ``REPRO_KERNEL_THREADS`` axis) compose with the
+backend: for the numba backend, ``threads > 1`` selects a
+``parallel=True`` compile whose ``prange``-over-trials loops run the
+batch on multiple cores *inside* the kernel (``inkernel_threads`` is
+True on that flavor); for the numpy and python backends — and for a
+numba request that fell back — the kernel stays serial and
+:mod:`repro.sim.batch` shards trials across a thread pool instead.
+Both routes are bit-identical to ``threads == 1`` (trials are
+independent rows; v2's Philox streams are addressed by global trial
+index).
+
 Resolution follows the discipline axis exactly: explicit argument
 (``SimConfig.kernel`` / ``run_policy_batch(kernel=...)``) → the
-``REPRO_KERNEL`` environment variable → ``"numpy"``.
+``REPRO_KERNEL`` environment variable → ``"numpy"``; likewise
+``kernel_threads`` → ``REPRO_KERNEL_THREADS`` → 1.
 
 Because :class:`~repro.core.chain_batch.ChainCursorBatch` is constructed
 inside policies (not by the engine), the resolved backend is also scoped
 dynamically: :func:`kernel_context` installs it for the duration of a
 batch run and :func:`active_backend` reads it — the same pattern as
-``repro.core.phased.lp_reuse_context``.
+``repro.core.phased.lp_reuse_context``, but *thread-local* so trial
+shards running concurrent batches never see each other's backend.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import threading
 import time
 from contextlib import contextmanager
 
@@ -49,6 +64,7 @@ import numpy as np
 __all__ = [
     "KERNELS",
     "KERNEL_ENV_VAR",
+    "KERNEL_THREADS_ENV_VAR",
     "active_backend",
     "active_kernel",
     "get_backend",
@@ -56,6 +72,8 @@ __all__ = [
     "kernel_info",
     "numba_available",
     "resolve_kernel",
+    "resolve_kernel_threads",
+    "silence_numba_fallback",
     "warmup",
 ]
 
@@ -65,14 +83,18 @@ KERNELS = ("numpy", "numba", "python")
 #: Environment variable consulted when no explicit kernel is passed.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 
+#: Environment variable consulted when no explicit thread count is passed.
+KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
 _logger = logging.getLogger(__name__)
 
 _loaded: dict = {}
 _numba_fallback_logged = False
-_warmup_seconds: dict[str, float] = {}
+_warmup_seconds: dict[tuple[str, int], float] = {}
 
-#: Backend installed by :func:`kernel_context` (None -> resolve lazily).
-_ACTIVE = None
+#: Backend installed by :func:`kernel_context` — thread-local, so shard
+#: worker threads (and nested contexts within one thread) are isolated.
+_tls = threading.local()
 
 
 def resolve_kernel(kernel: str | None = None) -> str:
@@ -91,6 +113,29 @@ def resolve_kernel(kernel: str | None = None) -> str:
     return kernel
 
 
+def resolve_kernel_threads(threads: int | None = None) -> int:
+    """Resolve the kernel thread count.
+
+    Explicit ``threads`` argument → ``REPRO_KERNEL_THREADS`` environment
+    variable → 1.  Raises ``ValueError`` on non-integer or < 1 values
+    (including via the environment variable, so typos fail loudly).
+    """
+    if threads is None:
+        raw = os.environ.get(KERNEL_THREADS_ENV_VAR)
+        if not raw:
+            return 1
+        threads = raw  # type: ignore[assignment]
+    try:
+        count = int(threads)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"kernel_threads must be an integer >= 1, got {threads!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"kernel_threads must be >= 1, got {count}")
+    return count
+
+
 def numba_available() -> bool:
     """True when the numba backend can actually compile (import works)."""
     try:
@@ -100,17 +145,36 @@ def numba_available() -> bool:
     return True
 
 
-def get_backend(kernel: str | None = None):
-    """The backend module for ``kernel`` (resolved via :func:`resolve_kernel`).
+def silence_numba_fallback() -> None:
+    """Mark the numba→numpy fallback warning as already delivered.
+
+    Worker initializers call this when the *parent* process has already
+    logged the warning at pool construction — without it, a warm pool of
+    N workers would re-warn N times (once per process).
+    """
+    global _numba_fallback_logged
+    _numba_fallback_logged = True
+
+
+def get_backend(kernel: str | None = None, threads: int | None = None):
+    """The backend for ``kernel`` at ``threads`` (both resolved here).
 
     Requesting ``"numba"`` without numba installed logs a warning once per
     process and returns the numpy backend — callers never error on a
     missing optional dependency (graceful degradation; the active name is
-    surfaced through :func:`kernel_info` / ``/healthz``).
+    surfaced through :func:`kernel_info` / ``/healthz``).  Only the numba
+    backend has a distinct threaded flavor (``parallel=True`` compiles);
+    for every other backend ``threads`` selects the *same* serial module
+    and the trial-shard layer in :mod:`repro.sim.batch` supplies the
+    parallelism.
     """
     global _numba_fallback_logged
     kernel = resolve_kernel(kernel)
-    backend = _loaded.get(kernel)
+    threads = resolve_kernel_threads(threads)
+    if kernel != "numba":
+        threads = 1  # serial modules are shared across thread counts
+    key = (kernel, threads)
+    backend = _loaded.get(key)
     if backend is not None:
         return backend
     if kernel == "numpy":
@@ -119,7 +183,7 @@ def get_backend(kernel: str | None = None):
         from repro.kernels import _stepimpl as backend
     else:  # "numba"
         try:
-            from repro.kernels import numba_backend as backend
+            from repro.kernels import numba_backend
         except ImportError as exc:
             if not _numba_fallback_logged:
                 _logger.warning(
@@ -129,18 +193,24 @@ def get_backend(kernel: str | None = None):
                 )
                 _numba_fallback_logged = True
             backend = get_backend("numpy")
-    _loaded[kernel] = backend
+        else:
+            if threads > 1:
+                backend = numba_backend.threaded_backend(threads)
+            else:
+                backend = numba_backend
+    _loaded[key] = backend
     return backend
 
 
 def active_backend():
-    """The backend scoped by the innermost :func:`kernel_context`.
+    """The backend scoped by this thread's innermost :func:`kernel_context`.
 
     Outside any context this resolves the environment default — safe for
     code (scalar engines, tests) that runs without a batch driver.
     """
-    if _ACTIVE is not None:
-        return _ACTIVE
+    active = getattr(_tls, "active", None)
+    if active is not None:
+        return active
     return get_backend(None)
 
 
@@ -150,40 +220,41 @@ def active_kernel() -> str:
 
 
 @contextmanager
-def kernel_context(kernel: str | None = None):
+def kernel_context(kernel: str | None = None, threads: int | None = None):
     """Scope the resolved kernel backend over a ``with`` block.
 
     Mirrors ``lp_reuse_context``: :func:`run_policy_batch` installs the
     run's backend here so components constructed *inside* the run (chain
     cursors built by policy start hooks) pick it up via
-    :func:`active_backend` without signature changes.  Yields the backend
-    module.  Nested contexts restore the outer backend on exit.
+    :func:`active_backend` without signature changes.  Yields the backend.
+    Nested contexts restore the outer backend on exit; the scope is
+    thread-local, so concurrent trial shards are isolated.
     """
-    global _ACTIVE
-    backend = get_backend(kernel)
-    prev = _ACTIVE
-    _ACTIVE = backend
+    backend = get_backend(kernel, threads)
+    prev = getattr(_tls, "active", None)
+    _tls.active = backend
     try:
         yield backend
     finally:
-        _ACTIVE = prev
+        _tls.active = prev
 
 
-def warmup(kernel: str | None = None) -> float:
+def warmup(kernel: str | None = None, threads: int | None = None) -> float:
     """Pre-compile (and time) every kernel of the resolved backend.
 
-    Drives tiny synthetic batches through all five backend functions,
+    Drives tiny synthetic batches through all six backend functions,
     covering both completion modes and both the precedence-free and
     DAG code paths, so a numba backend JIT-compiles every specialization
-    it will see at runtime.  Returns the wall-clock seconds spent; the
-    first measurement per backend is recorded for :func:`kernel_info`.
+    it will see at runtime (``threads > 1`` warms the ``parallel=True``
+    flavor).  Returns the wall-clock seconds spent; the first measurement
+    per (backend, threads) is recorded for :func:`kernel_info`.
     Idempotent: repeat calls re-run the (now cheap) warm path but keep
     the recorded compile time.
 
     Worker pools call this from their initializer so warm-pool workers
     compile once and serve every subsequent request from the JIT cache.
     """
-    backend = get_backend(kernel)
+    backend = get_backend(kernel, threads)
     start = time.perf_counter()
     B, n, m = 2, 3, 2
     ell = np.full((m, n), 0.5, dtype=np.float64)
@@ -241,26 +312,51 @@ def warmup(kernel: str | None = None) -> float:
     backend.chain_finish(
         trials, pos, tau, dr, started, rem, kind, ilen, need, ijob, nit
     )
+    # The superstep expansion: one two-chain signature with a prelude on
+    # the entering block (CSR tables flattened as c * P + p).
+    enc = np.array([0, 0], dtype=np.int64)  # both chains at (pos 0, tau 0)
+    prelude_len = np.zeros((C, P), dtype=np.int64)
+    prelude_len[0, 0] = 1
+    pre_indptr = np.zeros(C * P + 1, dtype=np.int64)
+    pre_indptr[1:] = 1  # chain 0 item 0 has the single prelude pair
+    pre_machine = np.zeros(1, dtype=np.int64)
+    pre_count = np.ones(1, dtype=np.int64)
+    step_indptr = np.arange(C * P + 1, dtype=np.int64)
+    step_machine = np.array([0, 1, 0, 1], dtype=np.int64)
+    step_count = np.ones(C * P, dtype=np.int64)
+    backend.expand_signature(
+        enc, P + 1, ijob, prelude_len, pre_indptr, pre_machine, pre_count,
+        step_indptr, step_machine, step_count, m, -1,
+    )
     elapsed = time.perf_counter() - start
-    _warmup_seconds.setdefault(backend.name, elapsed)
+    _warmup_seconds.setdefault(
+        (backend.name, getattr(backend, "threads", 1)), elapsed
+    )
     return elapsed
 
 
-def kernel_info(kernel: str | None = None) -> dict:
+def kernel_info(kernel: str | None = None, threads: int | None = None) -> dict:
     """Reportable description of the resolved backend.
 
     Keys: ``requested`` (post-resolution name), ``active`` (after any
-    numba→numpy fallback), ``numba_available``, and ``warmup_seconds``
-    (first measured :func:`warmup` duration in this process, or None if
-    the backend was never warmed here — e.g. compilation happened in
-    worker processes).  Surfaced in ``simulate()`` reports and
-    ``GET /healthz``.
+    numba→numpy fallback), ``numba_available``, ``threads`` (resolved
+    count), ``inkernel_threads`` (True when the active backend threads
+    *inside* the kernel via ``prange``; False means ``threads > 1`` runs
+    through the trial-shard layer), and ``warmup_seconds`` (first
+    measured :func:`warmup` duration in this process, or None if the
+    backend was never warmed here — e.g. compilation happened in worker
+    processes).  Surfaced in ``simulate()`` reports and ``GET /healthz``.
     """
     requested = resolve_kernel(kernel)
-    backend = get_backend(requested)
+    resolved_threads = resolve_kernel_threads(threads)
+    backend = get_backend(requested, resolved_threads)
     return {
         "requested": requested,
         "active": backend.name,
         "numba_available": numba_available(),
-        "warmup_seconds": _warmup_seconds.get(backend.name),
+        "threads": resolved_threads,
+        "inkernel_threads": bool(getattr(backend, "inkernel_threads", False)),
+        "warmup_seconds": _warmup_seconds.get(
+            (backend.name, getattr(backend, "threads", 1))
+        ),
     }

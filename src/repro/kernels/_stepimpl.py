@@ -18,13 +18,38 @@ boolean arithmetic where identity is structural.
 Item-kind codes in the chain tables match
 :mod:`repro.core.chain_batch`'s ``_KIND_*`` constants (block 0, pause 1,
 end 2) — asserted there at import time.
+
+**Trial parallelism.**  The per-trial loops are written against
+``prange``: under ``numba.njit(parallel=True)`` (the threaded numba
+backend, ``kernel_threads > 1``) trials run on multiple cores, while
+``parallel=False`` — and this module uncompiled — treats ``prange``
+exactly as ``range``.  That is safe because trials are independent rows:
+every write inside a trial iteration lands in that trial's row (or a
+per-trial scratch allocated *inside* the loop, which numba privatizes),
+and per-trial accumulation order is untouched, so the serial and
+threaded kernels are bit-identical.  The one casualty is early exit:
+violations are recorded per trial and reduced to the first offender
+(ascending trial, then machine) in a serial post-scan, matching the
+serial kernels' reporting.  Partial batch state after a violation
+differs between serial and threaded runs (and already differs between
+the numpy and loop-nest backends) — the driver raises and discards the
+state, so only the reported ``(status, trial, machine)`` must agree.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+try:  # pragma: no cover - exercised only with numba installed
+    from numba import prange
+except ImportError:  # uncompiled fallback: prange degrades to range
+    prange = range
+
 name = "python"
+#: This backend never threads inside the kernel (``prange`` is ``range``
+#: uncompiled); ``kernel_threads > 1`` runs it through the trial-shard
+#: layer in :mod:`repro.sim.batch` instead.
+inkernel_threads = False
 
 KIND_BLOCK = 0
 KIND_PAUSE = 1
@@ -55,19 +80,34 @@ def accrue(a, ell, remaining, eligible, busy, independent, check):
     B, m = a.shape
     n = remaining.shape[1]
     step_mass = np.zeros((B, n), dtype=np.float64)
-    for b in range(B):
+    viol = np.zeros(B, dtype=np.int64)
+    viol_i = np.zeros(B, dtype=np.int64)
+    for b in prange(B):
         used = 0
+        bad = OK
+        bad_i = -1
         for i in range(m):
             j = a[b, i]
             if j < -1 or j >= n:
-                return BAD_RANGE, b, i, step_mass
+                bad = BAD_RANGE
+                bad_i = i
+                break
             if j < 0 or not remaining[b, j]:
                 continue
             if check and not independent and not eligible[b, j]:
-                return BAD_PRECEDENCE, b, i, step_mass
+                bad = BAD_PRECEDENCE
+                bad_i = i
+                break
             step_mass[b, j] += ell[i, j]
             used += 1
-        busy[b] += used
+        if bad != OK:
+            viol[b] = bad
+            viol_i[b] = bad_i
+        else:
+            busy[b] += used
+    for b in range(B):
+        if viol[b] != OK:
+            return viol[b], b, viol_i[b], step_mass
     return OK, -1, -1, step_mass
 
 
@@ -80,7 +120,7 @@ def commit(done_now, t_next, completion_times, remaining, eligible, indeg,
     globally, so skipping them is value-identical and cheaper.
     """
     B, n = done_now.shape
-    for b in range(B):
+    for b in prange(B):
         row_done = False
         for j in range(n):
             if done_now[b, j]:
@@ -118,55 +158,71 @@ def drive_step(a, ell, theta, u, mode, t_next, remaining, eligible, indeg,
     """
     B, m = a.shape
     n = remaining.shape[1]
-    sm = np.zeros(n, dtype=np.float64)
-    touched = np.empty(m, dtype=np.int64)
-    for b in range(B):
+    viol = np.zeros(B, dtype=np.int64)
+    viol_i = np.zeros(B, dtype=np.int64)
+    for b in prange(B):
+        # Scratch allocated per trial iteration so the parallel backend
+        # privatizes it (a hoisted shared buffer would race under prange).
+        sm = np.zeros(n, dtype=np.float64)
+        touched = np.empty(m, dtype=np.int64)
         used = 0
         ntouch = 0
+        bad = OK
+        bad_i = -1
         for i in range(m):
             j = a[b, i]
             if j < -1 or j >= n:
-                return BAD_RANGE, b, i
+                bad = BAD_RANGE
+                bad_i = i
+                break
             if j < 0 or not remaining[b, j]:
                 continue
             if check and not independent and not eligible[b, j]:
-                return BAD_PRECEDENCE, b, i
+                bad = BAD_PRECEDENCE
+                bad_i = i
+                break
             if sm[j] == 0.0:
                 touched[ntouch] = j
                 ntouch += 1
             sm[j] += ell[i, j]
             used += 1
-        busy[b] += used
-        row_done = False
-        for k in range(ntouch):
-            j = touched[k]
-            s = sm[j]
-            sm[j] = 0.0
-            # Zero-mass assignments (ell == 0) accrue nothing and can
-            # never complete — and a duplicate ``touched`` entry (first
-            # machine had zero mass) lands here too, adding +0.0.
-            if s <= 0.0:
+        if bad != OK:
+            viol[b] = bad
+            viol_i[b] = bad_i
+        else:
+            busy[b] += used
+            row_done = False
+            for k in range(ntouch):
+                j = touched[k]
+                s = sm[j]
+                # Zero-mass assignments (ell == 0) accrue nothing and can
+                # never complete — and a duplicate ``touched`` entry (first
+                # machine had zero mass) lands here too, adding +0.0.
+                if s <= 0.0:
+                    mass_accrued[b, j] += s
+                    continue
+                if mode == 0:
+                    done = mass_accrued[b, j] + s >= theta[b, j]
+                else:
+                    done = u[b, j] >= 2.0 ** (-s)
                 mass_accrued[b, j] += s
-                continue
-            if mode == 0:
-                done = mass_accrued[b, j] + s >= theta[b, j]
-            else:
-                done = u[b, j] >= 2.0 ** (-s)
-            mass_accrued[b, j] += s
-            if done:
-                completion_times[b, j] = t_next
-                remaining[b, j] = False
-                row_done = True
-                if not independent:
-                    for p in range(succ_indptr[j], succ_indptr[j + 1]):
-                        indeg[b, succ_indices[p]] -= 1
-        if row_done:
-            alive = False
-            for j in range(n):
-                r = remaining[b, j]
-                eligible[b, j] = r and (independent or indeg[b, j] == 0)
-                alive = alive or r
-            active[b] = alive
+                if done:
+                    completion_times[b, j] = t_next
+                    remaining[b, j] = False
+                    row_done = True
+                    if not independent:
+                        for p in range(succ_indptr[j], succ_indptr[j + 1]):
+                            indeg[b, succ_indices[p]] -= 1
+            if row_done:
+                alive = False
+                for j in range(n):
+                    r = remaining[b, j]
+                    eligible[b, j] = r and (independent or indeg[b, j] == 0)
+                    alive = alive or r
+                active[b] = alive
+    for b in range(B):
+        if viol[b] != OK:
+            return viol[b], b, viol_i[b]
     return OK, -1, -1
 
 
@@ -186,7 +242,7 @@ def chain_finish(trials, pos, tau, dr, started, remaining,
     F, C = pos.shape
     into_pause = np.zeros((F, C), dtype=np.bool_)
     pause_jobs = np.zeros((F, C), dtype=np.int64)
-    for k in range(F):
+    for k in prange(F):
         b = trials[k]
         for c in range(C):
             p = pos[k, c]
@@ -242,7 +298,7 @@ def chain_build(trials, pos, tau, dr, std, delays, s, remaining,
     pause2 = np.zeros((F, C), dtype=np.bool_)
     pause2_jobs = np.zeros((F, C), dtype=np.int64)
     enc = np.full((F, C), -1, dtype=np.int64)
-    for k in range(F):
+    for k in prange(F):
         b = trials[k]
         for c in range(C):
             p = pos[k, c]
@@ -278,3 +334,70 @@ def chain_build(trials, pos, tau, dr, std, delays, s, remaining,
             if p < nit[c] and kind[c, p] == KIND_BLOCK:
                 enc[k, c] = p * tmult + tau[k, c]
     return pause1, pause1_jobs, pause2, pause2_jobs, enc
+
+
+def expand_signature(enc, tmult, ijob, prelude_len,
+                     pre_indptr, pre_machine, pre_count,
+                     step_indptr, step_machine, step_count,
+                     n_machines, idle):
+    """Flatten one distinct superstep signature into shared assignment rows.
+
+    The fused form of ``ChainCursorBatch._compile_signature``'s row
+    construction, over the flat chain-program tables built at cursor
+    construction (``(c, p)`` item slots flattened to ``c * P + p`` CSR
+    spans of ``(machine, count)`` pairs, in the original tuple order).
+
+    ``enc`` is one trial's ``(n_chains,)`` signature row: ``pos * tmult +
+    tau`` per live block, -1 otherwise.  Entering blocks (``tau == 0``)
+    contribute their prelude solo rows first, in chain order — the scalar
+    policy's solo-queue emission order — followed by the congestion rows
+    (machine ``i``'s ``r``-th queued job at row ``r``, ``idle``
+    elsewhere).  Returns ``(rows, n_prelude, congestion)`` with ``rows``
+    an ``(n_prelude + congestion, n_machines)`` int64 matrix.  Called
+    once per *distinct* signature (the caller memoizes), so this is
+    compiled serially — no ``prange``.
+    """
+    C = enc.shape[0]
+    P = ijob.shape[1]
+    per_machine = np.empty((n_machines, C), dtype=np.int64)
+    pm_count = np.zeros(n_machines, dtype=np.int64)
+    n_prelude = 0
+    for c in range(C):
+        e = enc[c]
+        if e < 0:
+            continue
+        p = e // tmult
+        tu = e - p * tmult
+        if tu == 0:
+            n_prelude += prelude_len[c, p]
+        cp = c * P + p
+        job = ijob[c, p]
+        for k in range(step_indptr[cp], step_indptr[cp + 1]):
+            if step_count[k] > tu:
+                i = step_machine[k]
+                per_machine[i, pm_count[i]] = job
+                pm_count[i] += 1
+    congestion = 0
+    for i in range(n_machines):
+        if pm_count[i] > congestion:
+            congestion = pm_count[i]
+    rows = np.full((n_prelude + congestion, n_machines), idle, dtype=np.int64)
+    r0 = 0
+    for c in range(C):
+        e = enc[c]
+        if e < 0:
+            continue
+        p = e // tmult
+        tu = e - p * tmult
+        if tu == 0 and prelude_len[c, p] > 0:
+            cp = c * P + p
+            job = ijob[c, p]
+            for k in range(pre_indptr[cp], pre_indptr[cp + 1]):
+                i = pre_machine[k]
+                for r in range(pre_count[k]):
+                    rows[r0 + r, i] = job
+            r0 += prelude_len[c, p]
+    for i in range(n_machines):
+        for r in range(pm_count[i]):
+            rows[n_prelude + r, i] = per_machine[i, r]
+    return rows, n_prelude, congestion

@@ -7,6 +7,16 @@ later *processes*, e.g. warm-pool workers — reuse the cached machine
 code.  Importing this module raises ``ImportError`` when numba is not
 installed; :func:`repro.kernels.get_backend` catches that and falls back
 to the numpy backend with a single logged warning.
+
+Two compiled flavors share the one ``_stepimpl`` source:
+
+* the module-level functions here (``parallel=False``) — ``prange``
+  degrades to ``range``, giving the serial PR-8 behavior; and
+* :func:`threaded_backend` (``kernel_threads > 1``) — a
+  ``parallel=True`` compile of the same functions, running the
+  ``prange``-over-trials loops on a clamped numba thread pool.  Trials
+  write disjoint rows and per-trial accumulation order is unchanged, so
+  both flavors are bit-identical to each other and to numpy.
 """
 
 from __future__ import annotations
@@ -16,6 +26,9 @@ import numba
 from repro.kernels import _stepimpl
 
 name = "numba"
+#: The serial module itself; the threaded flavor comes from
+#: :func:`threaded_backend`.
+inkernel_threads = False
 
 # fastmath stays off: the backend contract is bit-identical float
 # behavior with the numpy path (strict IEEE ordering of every sum and
@@ -27,3 +40,61 @@ commit = _jit(_stepimpl.commit)
 drive_step = _jit(_stepimpl.drive_step)
 chain_finish = _jit(_stepimpl.chain_finish)
 chain_build = _jit(_stepimpl.chain_build)
+# Called once per *distinct* memoized signature — compiled serially in
+# both flavors (there is nothing to prange over).
+expand_signature = _jit(_stepimpl.expand_signature)
+
+_pjit = numba.njit(cache=True, fastmath=False, parallel=True)
+
+#: parallel=True compiles lazily (threaded_backend) so serial users
+#: never pay for them.
+_parallel_fns: dict | None = None
+
+
+def _parallel_functions() -> dict:
+    global _parallel_fns
+    if _parallel_fns is None:
+        _parallel_fns = {
+            "accrue": _pjit(_stepimpl.accrue),
+            "commit": _pjit(_stepimpl.commit),
+            "drive_step": _pjit(_stepimpl.drive_step),
+            "chain_finish": _pjit(_stepimpl.chain_finish),
+            "chain_build": _pjit(_stepimpl.chain_build),
+        }
+    return _parallel_fns
+
+
+def _pin_threads(fn, n: int):
+    """Bind ``fn`` to run on ``n`` numba threads.
+
+    ``numba.set_num_threads`` is process-global and cheap; setting it at
+    every call keeps concurrent backends with different thread counts
+    from clobbering each other mid-run (last setter wins per call).
+    """
+
+    def call(*args):
+        numba.set_num_threads(n)
+        return fn(*args)
+
+    call.__name__ = getattr(fn, "__name__", "kernel")
+    return call
+
+
+class _ThreadedNumbaBackend:
+    """The ``parallel=True`` flavor: ``prange`` over trials on ``threads``
+    cores (clamped to numba's process launch-time maximum)."""
+
+    name = "numba"
+    inkernel_threads = True
+
+    def __init__(self, threads: int):
+        self.threads = min(int(threads), numba.config.NUMBA_NUM_THREADS)
+        fns = _parallel_functions()
+        for fname, fn in fns.items():
+            setattr(self, fname, _pin_threads(fn, self.threads))
+        self.expand_signature = expand_signature
+
+
+def threaded_backend(threads: int) -> _ThreadedNumbaBackend:
+    """The threaded backend object for ``kernel_threads == threads``."""
+    return _ThreadedNumbaBackend(threads)

@@ -21,6 +21,9 @@ from repro.kernels._stepimpl import (
 )
 
 name = "numpy"
+#: The array formulation never threads inside the kernel;
+#: ``kernel_threads > 1`` shards trials in :mod:`repro.sim.batch` instead.
+inkernel_threads = False
 
 
 def accrue(a, ell, remaining, eligible, busy, independent, check):
@@ -163,6 +166,50 @@ def chain_build(trials, pos, tau, dr, std, delays, s, remaining,
     isblk = live & (kind[c_idx, cp] == KIND_BLOCK)
     enc = np.where(isblk, cp * tmult + tau, -1)
     return pause1, pause1_jobs, pause2, pause2_jobs, enc
+
+
+def expand_signature(enc, tmult, ijob, prelude_len,
+                     pre_indptr, pre_machine, pre_count,
+                     step_indptr, step_machine, step_count,
+                     n_machines, idle):
+    """Flatten one distinct superstep signature into shared rows (the
+    reference construction; see :func:`._stepimpl.expand_signature`).
+
+    List-based like the original ``ChainCursorBatch._compile_signature``
+    body, over the flat CSR tables every backend shares: prelude solo
+    rows for entering blocks first (chain order), then congestion rows.
+    Memoized by the caller, so this runs once per distinct signature.
+    """
+    C = enc.shape[0]
+    P = ijob.shape[1]
+    per_machine: list[list[int]] = [[] for _ in range(n_machines)]
+    prelude: list[np.ndarray] = []
+    for c in range(C):
+        e = int(enc[c])
+        if e < 0:
+            continue
+        p, tu = divmod(e, int(tmult))
+        cp = c * P + p
+        job = int(ijob[c, p])
+        if tu == 0 and prelude_len[c, p] > 0:
+            for r in range(int(prelude_len[c, p])):
+                row = np.full(n_machines, idle, dtype=np.int64)
+                for k in range(int(pre_indptr[cp]), int(pre_indptr[cp + 1])):
+                    if pre_count[k] > r:
+                        row[int(pre_machine[k])] = job
+                prelude.append(row)
+        for k in range(int(step_indptr[cp]), int(step_indptr[cp + 1])):
+            if step_count[k] > tu:
+                per_machine[int(step_machine[k])].append(job)
+    n_prelude = len(prelude)
+    congestion = max((len(lst) for lst in per_machine), default=0)
+    rows = np.full((n_prelude + congestion, n_machines), idle, dtype=np.int64)
+    for r, row in enumerate(prelude):
+        rows[r] = row
+    for i, lst in enumerate(per_machine):
+        for r, job in enumerate(lst):
+            rows[n_prelude + r, i] = job
+    return rows, n_prelude, congestion
 
 
 def _enter_items(entered, pos, tau, dr, kind, ilen, ijob, nit):

@@ -83,9 +83,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.errors import ScheduleViolationError, SimulationHorizonError
 from repro.instance.instance import SUUInstance
-from repro.kernels import active_backend, kernel_context
+from repro.kernels import (
+    active_backend,
+    get_backend,
+    kernel_context,
+    resolve_kernel_threads,
+)
 from repro.kernels._stepimpl import BAD_RANGE, OK
 from repro.schedule.base import (
     IDLE,
@@ -179,6 +186,7 @@ def run_policy_batch(
     streams: BatchStreams | None = None,
     lp_reuse: str | None = None,
     kernel: str | None = None,
+    kernel_threads: int | None = None,
     validate: bool = True,
 ) -> BatchSimResult:
     """Execute ``n_trials`` independent runs of ``policy``, vectorized.
@@ -233,6 +241,23 @@ def run_policy_batch(
         (the compiled loops run uncompiled — debugging/testing), or
         ``None`` to resolve through ``REPRO_KERNEL``.  See
         :mod:`repro.kernels`.
+    kernel_threads:
+        CPU threads for this one batch (``None`` resolves through
+        ``REPRO_KERNEL_THREADS``, default 1).  On the numba backend,
+        ``threads > 1`` selects the ``parallel=True`` compile whose
+        ``prange``-over-trials loops run inside the kernel; on every
+        other backend the batch is split into contiguous trial shards
+        along the service's chunk seam and run on a thread pool
+        (requires a policy class/factory — a shared policy *instance*
+        cannot be sharded and runs serially; ``lp_reuse="subset"`` also
+        stays serial, because donor selection reads the shared solve
+        cache whose order under concurrent shards is
+        scheduling-dependent).  Both routes are
+        bit-identical to ``kernel_threads=1``: trials are independent
+        rows, v1 shards slice the per-trial RNG tree, and v2's Philox
+        streams are addressed by global trial index (shard ``lo`` rebases
+        via ``streams.with_offset``), so shard boundaries are invisible
+        in the samples.
     validate:
         When True (default), the per-step assignment checks (shape,
         dtype, job-id range, precedence eligibility) run every timestep.
@@ -296,10 +321,33 @@ def run_policy_batch(
     else:
         factory = policy
         probe = factory()
-    # Imported here: repro.core pulls policy modules that import this one.
-    from repro.core.phased import lp_reuse_context
 
-    with lp_reuse_context(lp_reuse), kernel_context(kernel):
+    # The threads axis: in-kernel prange (numba parallel flavor) runs
+    # below through kernel_context; every other backend shards trials
+    # across a thread pool here, along the service's chunk seam.
+    # Subset LP reuse stays serial: donor schedules come from the shared
+    # process solve cache, whose population order under concurrent
+    # shards depends on thread scheduling — sharding would make the
+    # (already approximate) samples nondeterministic run to run.
+    # Imported here: repro.core pulls policy modules that import this one.
+    from repro.core.phased import lp_reuse_context, resolve_lp_reuse
+
+    threads = resolve_kernel_threads(kernel_threads)
+    if (
+        threads > 1
+        and n_trials >= 2
+        and factory is not None
+        and resolve_lp_reuse(lp_reuse) != "subset"
+        and not getattr(get_backend(kernel, threads), "inkernel_threads", False)
+    ):
+        return _run_sharded(
+            instance, factory, trial_rngs, threads,
+            semantics=semantics, max_steps=max_steps, thresholds=thresholds,
+            discipline=discipline, streams=streams, lp_reuse=lp_reuse,
+            kernel=kernel, validate=validate,
+        )
+
+    with lp_reuse_context(lp_reuse), kernel_context(kernel, threads):
         if supports_batch(probe):
             return _run_vectorized(
                 instance, probe, trial_rngs, semantics, max_steps, thresholds,
@@ -314,6 +362,63 @@ def run_policy_batch(
             instance, probe, factory, trial_rngs, semantics, max_steps, thresholds,
             discipline,
         )
+
+
+def _run_sharded(
+    instance, factory, trial_rngs, threads, *, semantics, max_steps,
+    thresholds, discipline, streams, lp_reuse, kernel, validate,
+) -> BatchSimResult:
+    """Split one batch into contiguous trial shards on a thread pool.
+
+    The trial-shard route for serial backends when ``kernel_threads > 1``:
+    each shard is a full recursive :func:`run_policy_batch` run (fresh
+    policy from ``factory``, ``kernel_threads=1``) over its span of the
+    already-built per-trial RNG list (v1) and the offset-rebased batch
+    streams (v2) — exactly the seam ``api.service`` chunks batches
+    across worker processes on, which is bit-identical to the unsplit
+    run by construction.  Results concatenate in trial order, so shard
+    boundaries are invisible in the samples.
+    """
+    B = len(trial_rngs)
+    n_shards = min(threads, B)
+    cuts = np.linspace(0, B, n_shards + 1).astype(int)
+    spans = [
+        (int(lo), int(hi)) for lo, hi in zip(cuts[:-1], cuts[1:]) if hi > lo
+    ]
+
+    def run_span(span):
+        lo, hi = span
+        return run_policy_batch(
+            instance, factory, hi - lo,
+            semantics=semantics, max_steps=max_steps,
+            thresholds=None if thresholds is None else thresholds[lo:hi],
+            trial_rngs=trial_rngs[lo:hi], discipline=discipline,
+            # Rebase relative to this batch's own base: the service may
+            # already have offset the streams for a worker chunk.
+            streams=None
+            if streams is None
+            else streams.with_offset(streams.offset + lo),
+            lp_reuse=lp_reuse, kernel=kernel, kernel_threads=1,
+            validate=validate,
+        )
+
+    with ThreadPoolExecutor(max_workers=len(spans)) as pool:
+        parts = list(pool.map(run_span, spans))
+    first = parts[0]
+    return BatchSimResult(
+        makespans=np.concatenate([p.makespans for p in parts]),
+        completion_times=np.concatenate(
+            [p.completion_times for p in parts], axis=0
+        ),
+        busy_machine_steps=np.concatenate(
+            [p.busy_machine_steps for p in parts]
+        ),
+        semantics=first.semantics,
+        policy_name=first.policy_name,
+        vectorized=all(p.vectorized for p in parts),
+        discipline=first.discipline,
+        kernel=first.kernel,
+    )
 
 
 def _run_fallback(

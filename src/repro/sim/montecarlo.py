@@ -60,6 +60,7 @@ def estimate_expected_makespan(
     max_steps: int = DEFAULT_MAX_STEPS,
     discipline: str | None = None,
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> MakespanStats:
     """Estimate ``E[T_policy]`` by simulation.
 
@@ -77,6 +78,11 @@ def estimate_expected_makespan(
         Hot-loop kernel backend (``"numpy"``/``"numba"``/``"python"``;
         ``None`` resolves through ``REPRO_KERNEL``).  Backends are
         bit-identical — the knob only changes wall-clock time.
+    kernel_threads:
+        Trial-parallel worker count (``None`` resolves through
+        ``REPRO_KERNEL_THREADS``; default 1).  Bit-identical to serial —
+        numba pranges over trials in-kernel, other backends shard the
+        batch onto threads.
 
     All dispatch lives in :func:`~repro.sim.batch.run_policy_batch`:
     batch-capable policies drive every trial at once, the rest loop the
@@ -95,6 +101,7 @@ def estimate_expected_makespan(
         max_steps=max_steps,
         discipline=discipline,
         kernel=kernel,
+        kernel_threads=kernel_threads,
     )
     return batch.stats()
 
@@ -108,6 +115,7 @@ def compare_policies(
     max_steps: int = DEFAULT_MAX_STEPS,
     discipline: str | None = None,
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> dict[str, MakespanStats]:
     """Paired Monte Carlo comparison with common random numbers.
 
@@ -163,6 +171,7 @@ def compare_policies(
             discipline=discipline,
             streams=None if streams is None else streams.child(k),
             kernel=kernel,
+            kernel_threads=kernel_threads,
         ).stats(label)
         for k, label in enumerate(labels)
     }

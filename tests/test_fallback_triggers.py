@@ -131,7 +131,8 @@ class TestTriggerDecisionsAgreeAcrossDisciplines:
 
         class Injected(SUUCPolicy):
             def _draw_v2_delays(self, streams, n_trials, plan, *key):
-                return delays
+                # Offset-sliced so the injection survives trial sharding.
+                return delays[streams.offset:streams.offset + n_trials]
 
         v1 = run_policy_batch(
             inst, lambda: SUUCPolicy(**kwargs), B, rng=seed,

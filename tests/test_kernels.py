@@ -20,6 +20,11 @@ Five layers of guarantees:
   reports, worker pools, the request server (``/healthz``), and the CLI;
   per-policy substreams (``SimConfig.substreams``) break common random
   numbers in grid sweeps without touching single-policy runs.
+* **Trial parallelism** (``REPRO_KERNEL_THREADS``): resolution and
+  validation of the thread count, and bit-identity of
+  ``kernel_threads > 1`` runs — the trial-shard layer for serial
+  backends, prange-in-kernel for threaded numba — against serial runs
+  across the same policy × semantics × discipline grid.
 """
 
 import logging
@@ -43,6 +48,7 @@ from repro.instance import (
 )
 from repro.kernels import (
     KERNEL_ENV_VAR,
+    KERNEL_THREADS_ENV_VAR,
     KERNELS,
     active_kernel,
     get_backend,
@@ -50,6 +56,7 @@ from repro.kernels import (
     kernel_info,
     numba_available,
     resolve_kernel,
+    resolve_kernel_threads,
     warmup,
 )
 from repro.schedule.base import VectorizedPolicy
@@ -58,9 +65,10 @@ from repro.sim.batch import run_policy_batch
 
 @pytest.fixture(autouse=True)
 def _clean_kernel_env(monkeypatch):
-    """Default every test to an unset REPRO_KERNEL; tests that probe the
-    env resolution set it explicitly."""
+    """Default every test to unset REPRO_KERNEL / REPRO_KERNEL_THREADS;
+    tests that probe the env resolution set them explicitly."""
     monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    monkeypatch.delenv(KERNEL_THREADS_ENV_VAR, raising=False)
 
 
 requires_numba = pytest.mark.skipif(
@@ -124,6 +132,61 @@ class TestResolution:
         assert clone.substreams == "per-policy"
 
 
+class TestThreadsResolution:
+    def test_default_is_serial(self):
+        assert resolve_kernel_threads() == 1
+        assert SimConfig().resolved_kernel_threads() == 1
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "8")
+        assert resolve_kernel_threads(2) == 2
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "3")
+        assert resolve_kernel_threads() == 3
+        assert SimConfig().resolved_kernel_threads() == 3
+
+    @pytest.mark.parametrize("bad", [0, -2, "two", "1.5"])
+    def test_bad_argument_fails_loudly(self, bad):
+        with pytest.raises(ValueError, match="kernel_threads"):
+            resolve_kernel_threads(bad)
+
+    def test_bad_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="kernel_threads"):
+            resolve_kernel_threads()
+
+    def test_simconfig_validates_kernel_threads(self):
+        assert SimConfig(kernel_threads=4).resolved_kernel_threads() == 4
+        with pytest.raises(InvalidScenarioError, match="kernel_threads"):
+            SimConfig(kernel_threads=0)
+        with pytest.raises(InvalidScenarioError, match="kernel_threads"):
+            SimConfig(kernel_threads="2")
+
+    def test_simconfig_round_trips_kernel_threads(self):
+        clone = SimConfig.from_dict(SimConfig(kernel_threads=2).to_dict())
+        assert clone.kernel_threads == 2
+
+    def test_serial_backends_share_one_module_across_thread_counts(self):
+        assert get_backend("numpy", 4) is get_backend("numpy")
+        assert get_backend("python", 4) is get_backend("python")
+        assert not getattr(get_backend("numpy", 4), "inkernel_threads", False)
+
+    def test_kernel_info_surfaces_threads(self):
+        info = kernel_info("python", 3)
+        assert info["threads"] == 3
+        assert info["inkernel_threads"] is False
+
+    @requires_numba
+    def test_threaded_numba_backend_threads_in_kernel(self):
+        backend = get_backend("numba", 2)
+        assert backend.name == "numba"
+        assert backend.inkernel_threads is True
+        assert backend.threads >= 1  # clamped to NUMBA_NUM_THREADS
+        info = kernel_info("numba", 2)
+        assert info["inkernel_threads"] is True
+
+
 class TestBackendsAndFallback:
     def test_named_backends(self):
         assert get_backend("numpy").name == "numpy"
@@ -132,7 +195,7 @@ class TestBackendsAndFallback:
     @pytest.mark.skipif(numba_available(), reason="numba is installed")
     def test_missing_numba_falls_back_and_logs_once(self, monkeypatch, caplog):
         monkeypatch.setattr(kernels, "_numba_fallback_logged", False)
-        monkeypatch.delitem(kernels._loaded, "numba", raising=False)
+        monkeypatch.delitem(kernels._loaded, ("numba", 1), raising=False)
         with caplog.at_level(logging.WARNING, logger="repro.kernels"):
             backend = get_backend("numba")
             assert backend.name == "numpy"
@@ -140,6 +203,18 @@ class TestBackendsAndFallback:
             assert again is backend
         warnings = [r for r in caplog.records if "falling back" in r.message]
         assert len(warnings) == 1
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_silence_numba_fallback_suppresses_the_warning(self, monkeypatch,
+                                                          caplog):
+        # Worker processes call this after the parent already warned at
+        # pool construction — a pool of N workers must not re-warn N times.
+        monkeypatch.setattr(kernels, "_numba_fallback_logged", False)
+        monkeypatch.delitem(kernels._loaded, ("numba", 1), raising=False)
+        kernels.silence_numba_fallback()
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            assert get_backend("numba").name == "numpy"
+        assert not [r for r in caplog.records if "falling back" in r.message]
 
     @pytest.mark.skipif(numba_available(), reason="numba is installed")
     def test_missing_numba_never_errors_end_to_end(self, small_independent):
@@ -217,6 +292,95 @@ class TestBitIdentity:
         monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
         got = run_policy_batch(inst, GreedyLRPolicy, 8, rng=4)
         assert got.kernel == kernel
+        assert np.array_equal(ref.makespans, got.makespans)
+
+
+#: Backends held to the kernel_threads bit-identity contract: numpy and
+#: python take the trial-shard route, numba the in-kernel prange route.
+THREADED_KERNELS = [
+    "numpy",
+    "python",
+    pytest.param("numba", marks=requires_numba),
+]
+
+
+class TestTrialParallelBitIdentity:
+    """``kernel_threads=4`` must be byte-identical to serial on every
+    backend × discipline × policy — covering both mechanisms (shard for
+    serial backends, prange for the threaded numba flavor)."""
+
+    @pytest.mark.parametrize("kernel", THREADED_KERNELS)
+    @pytest.mark.parametrize("discipline", ["v1", "v2"])
+    @pytest.mark.parametrize(
+        "factory,shape,semantics",
+        TestBitIdentity.CASES,
+        ids=[f"{f.__name__}-{sh}-{sem}" for f, sh, sem in TestBitIdentity.CASES],
+    )
+    def test_threads_bit_identity(self, factory, shape, semantics,
+                                  discipline, kernel):
+        inst = make_instance(shape)
+        ref = run_policy_batch(
+            inst, factory, 8, rng=21, semantics=semantics,
+            discipline=discipline, kernel=kernel, kernel_threads=1,
+        )
+        got = run_policy_batch(
+            inst, factory, 8, rng=21, semantics=semantics,
+            discipline=discipline, kernel=kernel, kernel_threads=4,
+        )
+        assert np.array_equal(ref.makespans, got.makespans)
+        assert np.array_equal(ref.completion_times, got.completion_times)
+        assert np.array_equal(ref.busy_machine_steps, got.busy_machine_steps)
+
+    def test_env_selected_threads_bit_identity(self, monkeypatch):
+        inst = make_instance("independent")
+        ref = run_policy_batch(inst, GreedyLRPolicy, 8, rng=4)
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "3")
+        got = run_policy_batch(inst, GreedyLRPolicy, 8, rng=4)
+        assert np.array_equal(ref.makespans, got.makespans)
+
+    def test_shared_policy_instance_stays_serial_and_correct(self):
+        # A pre-built policy (factory=None) cannot be sharded — one
+        # stateful instance cannot serve concurrent shard runs — so the
+        # threads knob quietly degrades to the serial path.
+        inst = make_instance("independent")
+        ref = run_policy_batch(inst, GreedyLRPolicy(), 6, rng=9)
+        got = run_policy_batch(inst, GreedyLRPolicy(), 6, rng=9,
+                               kernel_threads=4)
+        assert np.array_equal(ref.makespans, got.makespans)
+
+    def test_subset_lp_reuse_stays_serial(self, monkeypatch):
+        # Subset reuse picks donor schedules from the shared process
+        # solve cache, whose fill order under concurrent shards depends
+        # on thread scheduling — the shard gate declines rather than go
+        # nondeterministic run to run (explicitly or env-resolved).
+        from repro.sim import batch as batch_mod
+
+        def forbid(*args, **kwargs):  # pragma: no cover - regression trap
+            raise AssertionError("lp_reuse='subset' must not shard")
+
+        monkeypatch.setattr(batch_mod, "_run_sharded", forbid)
+        inst = make_instance("independent")
+        ref = run_policy_batch(inst, GreedyLRPolicy, 6, rng=9)
+        got = run_policy_batch(inst, GreedyLRPolicy, 6, rng=9,
+                               kernel_threads=4, lp_reuse="subset")
+        assert np.array_equal(ref.makespans, got.makespans)
+        monkeypatch.setenv("REPRO_LP_REUSE", "subset")
+        got_env = run_policy_batch(inst, GreedyLRPolicy, 6, rng=9,
+                                   kernel_threads=4)
+        assert np.array_equal(ref.makespans, got_env.makespans)
+
+    def test_single_trial_stays_serial(self):
+        inst = make_instance("independent")
+        ref = run_policy_batch(inst, GreedyLRPolicy, 1, rng=9)
+        got = run_policy_batch(inst, GreedyLRPolicy, 1, rng=9,
+                               kernel_threads=4)
+        assert np.array_equal(ref.makespans, got.makespans)
+
+    def test_more_threads_than_trials(self):
+        inst = make_instance("independent")
+        ref = run_policy_batch(inst, GreedyLRPolicy, 3, rng=9)
+        got = run_policy_batch(inst, GreedyLRPolicy, 3, rng=9,
+                               kernel_threads=16)
         assert np.array_equal(ref.makespans, got.makespans)
 
 
@@ -421,3 +585,49 @@ class TestThreading:
 
         with pytest.raises(SystemExit):
             main(["run", "whatever.json", "--kernel", "jax"])
+
+    def test_report_surfaces_kernel_threads(self, small_independent):
+        report = simulate(
+            small_independent, "greedy-lr",
+            SimConfig(n_trials=4, seed=1, kernel="python", kernel_threads=2),
+        )
+        assert report.kernel["threads"] == 2
+        assert report.kernel["inkernel_threads"] is False
+        assert report.to_dict()["config"]["kernel_threads"] == 2
+
+    def test_healthz_reports_kernel_threads(self, monkeypatch):
+        from repro.server.app import SchedulingService
+
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "2")
+        status, payload = SchedulingService().handle("GET", "/healthz", None)
+        assert status == 200
+        assert payload["kernel"]["threads"] == 2
+
+    def test_warm_pool_executor_reports_kernel_threads(self):
+        from repro.server.executors import make_executor
+
+        executor = make_executor("warm-pool", 1, kernel="python",
+                                 kernel_threads=2)
+        try:
+            assert executor.stats()["kernel_threads"] == 2
+            assert not executor.warm  # stats alone must not build the pool
+        finally:
+            executor.close()
+
+    def test_config_kernel_threads_changes_no_sample(self, small_independent):
+        ref = simulate(small_independent, "greedy-lr",
+                       SimConfig(n_trials=6, seed=2))
+        alt = simulate(small_independent, "greedy-lr",
+                       SimConfig(n_trials=6, seed=2, kernel_threads=2))
+        assert np.array_equal(ref.stats.samples, alt.stats.samples)
+
+    def test_cli_run_accepts_kernel_threads(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "inst.json")
+        assert main(["generate", "--shape", "independent", "--jobs", "8",
+                     "--machines", "3", "--seed", "1", "--out", path]) == 0
+        assert main(["run", path, "--policy", "greedy-lr", "--trials", "4",
+                     "--kernel", "python", "--kernel-threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel:   python (threads=2)" in out
