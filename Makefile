@@ -43,7 +43,7 @@ COV_FLOOR ?= 85
 .PHONY: test test-v2 test-kernel-python lint cov bench bench-check \
 	bench-service bench-service-check bench-lpwall bench-lpwall-check \
 	bench-kernels bench-kernels-check bench-parallel \
-	bench-parallel-check smoke tables
+	bench-parallel-check smoke suite-smoke tables
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -133,6 +133,13 @@ bench-parallel-check: bench-parallel
 # constant-RPS load, assert zero errors + p99 sanity, SIGTERM gracefully.
 smoke:
 	$(PYTHON) benchmarks/smoke_service.py
+
+# End-to-end suite-runner smoke: run the committed 2-cell suite twice
+# through the CLI — first run executes everything, the rerun must be
+# 100% content-address cache hits, and deleting one artifact re-executes
+# exactly that cell.
+suite-smoke:
+	$(PYTHON) benchmarks/smoke_suite.py
 
 # Regenerate every experiment table at bench size (slow).
 tables:

@@ -284,6 +284,38 @@ def _cmd_loadgen(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_suite_run(args) -> int:
+    from repro.suite import SuiteError, SuiteRunner, load_suite
+
+    try:
+        spec = load_suite(args.suite)
+        runner = SuiteRunner(spec, args.out, jobs=args.jobs, force=args.force)
+        outcome = runner.run(progress=None if args.quiet else print)
+    except SuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"suite {spec.name}: executed={outcome.executed} "
+          f"cached={outcome.cached} "
+          f"report={args.out}/report.json")
+    return 0
+
+
+def _cmd_suite_status(args) -> int:
+    from repro.suite import SuiteError, SuiteRunner, load_suite
+
+    try:
+        spec = load_suite(args.suite)
+        rows = SuiteRunner(spec, args.out).status()
+    except SuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    done = sum(1 for _, _, present in rows if present)
+    for digest, label, present in rows:
+        print(f"[{digest[:12]}] {'done   ' if present else 'pending'} {label}")
+    print(f"suite {spec.name}: {done}/{len(rows)} cells done")
+    return 0
+
+
 def _forward_experiments(rest) -> int:
     # Forward to the experiment harness (`python -m repro.experiments`),
     # so `repro experiments E-PERJOB` works from the installed entry point.
@@ -450,6 +482,29 @@ def main(argv=None) -> int:
                     help="exit 1 when the error rate exceeds this fraction "
                          "(use 0 for zero-error runs)")
     lg.set_defaults(func=_cmd_loadgen)
+
+    su = sub.add_parser(
+        "suite",
+        help="run a declarative suite file (content-addressed cells: "
+             "re-runs compute only the delta, resume is free)",
+    )
+    su_sub = su.add_subparsers(dest="suite_command", required=True)
+    sr = su_sub.add_parser("run", help="execute a suite's missing cells")
+    sr.add_argument("suite", help="suite file (.json; .toml on Python 3.11+)")
+    sr.add_argument("--out", required=True,
+                    help="output directory (cells/ artifacts + report)")
+    sr.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for trial shards (default 1: "
+                         "serial in-process)")
+    sr.add_argument("--force", action="store_true",
+                    help="re-execute every cell, ignoring stored artifacts")
+    sr.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    sr.set_defaults(func=_cmd_suite_run)
+    ss = su_sub.add_parser("status", help="show which cells are done")
+    ss.add_argument("suite")
+    ss.add_argument("--out", required=True)
+    ss.set_defaults(func=_cmd_suite_status)
 
     # Listed here so `repro --help` shows it; actual dispatch happens in
     # the pre-parse forward above (never through this parser).

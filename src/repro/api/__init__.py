@@ -1,7 +1,11 @@
 """``repro.api`` — the unified front door to the reproduction.
 
-Three layers, each usable on its own:
+Four layers, each usable on its own:
 
+* :mod:`repro.api.config` — the one documented knob-resolution chain
+  (explicit argument → :class:`SimConfig` field → ``REPRO_*`` environment
+  variable → default) behind :func:`resolve_knobs`; every env-sensitive
+  knob in the library resolves here and nowhere else.
 * :mod:`repro.api.registry` — every policy class registers itself with
   :func:`register_policy`; consumers resolve names (and aliases, and
   per-precedence-class defaults) with :func:`get_policy`,
@@ -23,6 +27,7 @@ Quick start::
     print(report.mean, report.ratio)
 """
 
+from repro.api.config import KNOB_NAMES, ResolvedKnobs, resolve_knobs
 from repro.api.registry import (
     PolicyInfo,
     default_policy_for,
@@ -44,6 +49,10 @@ from repro.api.scenario import (
 from repro.api.service import Report, evaluate_grid, simulate
 
 __all__ = [
+    # Config resolution
+    "KNOB_NAMES",
+    "ResolvedKnobs",
+    "resolve_knobs",
     # Registry
     "PolicyInfo",
     "register_policy",

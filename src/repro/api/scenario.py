@@ -19,10 +19,20 @@ import itertools
 import json
 from dataclasses import dataclass
 
-from repro.core.phased import LP_REUSE_MODES, resolve_lp_reuse
+from repro.api.config import (
+    DISCIPLINES,
+    KERNELS,
+    LP_REUSE_MODES,
+    SUBSTREAMS_MODES,
+    ResolvedKnobs,
+    resolve_discipline,
+    resolve_kernel,
+    resolve_kernel_threads,
+    resolve_knobs,
+    resolve_lp_reuse,
+    resolve_substreams,
+)
 from repro.errors import InvalidScenarioError
-from repro.kernels import KERNELS, resolve_kernel, resolve_kernel_threads
-from repro.util.rng import DISCIPLINES, resolve_discipline
 from repro.instance.generators import (
     chain_instance,
     forest_instance,
@@ -97,14 +107,20 @@ class SimConfig:
         ``None`` resolves through ``REPRO_KERNEL_THREADS`` at run time
         (default 1 — serial).
     substreams:
-        How sweep cells consume the seed's randomness: ``"shared"`` (the
-        default; every policy sees the same trial RNG tree / batch
+        How sweep cells consume the seed's randomness: ``"shared"``
+        (every policy sees the same trial RNG tree / batch
         streams — common-random-numbers pairing, minimum-variance policy
         *differences*) or ``"per-policy"`` (each policy in an
         ``evaluate_grid`` sweep draws from its own
         ``BatchStreams.child`` substream — independent estimates per
-        cell, minimum-variance cell *means*).  Single-policy
-        ``simulate()`` calls are unaffected.
+        cell, minimum-variance cell *means*).  ``None`` (the default)
+        resolves through ``REPRO_SUBSTREAMS`` at run time (default
+        shared).  Single-policy ``simulate()`` calls are unaffected.
+
+    Every knob resolves through the one documented chain in
+    :mod:`repro.api.config` — explicit argument → this config's field →
+    environment variable → default; :meth:`resolved` snapshots all five
+    at once.
     """
 
     n_trials: int = 30
@@ -115,7 +131,7 @@ class SimConfig:
     lp_reuse: str | None = None
     kernel: str | None = None
     kernel_threads: int | None = None
-    substreams: str = "shared"
+    substreams: str | None = None
 
     def __post_init__(self):
         if self.n_trials < 1:
@@ -146,11 +162,18 @@ class SimConfig:
                 f"kernel_threads must be an integer >= 1, got "
                 f"{self.kernel_threads!r} (or None for the environment default)"
             )
-        if self.substreams not in ("shared", "per-policy"):
+        if self.substreams is not None and self.substreams not in SUBSTREAMS_MODES:
             raise InvalidScenarioError(
                 f"unknown substreams mode {self.substreams!r}; expected "
-                f"'shared' or 'per-policy'"
+                f"'shared' or 'per-policy' (or None for the environment "
+                f"default)"
             )
+
+    def resolved(self) -> ResolvedKnobs:
+        """All five knobs resolved through the one chain in
+        :mod:`repro.api.config` (explicit field → environment variable →
+        default) — the snapshot that feeds suite-cell digests."""
+        return resolve_knobs(config=self)
 
     def resolved_discipline(self) -> str:
         """The discipline trials will actually run under (env-resolved)."""
@@ -170,13 +193,25 @@ class SimConfig:
         (env-resolved; non-numba backends still shard rather than prange)."""
         return resolve_kernel_threads(self.kernel_threads)
 
+    def resolved_substreams(self) -> str:
+        """The sweep substream mode trials will run under (env-resolved)."""
+        return resolve_substreams(self.substreams)
+
     def to_dict(self) -> dict:
         """JSON-compatible representation."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> SimConfig:
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; unknown keys fail loudly (a typo in
+        a suite file must not silently fall back to a default)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise InvalidScenarioError(
+                f"unknown SimConfig fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
         return cls(**data)
 
 
@@ -390,7 +425,15 @@ class ScenarioGrid:
 
     @classmethod
     def from_dict(cls, data: dict) -> ScenarioGrid:
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; unknown keys fail loudly (a typo in
+        a suite file must not silently drop an axis)."""
+        unknown = set(data) - {"base", "axes"}
+        if unknown:
+            raise InvalidScenarioError(
+                f"unknown grid fields {sorted(unknown)}; expected 'base' and 'axes'"
+            )
+        if "base" not in data:
+            raise InvalidScenarioError("grid dict needs a 'base' scenario")
         return cls(Scenario.from_dict(data["base"]), **data.get("axes", {}))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

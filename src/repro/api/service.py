@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.api.config import resolve_kernel, resolve_kernel_threads
 from repro.api.registry import default_policy_for, policy_factory, policy_info
 from repro.api.scenario import Scenario, ScenarioGrid, SimConfig
 from repro.core.phased import install_solve_cache
@@ -45,8 +46,6 @@ from repro.instance.instance import SUUInstance
 from repro.kernels import (
     get_backend,
     kernel_info,
-    resolve_kernel,
-    resolve_kernel_threads,
     silence_numba_fallback,
     warmup as warmup_kernel,
 )
@@ -179,8 +178,9 @@ def run_trial_batch(
     to chunk layout — they are just v2 samples.  The discipline — and,
     identically, the ``lp_reuse`` mode, the ``kernel`` backend, and the
     ``kernel_threads`` count — is resolved by the *caller* and passed
-    explicitly so workers never consult their own environment.  ``validate=False`` marks the policy
-    as trusted (registry-dispatched): per-step assignment validation runs
+    explicitly so workers never consult their own environment.
+    ``validate=False`` marks the policy as trusted (registry-dispatched):
+    per-step assignment validation runs
     on the first step only (see :func:`repro.sim.batch.run_policy_batch`).
 
     With ``want_completions=True`` the chunk's ``(n_trials, n_jobs)``
@@ -464,17 +464,15 @@ def _run_batched(
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
-    # Resolve the discipline here, once, so workers never consult their
-    # own environment; under v2 the whole run shares one stream root
-    # addressed by global trial index (chunk-layout invariant).
-    discipline = config.resolved_discipline()
-    # Same caller-side resolution for the lp_reuse mode, the kernel
-    # backend, and the thread count: workers receive them explicitly and
-    # never read their own REPRO_LP_REUSE / REPRO_KERNEL /
-    # REPRO_KERNEL_THREADS.
-    lp_reuse = config.resolved_lp_reuse()
-    kernel = config.resolved_kernel()
-    kernel_threads = config.resolved_kernel_threads()
+    # Resolve every knob here, once, through the unified chain
+    # (:func:`repro.api.config.resolve_knobs`), so workers never consult
+    # their own environment; under v2 the whole run shares one stream
+    # root addressed by global trial index (chunk-layout invariant).
+    knobs = config.resolved()
+    discipline = knobs.discipline
+    lp_reuse = knobs.lp_reuse
+    kernel = knobs.kernel
+    kernel_threads = knobs.kernel_threads
     sub_root = None
     if substream is not None:
         sub_root = BatchStreams(run_seed_sequence(config.seed)).child(substream).root
@@ -677,7 +675,8 @@ def evaluate_grid(
     if isinstance(policies, str):
         policies = (policies,)
     config = config or SimConfig()
-    discipline = config.resolved_discipline()
+    knobs = config.resolved()
+    discipline = knobs.discipline
     backend, n_workers, injected_pool, forced = _resolve_executor(
         executor, backend, n_workers
     )
@@ -693,12 +692,12 @@ def evaluate_grid(
         and all(_spec_fast_path_eligible(p, discipline) for p in policies)
     ):
         n_workers = n_workers or min(os.cpu_count() or 1, config.n_trials)
-        pool_cm = worker_pool(n_workers, kernel=config.resolved_kernel(),
-                              kernel_threads=config.resolved_kernel_threads())
+        pool_cm = worker_pool(n_workers, kernel=knobs.kernel,
+                              kernel_threads=knobs.kernel_threads)
     # Per-policy substreams: under "per-policy" every policy column gets
     # its own child of the run's stream root (independent estimates);
     # the "shared" default keeps common random numbers across policies.
-    per_policy = config.substreams == "per-policy"
+    per_policy = knobs.substreams == "per-policy"
     reports = []
     with pool_cm as pool:
         for scenario in grid:

@@ -32,7 +32,6 @@ scalar assignment sequence exactly.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -99,14 +98,17 @@ _lp_reuse_tls = threading.local()
 
 
 def resolve_lp_reuse(mode: str | None = None) -> str:
-    """Validate ``mode``, consulting ``REPRO_LP_REUSE`` when None."""
-    if mode is None:
-        mode = os.environ.get("REPRO_LP_REUSE", "exact") or "exact"
-    if mode not in LP_REUSE_MODES:
-        raise ValueError(
-            f"unknown lp_reuse mode {mode!r}; expected one of {LP_REUSE_MODES}"
-        )
-    return mode
+    """Validate ``mode``, consulting ``REPRO_LP_REUSE`` when None.
+
+    Delegates to :func:`repro.api.config.resolve_lp_reuse` — the single
+    config-resolution chain shared by every knob (this module keeps the
+    name for its long-standing callers).
+    """
+    # Deferred: repro.api.config is the one env-reading module and lives
+    # above this layer (importing it pulls the whole api package).
+    from repro.api.config import resolve_lp_reuse as _resolve
+
+    return _resolve(mode)
 
 
 def active_lp_reuse() -> str:
@@ -118,11 +120,13 @@ def active_lp_reuse() -> str:
 
 
 def lp_reuse_eps() -> float:
-    """Subset-reuse length-overhead tolerance (``REPRO_LP_REUSE_EPS``)."""
-    eps = float(os.environ.get("REPRO_LP_REUSE_EPS", DEFAULT_LP_REUSE_EPS))
-    if not (0.0 <= eps < 1.0):
-        raise ValueError(f"lp_reuse eps must be in [0, 1), got {eps}")
-    return eps
+    """Subset-reuse length-overhead tolerance (``REPRO_LP_REUSE_EPS``).
+
+    Delegates to :func:`repro.api.config.lp_reuse_eps`.
+    """
+    from repro.api.config import lp_reuse_eps as _resolve
+
+    return _resolve()
 
 
 @contextmanager
@@ -195,9 +199,9 @@ class ProcessSolveCache:
     @property
     def enabled(self) -> bool:
         """False when disabled via ``REPRO_SOLVE_CACHE=0`` or size 0."""
-        return self.max_entries > 0 and os.environ.get(
-            "REPRO_SOLVE_CACHE", "1"
-        ) != "0"
+        from repro.api.config import solve_cache_enabled
+
+        return self.max_entries > 0 and solve_cache_enabled()
 
     @staticmethod
     def _digest_of(key):

@@ -1,14 +1,32 @@
 """Experiment harness: one runner per DESIGN.md experiment id.
 
+Each runner registers itself with
+:func:`repro.experiments.common.register_experiment` at import time, so
+``python -m repro.experiments``, the benchmark suite, and declarative
+suite files (:mod:`repro.suite`) dispatch through one id → runner table
+(:func:`get_experiment` / :func:`experiment_ids`).
+
 ``python -m repro.experiments`` executes every experiment at its default
 (full) configuration and rewrites the measured-results section of
 EXPERIMENTS.md; the benchmark suite runs the same functions at reduced
 sizes and prints their tables.
+
+The legacy ``ALL_EXPERIMENTS`` dict is still importable but deprecated —
+it is rebuilt from the registry on access and warns; new code should call
+:func:`all_experiments` (or :func:`get_experiment` for one id).
 """
+
+import warnings
 
 from repro.experiments.adaptive_exp import run_adaptive
 from repro.experiments.chains import run_chains, run_delay, run_segments_ablation
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    all_experiments,
+    experiment_ids,
+    get_experiment,
+    register_experiment,
+)
 from repro.experiments.competitive import run_competitive
 from repro.experiments.equivalence import run_equivalence
 from repro.experiments.independent import (
@@ -24,29 +42,12 @@ from repro.experiments.stochastic_exp import run_stochastic
 from repro.experiments.table1 import run_table1
 from repro.experiments.trees import run_trees
 
-#: Registry of every experiment runner, keyed by DESIGN.md experiment id.
-ALL_EXPERIMENTS = {
-    "T1": run_table1,
-    "E-OBL": run_obl_scaling,
-    "E-SEM": run_sem_scaling,
-    "E-LP1": run_lp_rounding,
-    "E-CHAIN": run_chains,
-    "E-DELAY": run_delay,
-    "E-TREE": run_trees,
-    "E-EQUIV": run_equivalence,
-    "E-STOCH": run_stochastic,
-    "E-OPT": run_opt_tiny,
-    "E-COMP": run_competitive,
-    "E-PERJOB": run_perjob,
-    "A-ROUND": run_rounding_ablation,
-    "A-ROUNDS": run_rounds_ablation,
-    "A-SEG": run_segments_ablation,
-    "A-ADAPT": run_adaptive,
-}
-
 __all__ = [
     "ExperimentResult",
-    "ALL_EXPERIMENTS",
+    "register_experiment",
+    "get_experiment",
+    "experiment_ids",
+    "all_experiments",
     "run_table1",
     "run_competitive",
     "run_adaptive",
@@ -64,3 +65,15 @@ __all__ = [
     "run_rounds_ablation",
     "run_segments_ablation",
 ]
+
+
+def __getattr__(name):
+    if name == "ALL_EXPERIMENTS":
+        warnings.warn(
+            "repro.experiments.ALL_EXPERIMENTS is deprecated; use "
+            "repro.experiments.all_experiments() (or get_experiment(id))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return all_experiments()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -13,7 +13,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import experiment_ids, get_experiment
 
 
 def main(argv=None) -> int:
@@ -25,7 +25,7 @@ def main(argv=None) -> int:
         "experiments",
         nargs="*",
         metavar="EXP",
-        help=f"experiment ids to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+        help=f"experiment ids to run (default: all of {', '.join(experiment_ids())})",
     )
     parser.add_argument(
         "--markdown",
@@ -34,15 +34,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    ids = args.experiments or list(ALL_EXPERIMENTS)
-    unknown = [e for e in ids if e not in ALL_EXPERIMENTS]
+    ids = args.experiments or list(experiment_ids())
+    unknown = [e for e in ids if e not in experiment_ids()]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
 
     blocks = []
     for exp_id in ids:
         t0 = time.perf_counter()
-        result = ALL_EXPERIMENTS[exp_id]()
+        result = get_experiment(exp_id)()
         dt = time.perf_counter() - t0
         print(result.to_text())
         print(f"  ({dt:.1f}s)\n")

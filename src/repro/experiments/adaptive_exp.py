@@ -14,7 +14,7 @@ from repro.analysis.ratios import measure_ratio
 from repro.baselines.greedy_lr import GreedyLRPolicy
 from repro.core.adaptive import SUUIAdaptiveLPPolicy
 from repro.core.suu_i_sem import SUUISemPolicy
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import independent_instance
 from repro.sim.engine import run_policy
 from repro.util.rng import ensure_rng
@@ -22,6 +22,7 @@ from repro.util.rng import ensure_rng
 __all__ = ["run_adaptive"]
 
 
+@register_experiment("A-ADAPT")
 def run_adaptive(
     *,
     ns=(20, 40, 80),

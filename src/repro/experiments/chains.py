@@ -16,7 +16,7 @@ from repro.baselines.greedy_lr import GreedyLRPolicy
 from repro.baselines.naive import SerialAllMachinesPolicy
 from repro.core.lp2 import round_lp2, solve_lp2
 from repro.core.suu_c import SUUCPolicy
-from repro.experiments.common import ExperimentResult, safe_log2
+from repro.experiments.common import ExperimentResult, register_experiment, safe_log2
 from repro.instance.chains import extract_chains
 from repro.instance.generators import chain_instance
 from repro.schedule.pseudo import build_chain_programs, congestion_profile, draw_delays
@@ -26,6 +26,7 @@ from repro.util.rng import ensure_rng
 __all__ = ["run_chains", "run_delay", "run_segments_ablation"]
 
 
+@register_experiment("E-CHAIN")
 def run_chains(
     *,
     sizes=((20, 5), (40, 10), (80, 10)),
@@ -72,6 +73,7 @@ def run_chains(
     return res
 
 
+@register_experiment("E-DELAY")
 def run_delay(
     *,
     configs=((40, 5, 10), (80, 5, 20), (160, 5, 40), (320, 5, 80)),
@@ -129,6 +131,7 @@ def run_delay(
     return res
 
 
+@register_experiment("A-SEG")
 def run_segments_ablation(
     *,
     n: int = 30,

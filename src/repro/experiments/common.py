@@ -1,7 +1,10 @@
 """Shared plumbing for the experiment harness.
 
 Every experiment in DESIGN.md's per-experiment index is a function in this
-package returning an :class:`ExperimentResult` (headers + rows + notes).
+package returning an :class:`ExperimentResult` (headers + rows + notes),
+decorated with :func:`register_experiment` so the CLI
+(``python -m repro.experiments``), the benchmark suite, and declarative
+suite files (:mod:`repro.suite`) all share one id → runner table.
 The benchmark suite times the *quick* configurations and prints the rows;
 ``python -m repro.experiments`` runs the *full* configurations and rewrites
 the results section of EXPERIMENTS.md.
@@ -14,7 +17,58 @@ from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_markdown_table, format_table
 
-__all__ = ["ExperimentResult", "loglog", "safe_log2"]
+__all__ = [
+    "ExperimentResult",
+    "register_experiment",
+    "get_experiment",
+    "experiment_ids",
+    "all_experiments",
+    "loglog",
+    "safe_log2",
+]
+
+#: The one name → runner table (populated by :func:`register_experiment`
+#: as experiment modules import; insertion order is DESIGN.md order).
+_REGISTRY: dict = {}
+
+
+def register_experiment(exp_id: str):
+    """Class-registry decorator for experiment runners.
+
+    Registers the decorated zero-or-keyword-arg function under the
+    DESIGN.md experiment id so ``repro experiments``, the benchmarks, and
+    suite-file ``experiments`` entries dispatch through one table.
+    Double registration of an id fails loudly.
+    """
+
+    def deco(fn):
+        if exp_id in _REGISTRY:
+            raise ValueError(f"experiment id {exp_id!r} registered twice")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def get_experiment(exp_id: str):
+    """The registered runner for ``exp_id``; unknown ids fail loudly."""
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment id {exp_id!r}; expected one of "
+            f"{experiment_ids()}"
+        ) from None
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """Every registered experiment id, in registration (DESIGN.md) order."""
+    return tuple(_REGISTRY)
+
+
+def all_experiments() -> dict:
+    """A snapshot copy of the id → runner table."""
+    return dict(_REGISTRY)
 
 
 @dataclass

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.suu_i_obl import SUUIOblPolicy
 from repro.core.suu_i_sem import SUUISemPolicy, paper_round_count
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import independent_instance
 from repro.lp.model import LinearProgram
 from repro.core.lp1 import MASS_EPS
@@ -78,6 +78,7 @@ def _threshold_profile(kind: str, n: int, rng) -> np.ndarray:
     raise ValueError(f"unknown threshold profile {kind!r}")
 
 
+@register_experiment("E-COMP")
 def run_competitive(
     *,
     n: int = 30,

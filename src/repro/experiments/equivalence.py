@@ -12,7 +12,7 @@ from __future__ import annotations
 from scipy import stats as scipy_stats
 
 from repro.api.registry import policy_factory
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import chain_instance, independent_instance
 from repro.sim.montecarlo import estimate_expected_makespan
 from repro.util.rng import ensure_rng
@@ -20,6 +20,7 @@ from repro.util.rng import ensure_rng
 __all__ = ["run_equivalence"]
 
 
+@register_experiment("E-EQUIV")
 def run_equivalence(
     *,
     n: int = 24,

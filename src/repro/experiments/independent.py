@@ -16,7 +16,7 @@ from repro.core.lp1 import solve_lp1
 from repro.core.rounding import round_assignment
 from repro.core.suu_i_obl import build_obl_schedule
 from repro.core.suu_i_sem import SUUISemPolicy, paper_round_count
-from repro.experiments.common import ExperimentResult, loglog, safe_log2
+from repro.experiments.common import ExperimentResult, loglog, register_experiment, safe_log2
 from repro.instance.generators import independent_instance
 from repro.sim.montecarlo import sample_oblivious_repeat_makespans
 from repro.util.rng import ensure_rng
@@ -24,6 +24,7 @@ from repro.util.rng import ensure_rng
 __all__ = ["run_obl_scaling", "run_sem_scaling", "run_lp_rounding", "run_rounds_ablation"]
 
 
+@register_experiment("E-OBL")
 def run_obl_scaling(
     *,
     ns=(10, 20, 40, 80, 160),
@@ -65,6 +66,7 @@ def run_obl_scaling(
     return res
 
 
+@register_experiment("E-SEM")
 def run_sem_scaling(
     *,
     ns=(10, 20, 40, 80),
@@ -130,6 +132,7 @@ def run_sem_scaling(
     return res
 
 
+@register_experiment("E-LP1")
 def run_lp_rounding(
     *,
     sizes=((20, 5), (40, 10), (80, 20)),
@@ -160,6 +163,7 @@ def run_lp_rounding(
     return res
 
 
+@register_experiment("A-ROUNDS")
 def run_rounds_ablation(
     *,
     n: int = 60,

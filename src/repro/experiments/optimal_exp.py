@@ -12,7 +12,7 @@ from repro.analysis.bounds import lower_bound
 from repro.api.registry import default_policy_for, policy_factory
 from repro.baselines.malewicz import optimal_chains_expected_makespan
 from repro.baselines.optimal import optimal_expected_makespan
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import chain_instance, independent_instance
 from repro.sim.montecarlo import estimate_expected_makespan
 from repro.util.rng import ensure_rng
@@ -20,6 +20,7 @@ from repro.util.rng import ensure_rng
 __all__ = ["run_opt_tiny"]
 
 
+@register_experiment("E-OPT")
 def run_opt_tiny(
     *,
     configs=(

@@ -22,11 +22,12 @@ import numpy as np
 
 from repro.api.scenario import Scenario, SimConfig
 from repro.api.service import simulate
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 
 __all__ = ["run_perjob"]
 
 
+@register_experiment("E-PERJOB")
 def run_perjob(
     *,
     shape: str = "chains",

@@ -13,13 +13,14 @@ import numpy as np
 from repro.core.lp1 import solve_lp1
 from repro.core.rounding import round_assignment
 from repro.errors import RoundingError
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import independent_instance
 from repro.util.rng import ensure_rng
 
 __all__ = ["run_rounding_ablation"]
 
 
+@register_experiment("A-ROUND")
 def run_rounding_ablation(
     *,
     scales=(2, 3, 6, 9, 12),

@@ -14,13 +14,14 @@ from repro.core.stoch import (
     stc_i_trial,
     stochastic_round_count,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import stochastic_instance
 from repro.util.rng import ensure_rng
 
 __all__ = ["run_stochastic"]
 
 
+@register_experiment("E-STOCH")
 def run_stochastic(
     *,
     sizes=((10, 4), (20, 6), (40, 8)),

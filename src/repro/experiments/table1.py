@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.analysis.bounds import lower_bound
 from repro.analysis.ratios import measure_ratio
 from repro.api.registry import policy_factory
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, register_experiment
 from repro.instance.generators import (
     chain_instance,
     forest_instance,
@@ -48,6 +48,7 @@ def _row(inst, policies, n_trials, rng, max_steps):
     return bound, ratios
 
 
+@register_experiment("T1")
 def run_table1(
     *,
     sizes=((20, 5), (40, 10), (80, 10)),

@@ -14,7 +14,7 @@ from repro.analysis.bounds import lower_bound
 from repro.analysis.ratios import measure_ratio
 from repro.baselines.naive import SerialAllMachinesPolicy
 from repro.core.suu_t import SUUTPolicy
-from repro.experiments.common import ExperimentResult, safe_log2
+from repro.experiments.common import ExperimentResult, register_experiment, safe_log2
 from repro.instance.decomposition import decompose_forest
 from repro.instance.generators import forest_instance, tree_instance
 from repro.util.rng import ensure_rng
@@ -22,6 +22,7 @@ from repro.util.rng import ensure_rng
 __all__ = ["run_trees"]
 
 
+@register_experiment("E-TREE")
 def run_trees(
     *,
     sizes=((20, 5), (40, 10), (80, 10)),

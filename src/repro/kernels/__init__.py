@@ -54,7 +54,6 @@ shards running concurrent batches never see each other's backend.
 from __future__ import annotations
 
 import logging
-import os
 import threading
 import time
 from contextlib import contextmanager
@@ -102,15 +101,15 @@ def resolve_kernel(kernel: str | None = None) -> str:
 
     Explicit ``kernel`` argument → ``REPRO_KERNEL`` environment variable →
     ``"numpy"``.  Raises ``ValueError`` on unknown names (including via
-    the environment variable, so typos fail loudly).
+    the environment variable, so typos fail loudly).  Delegates to
+    :func:`repro.api.config.resolve_kernel` — the single config-resolution
+    chain shared by every knob.
     """
-    if kernel is None:
-        kernel = os.environ.get(KERNEL_ENV_VAR) or KERNELS[0]
-    if kernel not in KERNELS:
-        raise ValueError(
-            f"unknown kernel backend {kernel!r}; expected one of {KERNELS}"
-        )
-    return kernel
+    # Deferred: repro.api.config is the one env-reading module and lives
+    # above this layer (importing it pulls the whole api package).
+    from repro.api.config import resolve_kernel as _resolve
+
+    return _resolve(kernel)
 
 
 def resolve_kernel_threads(threads: int | None = None) -> int:
@@ -119,21 +118,11 @@ def resolve_kernel_threads(threads: int | None = None) -> int:
     Explicit ``threads`` argument → ``REPRO_KERNEL_THREADS`` environment
     variable → 1.  Raises ``ValueError`` on non-integer or < 1 values
     (including via the environment variable, so typos fail loudly).
+    Delegates to :func:`repro.api.config.resolve_kernel_threads`.
     """
-    if threads is None:
-        raw = os.environ.get(KERNEL_THREADS_ENV_VAR)
-        if not raw:
-            return 1
-        threads = raw  # type: ignore[assignment]
-    try:
-        count = int(threads)
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"kernel_threads must be an integer >= 1, got {threads!r}"
-        ) from None
-    if count < 1:
-        raise ValueError(f"kernel_threads must be >= 1, got {count}")
-    return count
+    from repro.api.config import resolve_kernel_threads as _resolve
+
+    return _resolve(threads)
 
 
 def numba_available() -> bool:

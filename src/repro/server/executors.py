@@ -35,9 +35,10 @@ from __future__ import annotations
 
 import threading
 
+from repro.api.config import resolve_kernel, resolve_kernel_threads
 from repro.api.service import WORKER_SOLVE_CACHE_ENTRIES, worker_pool
 from repro.core.phased import solve_cache_stats
-from repro.kernels import kernel_info, resolve_kernel, resolve_kernel_threads
+from repro.kernels import kernel_info
 
 __all__ = [
     "RequestExecutor",

@@ -329,8 +329,10 @@ def run_policy_batch(
     # process solve cache, whose population order under concurrent
     # shards depends on thread scheduling — sharding would make the
     # (already approximate) samples nondeterministic run to run.
-    # Imported here: repro.core pulls policy modules that import this one.
-    from repro.core.phased import lp_reuse_context, resolve_lp_reuse
+    # Imported here: repro.core pulls policy modules that import this one,
+    # and repro.api.config sits above both (the unified knob chain).
+    from repro.api.config import resolve_lp_reuse
+    from repro.core.phased import lp_reuse_context
 
     threads = resolve_kernel_threads(kernel_threads)
     if (

@@ -54,7 +54,6 @@ results invariant under backend and chunk layout.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -114,17 +113,18 @@ def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator
 def resolve_discipline(discipline: str | None = None) -> str:
     """The active RNG discipline: argument, else env var, else ``"v1"``.
 
-    Raises :class:`ValueError` on anything outside :data:`DISCIPLINES`
-    (including a bad ``REPRO_DISCIPLINE`` value, so typos fail loudly
-    rather than silently running v1).
+    Delegates to :func:`repro.api.config.resolve_discipline` — the one
+    documented explicit → ``SimConfig`` → ``REPRO_DISCIPLINE`` → default
+    chain (this module keeps the name for its long-standing callers).
+    Raises :class:`ValueError` on anything outside :data:`DISCIPLINES`,
+    including a bad environment value, so typos fail loudly rather than
+    silently running v1.
     """
-    if discipline is None:
-        discipline = os.environ.get(DISCIPLINE_ENV_VAR) or "v1"
-    if discipline not in DISCIPLINES:
-        raise ValueError(
-            f"unknown RNG discipline {discipline!r}; expected one of {DISCIPLINES}"
-        )
-    return discipline
+    # Deferred: repro.api.config is the single env-reading module and
+    # sits above this one (importing it pulls the whole api package).
+    from repro.api.config import resolve_discipline as _resolve
+
+    return _resolve(discipline)
 
 
 def run_seed_sequence(seed_or_rng=None) -> np.random.SeedSequence:

@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import all_experiments, experiment_ids, get_experiment
 from repro.experiments.common import ExperimentResult, loglog, safe_log2
+
+ALL_EXPERIMENTS = all_experiments()
 
 
 class TestCommon:
@@ -40,7 +42,24 @@ class TestRegistry:
             "E-EQUIV", "E-STOCH", "E-OPT", "E-COMP", "E-PERJOB",
             "A-ROUND", "A-ROUNDS", "A-SEG", "A-ADAPT",
         }
+        assert set(experiment_ids()) == expected
         assert set(ALL_EXPERIMENTS) == expected
+
+    def test_get_experiment_rejects_unknown(self):
+        with pytest.raises(ValueError, match="E-NOPE"):
+            get_experiment("E-NOPE")
+
+    def test_get_experiment_matches_direct_import(self):
+        from repro.experiments import run_table1
+
+        assert get_experiment("T1") is run_table1
+
+    def test_legacy_dict_import_warns(self):
+        import repro.experiments as pkg
+
+        with pytest.warns(DeprecationWarning, match="ALL_EXPERIMENTS"):
+            table = pkg.ALL_EXPERIMENTS
+        assert table == all_experiments()
 
 
 class TestRunnersTiny:
